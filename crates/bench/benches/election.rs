@@ -1,0 +1,36 @@
+//! Criterion: end-to-end dedicated election (classify + compile + simulate
+//! + decide) on the paper families — the E3/E4/E5 companion timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_graph::families;
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedicated_election");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    for m in [8u64, 64, 512] {
+        let config = families::h_m(m);
+        group.bench_with_input(BenchmarkId::new("H_m", m), &config, |b, config| {
+            b.iter(|| anon_radio::elect_leader(config).unwrap().leader)
+        });
+    }
+    for m in [2usize, 4, 8] {
+        let config = families::g_m(m);
+        group.bench_with_input(BenchmarkId::new("G_m", m), &config, |b, config| {
+            b.iter(|| anon_radio::elect_leader(config).unwrap().leader)
+        });
+    }
+
+    // solve (compile only) vs full run, to separate classifier cost from
+    // simulation cost
+    let config = families::g_m(6);
+    group.bench_function("G_6/solve_only", |b| {
+        b.iter(|| anon_radio::solve(&config).unwrap().rounds_bound())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_election);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion: the E9 ablation — paper-literal reference engine vs hashed
+//! refinement, head to head on the same configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::workloads::with_random_tags;
+use radio_classifier::{classify_with, Engine};
+use radio_graph::generators;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500));
+    for n in [32usize, 96] {
+        let path = with_random_tags(generators::path(n), 4, 7 ^ n as u64);
+        let star = with_random_tags(generators::star(n), 4, 9 ^ n as u64);
+        for (name, config) in [("path", &path), ("star", &star)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference/{name}"), n),
+                config,
+                |b, config| b.iter(|| classify_with(config, Engine::Reference).iterations),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("fast/{name}"), n),
+                config,
+                |b, config| b.iter(|| classify_with(config, Engine::Fast).iterations),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: raw simulator throughput — the E10 companion timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_graph::{generators, Configuration};
+use radio_sim::drip::{SilentFactory, WaitThenTransmitFactory};
+use radio_sim::{Executor, Msg, RunOpts};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    for n in [64usize, 512] {
+        let config = Configuration::new(generators::path(n), (0..n as u64).collect()).unwrap();
+        let rounds = (n as u64 + 20) * n as u64; // node-rounds metric
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("silent_path", n), &config, |b, config| {
+            b.iter(|| {
+                Executor::run(config, &SilentFactory { lifetime: 20 }, RunOpts::default())
+                    .unwrap()
+                    .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flood_path", n), &config, |b, config| {
+            b.iter(|| {
+                Executor::run(
+                    config,
+                    &WaitThenTransmitFactory {
+                        wait: 0,
+                        msg: Msg::ONE,
+                        lifetime: 20,
+                    },
+                    RunOpts::default(),
+                )
+                .unwrap()
+                .stats
+                .transmissions
+            })
+        });
+    }
+
+    // canonical DRIP on a mid-size feasible configuration
+    let config = radio_graph::families::g_m(6);
+    let dedicated = anon_radio::solve(&config).unwrap();
+    group.bench_function("canonical_G6", |b| {
+        b.iter(|| dedicated.execute(RunOpts::default()).unwrap().rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! The experiments CLI: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p radio-bench --bin experiments               # all, full effort
+//! cargo run --release -p radio-bench --bin experiments -- e4 e5     # a subset
+//! cargo run --release -p radio-bench --bin experiments -- --quick   # CI sizes
+//! cargo run --release -p radio-bench --bin experiments -- --out results
+//! ```
+
+use std::path::PathBuf;
+
+use radio_bench::{registry, Effort};
+use radio_util::rng::DEFAULT_ROOT_SEED;
+
+fn main() {
+    let mut effort = Effort::Full;
+    let mut seed = DEFAULT_ROOT_SEED;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--seed N] [--out DIR] [e1 e2 … e10]\n\
+                     runs the paper-claim experiments (all by default) and prints\n\
+                     Markdown tables; --out also writes <id>_<k>.md/.csv files"
+                );
+                return;
+            }
+            id if id.starts_with('e') => wanted.push(id.to_string()),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for experiment in registry() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == experiment.id) {
+            continue;
+        }
+        eprintln!("── running {} — {}", experiment.id, experiment.claim);
+        let started = std::time::Instant::now();
+        let tables = (experiment.run)(effort, seed);
+        eprintln!("   done in {:.2?}", started.elapsed());
+        println!(
+            "## {} — {}\n",
+            experiment.id.to_uppercase(),
+            experiment.claim
+        );
+        for (k, table) in tables.iter().enumerate() {
+            println!("{}", table.to_markdown());
+            if let Some(dir) = &out_dir {
+                let stem = format!("{}_{}", experiment.id, k);
+                std::fs::write(dir.join(format!("{stem}.md")), table.to_markdown())
+                    .expect("write table markdown");
+                std::fs::write(dir.join(format!("{stem}.csv")), table.to_csv())
+                    .expect("write table csv");
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,99 @@
+//! E6 — Proposition 4.4: no universal leader-election algorithm exists,
+//! even for 4-node feasible configurations.
+//!
+//! For every candidate in the gallery: find its silence-breaking round
+//! `t`, verify it *does* solve election on a control configuration (no
+//! strawmen), then exhibit its failure on the feasible `H_{t+1}`.
+
+use anon_radio::universal::{gallery, refute_universal, works_on, Refutation};
+use radio_graph::{families, generators, Configuration};
+use radio_util::table::Table;
+
+use crate::Effort;
+
+/// Runs E6.
+pub fn run(_effort: Effort, _seed: u64) -> Vec<Table> {
+    let mut table = Table::new(
+        "E6: the universal-candidate gallery, refuted one by one",
+        &[
+            "candidate",
+            "works somewhere",
+            "t",
+            "failing config",
+            "feasible?",
+            "leaders",
+            "H_a=H_d",
+            "H_b=H_c",
+        ],
+    );
+
+    let control = Configuration::new(generators::path(2), vec![0, 7]).unwrap();
+    for candidate in gallery() {
+        let control_cfg = if candidate.name == "dedicated-H1-misused" {
+            families::h_m(1)
+        } else {
+            control.clone()
+        };
+        let sane = works_on(&candidate, &control_cfg);
+        match refute_universal(&candidate, 10_000) {
+            Refutation::FailsOn {
+                t,
+                m,
+                leaders,
+                symmetric_pairs,
+            } => {
+                assert_ne!(leaders.len(), 1, "{}", candidate.name);
+                table.push_row(vec![
+                    candidate.name.clone(),
+                    sane.to_string(),
+                    t.to_string(),
+                    format!("H_{m}"),
+                    radio_classifier::classify(&families::h_m(m))
+                        .feasible
+                        .to_string(),
+                    format!("{} {:?}", leaders.len(), leaders),
+                    symmetric_pairs[0].to_string(),
+                    symmetric_pairs[1].to_string(),
+                ]);
+            }
+            Refutation::NeverTransmits { probed_rounds } => {
+                table.push_row(vec![
+                    candidate.name.clone(),
+                    sane.to_string(),
+                    "-".into(),
+                    format!("silent for {probed_rounds} rounds"),
+                    "-".into(),
+                    "cannot communicate at all".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_candidates_work_somewhere_and_fail_universally() {
+        let tables = run(Effort::Quick, 0);
+        let t = &tables[0];
+        assert!(t.len() >= 6);
+        for row in 0..t.len() {
+            assert_eq!(
+                t.cell(row, 1),
+                Some("true"),
+                "row {row}: strawman candidate"
+            );
+            assert_eq!(
+                t.cell(row, 4),
+                Some("true"),
+                "row {row}: counterexample infeasible"
+            );
+        }
+    }
+}

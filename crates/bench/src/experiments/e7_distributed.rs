@@ -1,0 +1,88 @@
+//! E7 — Proposition 4.5: feasibility cannot be decided by a distributed
+//! algorithm.
+//!
+//! For a spread of probe DRIPs (including the paper's own canonical DRIP
+//! compiled for `H_3`), the experiment shows that every node's history on
+//! the feasible `H_{t+1}` is byte-identical to its history on the
+//! infeasible `S_{t+1}` — so no history-based verdict can separate them.
+
+use anon_radio::distributed::refute_distributed_decision;
+use radio_graph::families;
+use radio_sim::drip::WaitThenTransmitFactory;
+use radio_sim::{DripFactory, Msg};
+use radio_util::table::Table;
+
+use crate::Effort;
+
+/// Runs E7.
+pub fn run(_effort: Effort, _seed: u64) -> Vec<Table> {
+    let mut table = Table::new(
+        "E7: H_{t+1} vs S_{t+1} — per-node history equality under probe DRIPs",
+        &[
+            "probe DRIP",
+            "t",
+            "pair",
+            "H feasible",
+            "S feasible",
+            "identical histories",
+        ],
+    );
+
+    let mut probes: Vec<Box<dyn DripFactory>> = vec![
+        Box::new(WaitThenTransmitFactory {
+            wait: 0,
+            msg: Msg::ONE,
+            lifetime: 12,
+        }),
+        Box::new(WaitThenTransmitFactory {
+            wait: 3,
+            msg: Msg::ONE,
+            lifetime: 16,
+        }),
+        Box::new(WaitThenTransmitFactory {
+            wait: 9,
+            msg: Msg::ONE,
+            lifetime: 24,
+        }),
+    ];
+    let dedicated = anon_radio::solve(&families::h_m(3)).expect("H_3 feasible");
+    probes.push(Box::new(dedicated.factory()));
+
+    for probe in &probes {
+        let refutation =
+            refute_distributed_decision(probe.as_ref(), 10_000).expect("probes transmit");
+        assert!(refutation.is_conclusive());
+        let identical = refutation
+            .histories_identical
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        table.push_row(vec![
+            probe.name(),
+            refutation.t.to_string(),
+            format!("H_{} vs S_{}", refutation.m, refutation.m),
+            refutation.h_feasible.to_string(),
+            refutation.s_feasible.to_string(),
+            format!("{identical}/4"),
+        ]);
+    }
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_probes_show_total_indistinguishability() {
+        let tables = run(Effort::Quick, 0);
+        let t = &tables[0];
+        assert_eq!(t.len(), 4);
+        for row in 0..t.len() {
+            assert_eq!(t.cell(row, 5), Some("4/4"), "row {row}");
+            assert_eq!(t.cell(row, 3), Some("true"));
+            assert_eq!(t.cell(row, 4), Some("false"));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod e10_throughput;
+pub mod e11_census;
+pub mod e12_wl_gap;
+pub mod e13_jitter;
+pub mod e1_classifier_scaling;
+pub mod e2_iterations;
+pub mod e3_election_time;
+pub mod e4_omega_n;
+pub mod e5_omega_sigma;
+pub mod e6_universal;
+pub mod e7_distributed;
+pub mod e8_atlas;
+pub mod e9_ablation;

@@ -1,0 +1,147 @@
+//! Experiment harness regenerating every claim of the paper as a table.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems, not
+//! measured tables. Following `DESIGN.md §5`, each experiment here
+//! regenerates the *content* of one claim — measured scaling against the
+//! proved bound, constructed counterexamples, feasibility landscapes — so
+//! the repository's `EXPERIMENTS.md` can report paper-vs-measured per
+//! claim.
+//!
+//! | id  | claim | module |
+//! |-----|-------|--------|
+//! | E1  | Thm 3.17 / Lemma 3.5 (`O(n³Δ)` classifier) | [`experiments::e1_classifier_scaling`] |
+//! | E2  | Cor 3.3 + Lemma 3.4 (≤ ⌈n/2⌉ iterations)  | [`experiments::e2_iterations`] |
+//! | E3  | Thm 3.15 / Lemma 3.10 (`O(n²σ)` election) | [`experiments::e3_election_time`] |
+//! | E4  | Prop 4.1 (`Ω(n)`, family `G_m`)           | [`experiments::e4_omega_n`] |
+//! | E5  | Lemma 4.2 / Prop 4.3 (`Ω(σ)`, `H_m`)      | [`experiments::e5_omega_sigma`] |
+//! | E6  | Prop 4.4 (no universal algorithm)          | [`experiments::e6_universal`] |
+//! | E7  | Prop 4.5 (no distributed decision)         | [`experiments::e7_distributed`] |
+//! | E8  | feasibility landscape (Sec. 3, implied)    | [`experiments::e8_atlas`] |
+//! | E9  | open problem #1 ablation (ref vs fast)     | [`experiments::e9_ablation`] |
+//! | E10 | substrate throughput + parallel speedup    | [`experiments::e10_throughput`] |
+//!
+//! Run them all: `cargo run --release -p radio-bench --bin experiments`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workloads;
+
+use radio_util::table::Table;
+
+/// Effort preset for the experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small sizes — finishes in seconds, used by tests and CI.
+    Quick,
+    /// The sizes reported in `EXPERIMENTS.md`.
+    Full,
+}
+
+/// An experiment: a stable id, the paper claim it regenerates, and a
+/// runner.
+pub struct Experiment {
+    /// Stable identifier (`e1` … `e10`).
+    pub id: &'static str,
+    /// The claim being reproduced.
+    pub claim: &'static str,
+    /// Runner producing one or more tables.
+    pub run: fn(Effort, u64) -> Vec<Table>,
+}
+
+/// The full experiment registry, in order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            claim: "Thm 3.17 / Lemma 3.5: Classifier runs in O(n³Δ)",
+            run: experiments::e1_classifier_scaling::run,
+        },
+        Experiment {
+            id: "e2",
+            claim: "Cor 3.3 + Lemma 3.4: ≤ ⌈n/2⌉ strictly-refining iterations",
+            run: experiments::e2_iterations::run,
+        },
+        Experiment {
+            id: "e3",
+            claim: "Thm 3.15 / Lemma 3.10: dedicated election in O(n²σ) rounds",
+            run: experiments::e3_election_time::run,
+        },
+        Experiment {
+            id: "e4",
+            claim: "Prop 4.1: Ω(n) election time on G_m (span 1)",
+            run: experiments::e4_omega_n::run,
+        },
+        Experiment {
+            id: "e5",
+            claim: "Lemma 4.2 / Prop 4.3: Ω(σ) election time on H_m (n = 4)",
+            run: experiments::e5_omega_sigma::run,
+        },
+        Experiment {
+            id: "e6",
+            claim: "Prop 4.4: no universal election algorithm",
+            run: experiments::e6_universal::run,
+        },
+        Experiment {
+            id: "e7",
+            claim: "Prop 4.5: no distributed feasibility decision",
+            run: experiments::e7_distributed::run,
+        },
+        Experiment {
+            id: "e8",
+            claim: "Feasibility landscape across topologies × wake-up patterns",
+            run: experiments::e8_atlas::run,
+        },
+        Experiment {
+            id: "e9",
+            claim: "Open problem #1 ablation: reference vs hash refinement",
+            run: experiments::e9_ablation::run,
+        },
+        Experiment {
+            id: "e10",
+            claim: "Simulator throughput and parallel batch speedup",
+            run: experiments::e10_throughput::run,
+        },
+        Experiment {
+            id: "e11",
+            claim: "Exhaustive small-configuration feasibility census",
+            run: experiments::e11_census::run,
+        },
+        Experiment {
+            id: "e12",
+            claim: "Structural (1-WL) uniqueness vs radio feasibility",
+            run: experiments::e12_wl_gap::run,
+        },
+        Experiment {
+            id: "e13",
+            claim: "Wake-up jitter sensitivity of feasibility and leader identity",
+            run: experiments::e13_jitter::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let reg = registry();
+        assert_eq!(reg.len(), 13);
+        for (i, e) in reg.iter().enumerate() {
+            assert_eq!(e.id, format!("e{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn every_experiment_runs_quick() {
+        for e in registry() {
+            let tables = (e.run)(Effort::Quick, 7);
+            assert!(!tables.is_empty(), "{} produced no tables", e.id);
+            for t in &tables {
+                assert!(!t.is_empty(), "{}: table '{}' has no rows", e.id, t.title());
+            }
+        }
+    }
+}

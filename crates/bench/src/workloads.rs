@@ -1,0 +1,121 @@
+//! Shared workload builders for the experiments: named graph families with
+//! controlled `n`, and tagging regimes, all seed-deterministic.
+
+use radio_graph::{generators, tags, Configuration, Graph};
+use radio_util::rng::{derive, rng_from};
+
+/// A named graph family parameterized by node count.
+pub struct Family {
+    /// Display name.
+    pub name: &'static str,
+    /// Constructor (deterministic families ignore the seed).
+    pub make: fn(usize, u64) -> Graph,
+}
+
+/// Families used by the scaling experiments. Degrees range from constant
+/// (path/cycle) through log (hypercube-ish tree) to `n−1` (star), which is
+/// what the `O(n³Δ)` bound needs exercised.
+pub fn scaling_families() -> Vec<Family> {
+    fn path(n: usize, _s: u64) -> Graph {
+        generators::path(n)
+    }
+    fn cycle(n: usize, _s: u64) -> Graph {
+        generators::cycle(n.max(3))
+    }
+    fn star(n: usize, _s: u64) -> Graph {
+        generators::star(n)
+    }
+    fn btree(n: usize, _s: u64) -> Graph {
+        generators::balanced_tree(n, 2)
+    }
+    fn rtree(n: usize, s: u64) -> Graph {
+        generators::random_tree(n, &mut rng_from(derive(s, "rtree")))
+    }
+    fn gnp(n: usize, s: u64) -> Graph {
+        let p = (8.0 / n as f64).min(1.0);
+        generators::gnp_connected(n, p, &mut rng_from(derive(s, "gnp")))
+    }
+    vec![
+        Family {
+            name: "path",
+            make: path,
+        },
+        Family {
+            name: "cycle",
+            make: cycle,
+        },
+        Family {
+            name: "star",
+            make: star,
+        },
+        Family {
+            name: "binary-tree",
+            make: btree,
+        },
+        Family {
+            name: "random-tree",
+            make: rtree,
+        },
+        Family {
+            name: "gnp(8/n)",
+            make: gnp,
+        },
+    ]
+}
+
+/// Builds a configuration with random tags in `0..=span`, seeded.
+pub fn with_random_tags(graph: Graph, span: u64, seed: u64) -> Configuration {
+    tags::random_in_span(graph, span, &mut rng_from(derive(seed, "tags")))
+}
+
+/// Builds a configuration with distinct shuffled tags (always feasible in
+/// practice), seeded.
+pub fn with_distinct_tags(graph: Graph, seed: u64) -> Configuration {
+    tags::distinct_shuffled(graph, &mut rng_from(derive(seed, "tags-distinct")))
+}
+
+/// Keeps drawing random-tag configurations until one is feasible (bounded
+/// attempts); falls back to distinct tags, which break all symmetry.
+pub fn feasible_with_span(graph: Graph, span: u64, seed: u64) -> Configuration {
+    for attempt in 0..20u64 {
+        let config = with_random_tags(graph.clone(), span, derive(seed, &format!("a{attempt}")));
+        if radio_classifier::classify(&config).feasible {
+            return config;
+        }
+    }
+    with_distinct_tags(graph, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::algo::is_connected;
+
+    #[test]
+    fn families_build_connected_graphs() {
+        for fam in scaling_families() {
+            for n in [4usize, 9, 17] {
+                let g = (fam.make)(n, 1);
+                assert!(is_connected(&g), "{} n={n}", fam.name);
+                assert!(g.node_count() >= n.min(3), "{} n={n}", fam.name);
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_with_span_is_feasible() {
+        for n in [4usize, 8] {
+            let c = feasible_with_span(generators::path(n), 3, 99);
+            assert!(radio_classifier::classify(&c).feasible);
+        }
+    }
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        let a = with_random_tags(generators::path(10), 4, 5);
+        let b = with_random_tags(generators::path(10), 4, 5);
+        assert_eq!(a, b);
+        let c = with_random_tags(generators::path(10), 4, 6);
+        assert!(a != c || a.tags() == c.tags()); // overwhelmingly different
+    }
+}

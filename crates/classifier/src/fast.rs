@@ -1,0 +1,99 @@
+//! Hash-based `Refine` with reference-identical semantics.
+//!
+//! The paper's open problem #1 asks whether `Classifier`'s `O(n³Δ)` can be
+//! improved. The expensive part is `Refine`: comparing every node against
+//! every representative costs `O(n²Δ)` per iteration. Hashing the key
+//! `(old class, label)` makes that `O(nΔ)` expected — and by seeding the
+//! table with the surviving representatives and processing nodes in the
+//! fixed order, the resulting class *numbering* (not just the partition)
+//! matches the reference exactly, so the canonical lists compiled from
+//! either engine are identical. The property suite asserts this.
+
+use radio_util::FxHashMap;
+
+use crate::reference::RefState;
+use crate::triple::Label;
+
+/// One hash-based `Refine` pass, semantically identical to
+/// [`crate::reference`]'s.
+pub(crate) fn refine_fast(state: &mut RefState, labels: &[Label]) {
+    let n = state.classes.len();
+    let old: Vec<u32> = state.classes.clone();
+
+    let mut table: FxHashMap<(u32, Label), u32> = FxHashMap::default();
+    table.reserve(state.num_classes as usize + 8);
+    for k in 1..=state.num_classes {
+        let rep = state.reps[(k - 1) as usize] as usize;
+        let prev = table.insert((old[rep], labels[rep].clone()), k);
+        debug_assert!(prev.is_none(), "representatives must have distinct keys");
+    }
+
+    for v in 0..n {
+        // One clone per lookup keeps the code simple; labels hold at most Δ
+        // triples, so this is O(nΔ) per iteration overall.
+        let key = (old[v], labels[v].clone());
+        match table.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                state.classes[v] = *e.get();
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                state.num_classes += 1;
+                e.insert(state.num_classes);
+                state.classes[v] = state.num_classes;
+                state.reps.push(v as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::refine_reference;
+    use crate::triple::{Multi, Triple};
+
+    fn lbl(a: u32, b: u64) -> Label {
+        Label::from_triples(vec![Triple::new(a, b, Multi::One)])
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixed_case() {
+        let labels = vec![lbl(1, 1), lbl(1, 5), lbl(1, 5), lbl(2, 1), Label::empty()];
+        let mut a = RefState::initial(5);
+        let mut b = RefState::initial(5);
+        refine_reference(&mut a, &labels);
+        refine_fast(&mut b, &labels);
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.num_classes, b.num_classes);
+        assert_eq!(a.reps, b.reps);
+    }
+
+    #[test]
+    fn agrees_with_reference_across_random_sequences() {
+        use radio_util::rng::rng_from;
+        use rand::Rng;
+        let mut rng = rng_from(123);
+        for _ in 0..50 {
+            let n = rng.random_range(1..20usize);
+            let mut a = RefState::initial(n);
+            let mut b = RefState::initial(n);
+            // several refinement rounds with random labels
+            for _ in 0..4 {
+                let labels: Vec<Label> = (0..n)
+                    .map(|_| {
+                        if rng.random_bool(0.2) {
+                            Label::empty()
+                        } else {
+                            lbl(rng.random_range(1..4), rng.random_range(1..4))
+                        }
+                    })
+                    .collect();
+                refine_reference(&mut a, &labels);
+                refine_fast(&mut b, &labels);
+                assert_eq!(a.classes, b.classes);
+                assert_eq!(a.num_classes, b.num_classes);
+                assert_eq!(a.reps, b.reps);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Compilation of `Classifier`'s by-products into the canonical lists
+//! `L_1 … L_{T+1}` (paper Section 3.3.1).
+//!
+//! The canonical DRIP for configuration `G` hard-codes, per phase `j`, a
+//! list `L_j` whose `k`-th entry describes the representative of class `k`
+//! at the start of the phase: the class it was in during the *previous*
+//! phase (`oldClass`) and the label (≙ phase history) it acquired during
+//! it. A node entering phase `j` matches its own previous block and phase
+//! history against these entries to find its transmission block.
+//!
+//! `L_{T+1}` is the terminate marker. For feasible configurations we also
+//! keep the entries `L_{T+1}` *would* have contained — the decision
+//! function uses them to identify the leader class from the last phase's
+//! history (the paper defines `f` extensionally; this is the constructive
+//! equivalent).
+
+use radio_graph::Configuration;
+
+use crate::outcome::Outcome;
+use crate::triple::Label;
+
+/// One entry of a list `L_j`: the class representative's previous class
+/// and its label from phase `j−1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListEntry {
+    /// The class (= transmission block) the representative occupied in the
+    /// previous phase.
+    pub old_class: u32,
+    /// The label summarizing the representative's history during the
+    /// previous phase.
+    pub label: Label,
+}
+
+/// One list `L_j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Level {
+    /// Phase `j` runs `entries.len()` transmission blocks; entry `k-1`
+    /// describes class `k`.
+    Blocks(Vec<ListEntry>),
+    /// Phase `j` is the terminate marker: all nodes stop in its first
+    /// round.
+    Terminate,
+}
+
+impl Level {
+    /// Number of transmission blocks (`numClasses_{G,j}`); 0 for
+    /// `Terminate`.
+    pub fn num_blocks(&self) -> usize {
+        match self {
+            Level::Blocks(entries) => entries.len(),
+            Level::Terminate => 0,
+        }
+    }
+}
+
+/// The complete hard-coded knowledge of the canonical DRIP for one
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalLists {
+    /// The configuration's span σ.
+    pub sigma: u64,
+    /// `levels[j-1]` = `L_j`, for `j = 1 ..= T+1`; the last level is
+    /// always [`Level::Terminate`].
+    pub levels: Vec<Level>,
+    /// The entries `L_{T+1}` would have contained (used by the decision
+    /// function to locate the leader class from phase `T`'s history).
+    pub final_entries: Vec<ListEntry>,
+    /// The leader class `m̂` (smallest singleton of the final partition),
+    /// when the configuration is feasible.
+    pub leader_class: Option<u32>,
+}
+
+impl CanonicalLists {
+    /// Compiles the lists from a classifier outcome. This is pure
+    /// bookkeeping — no further graph computation — matching the paper's
+    /// claim that the dedicated algorithm falls out of `Classifier`
+    /// "without any additional computation".
+    pub fn from_outcome(config: &Configuration, outcome: &Outcome) -> CanonicalLists {
+        let t = outcome.iterations;
+        let n = config.size();
+        let ones = vec![1u32; n];
+
+        // Class vector at the END of iteration `i` (1-based); iteration 0 =
+        // the initial all-ones partition.
+        let classes_after = |i: usize| -> &[u32] {
+            if i == 0 {
+                &ones
+            } else {
+                outcome.records[i - 1].partition.classes()
+            }
+        };
+
+        // Entries derived from iteration `j-1`'s record: the list L_j.
+        let entries_for = |j: usize| -> Vec<ListEntry> {
+            let rec = &outcome.records[j - 2];
+            let prev = classes_after(j - 2);
+            (1..=rec.partition.num_classes())
+                .map(|k| {
+                    let rep = rec.partition.rep(k) as usize;
+                    ListEntry {
+                        old_class: prev[rep],
+                        label: rec.labels[rep].clone(),
+                    }
+                })
+                .collect()
+        };
+
+        let mut levels: Vec<Level> = Vec::with_capacity(t + 1);
+        // L_1: one block, entry (1, null).
+        levels.push(Level::Blocks(vec![ListEntry {
+            old_class: 1,
+            label: Label::empty(),
+        }]));
+        for j in 2..=t {
+            levels.push(Level::Blocks(entries_for(j)));
+        }
+        levels.push(Level::Terminate); // L_{T+1}
+
+        let final_entries = entries_for(t + 1);
+        let leader_class = outcome.leader_class();
+
+        CanonicalLists {
+            sigma: config.span(),
+            levels,
+            final_entries,
+            leader_class,
+        }
+    }
+
+    /// Number of non-terminate phases `T`.
+    pub fn phases(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The list `L_j` (1-based).
+    pub fn level(&self, j: usize) -> &Level {
+        &self.levels[j - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::classify;
+    use crate::triple::{Multi, Triple};
+    use radio_graph::{families, generators, Configuration};
+
+    #[test]
+    fn h_m_lists_have_expected_shape() {
+        // H_2 splits into 4 singleton classes after iteration 1: T = 1,
+        // levels = [L_1, Terminate], final entries = 4.
+        let c = families::h_m(2);
+        let out = classify(&c);
+        let lists = CanonicalLists::from_outcome(&c, &out);
+        assert_eq!(lists.phases(), 1);
+        assert_eq!(lists.level(1).num_blocks(), 1);
+        assert_eq!(lists.level(2), &Level::Terminate);
+        assert_eq!(lists.final_entries.len(), 4);
+        assert_eq!(lists.leader_class, Some(1));
+        assert_eq!(lists.sigma, 3);
+        // all final entries come from phase-1 block 1
+        assert!(lists.final_entries.iter().all(|e| e.old_class == 1));
+        // entry for class 1 (= node a, first in node order): label (1,2,1)
+        assert_eq!(
+            lists.final_entries[0].label.triples(),
+            &[Triple::new(1, 2, Multi::One)]
+        );
+    }
+
+    #[test]
+    fn s_m_lists_terminate_without_leader() {
+        let c = families::s_m(2);
+        let out = classify(&c);
+        let lists = CanonicalLists::from_outcome(&c, &out);
+        assert!(lists.leader_class.is_none());
+        // S_m: iteration 1 splits {a,d} from {b,c} (2 classes), iteration 2
+        // changes nothing → T = 2.
+        assert_eq!(lists.phases(), 2);
+        assert_eq!(lists.level(2).num_blocks(), 2);
+        assert_eq!(lists.final_entries.len(), 2);
+    }
+
+    #[test]
+    fn g_m_block_counts_match_class_growth() {
+        let m = 3;
+        let c = families::g_m(m);
+        let out = classify(&c);
+        let lists = CanonicalLists::from_outcome(&c, &out);
+        assert_eq!(lists.phases(), out.iterations);
+        // L_1 has 1 block; L_j has numClasses_{G,j} blocks = class count
+        // after iteration j-1.
+        for j in 2..=lists.phases() {
+            assert_eq!(
+                lists.level(j).num_blocks() as u32,
+                out.records[j - 2].partition.num_classes(),
+                "phase {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_config_lists() {
+        let c = Configuration::new(generators::path(1), vec![0]).unwrap();
+        let out = classify(&c);
+        let lists = CanonicalLists::from_outcome(&c, &out);
+        assert_eq!(lists.phases(), 1);
+        assert_eq!(lists.final_entries.len(), 1);
+        assert_eq!(lists.leader_class, Some(1));
+        assert_eq!(lists.sigma, 0);
+    }
+
+    #[test]
+    fn uniform_infeasible_lists_still_wellformed() {
+        let c = Configuration::with_uniform_tags(generators::cycle(4), 0).unwrap();
+        let out = classify(&c);
+        let lists = CanonicalLists::from_outcome(&c, &out);
+        assert_eq!(lists.phases(), 1);
+        assert!(lists.leader_class.is_none());
+        assert_eq!(lists.final_entries.len(), 1, "partition never split");
+        assert!(lists.final_entries[0].label.is_empty());
+    }
+}

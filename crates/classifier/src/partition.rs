@@ -1,0 +1,198 @@
+//! Node partitions into equivalence classes.
+//!
+//! Class ids are 1-based (matching the paper's pseudocode); class `k`'s
+//! *representative* is the first node assigned to it, and — an invariant
+//! the correctness proof leans on — a representative stays in its class for
+//! the rest of the run, so class ids are stable across iterations and the
+//! class count only grows (Corollary 3.3).
+
+use radio_graph::NodeId;
+
+/// A partition of nodes `0..n` into classes `1..=num_classes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    classes: Vec<u32>,
+    num_classes: u32,
+    reps: Vec<NodeId>,
+}
+
+impl Partition {
+    /// The initial partition: everyone in class 1, represented by node 0
+    /// (the paper's `Init-Aug`).
+    pub fn initial(n: usize) -> Partition {
+        assert!(n > 0, "partitions are over non-empty node sets");
+        Partition {
+            classes: vec![1; n],
+            num_classes: 1,
+            reps: vec![0],
+        }
+    }
+
+    /// Builds a partition from explicit data (used by the engines).
+    ///
+    /// `reps[k-1]` must be a member of class `k`; validated in debug
+    /// builds.
+    pub fn from_parts(classes: Vec<u32>, num_classes: u32, reps: Vec<NodeId>) -> Partition {
+        debug_assert_eq!(reps.len() as u32, num_classes);
+        debug_assert!(classes.iter().all(|&c| c >= 1 && c <= num_classes));
+        debug_assert!(reps
+            .iter()
+            .enumerate()
+            .all(|(i, &r)| classes[r as usize] == i as u32 + 1));
+        Partition {
+            classes,
+            num_classes,
+            reps,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the node set is empty (never constructed; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Class of node `v` (1-based).
+    #[inline]
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.classes[v as usize]
+    }
+
+    /// All class ids, indexed by node.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Representative of class `k` (1-based).
+    pub fn rep(&self, k: u32) -> NodeId {
+        self.reps[(k - 1) as usize]
+    }
+
+    /// All representatives, `reps()[k-1]` for class `k`.
+    pub fn reps(&self) -> &[NodeId] {
+        &self.reps
+    }
+
+    /// Class sizes, `sizes()[k-1]` for class `k`.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_classes as usize];
+        for &c in &self.classes {
+            sizes[(c - 1) as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of class `k`, in node order.
+    pub fn members(&self, k: u32) -> Vec<NodeId> {
+        (0..self.classes.len() as NodeId)
+            .filter(|&v| self.class_of(v) == k)
+            .collect()
+    }
+
+    /// The smallest class id that has exactly one member, if any — the
+    /// paper's leader class `m̂`.
+    pub fn smallest_singleton(&self) -> Option<u32> {
+        self.sizes()
+            .iter()
+            .position(|&s| s == 1)
+            .map(|i| i as u32 + 1)
+    }
+
+    /// True iff some class has exactly one member (`Classifier`'s Yes
+    /// condition).
+    pub fn has_singleton(&self) -> bool {
+        self.smallest_singleton().is_some()
+    }
+
+    /// True iff `self` refines `coarser`: any two nodes sharing a class in
+    /// `self` also share one in `coarser`. Every `Refine` call must produce
+    /// a refinement of its input (Observation 3.2).
+    pub fn refines(&self, coarser: &Partition) -> bool {
+        if self.len() != coarser.len() {
+            return false;
+        }
+        // For each self-class, all members must map into one coarser class.
+        let mut image: Vec<Option<u32>> = vec![None; self.num_classes as usize];
+        for v in 0..self.classes.len() {
+            let fine = (self.classes[v] - 1) as usize;
+            let coarse = coarser.classes[v];
+            match image[fine] {
+                None => image[fine] = Some(coarse),
+                Some(c) if c == coarse => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// True iff the two partitions group the nodes identically (ignoring
+    /// class numbering).
+    pub fn same_blocks(&self, other: &Partition) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.refines(other) && other.refines(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_one_class() {
+        let p = Partition::initial(4);
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.rep(1), 0);
+        assert_eq!(p.sizes(), vec![4]);
+        assert_eq!(p.members(1), vec![0, 1, 2, 3]);
+        assert!(!p.has_singleton());
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn singleton_detection_picks_smallest() {
+        let p = Partition::from_parts(vec![1, 2, 2, 3], 3, vec![0, 1, 3]);
+        assert!(p.has_singleton());
+        assert_eq!(p.smallest_singleton(), Some(1));
+        assert_eq!(p.members(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let coarse = Partition::from_parts(vec![1, 1, 2, 2], 2, vec![0, 2]);
+        let fine = Partition::from_parts(vec![1, 3, 2, 2], 3, vec![0, 2, 1]);
+        assert!(fine.refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(coarse.refines(&coarse));
+        assert!(!fine.same_blocks(&coarse));
+        assert!(fine.same_blocks(&fine));
+    }
+
+    #[test]
+    fn same_blocks_ignores_numbering() {
+        let a = Partition::from_parts(vec![1, 2, 1], 2, vec![0, 1]);
+        let b = Partition::from_parts(vec![2, 1, 2], 2, vec![1, 0]);
+        assert!(a.same_blocks(&b));
+        assert_ne!(a, b, "structural equality still distinguishes numbering");
+    }
+
+    #[test]
+    fn cross_size_comparisons_are_false() {
+        let a = Partition::initial(3);
+        let b = Partition::initial(4);
+        assert!(!a.refines(&b));
+        assert!(!a.same_blocks(&b));
+    }
+}

@@ -1,0 +1,218 @@
+//! Label computation — `Partitioner`'s lines 1–22 (Algorithm 3).
+//!
+//! For every node `v`, scan its neighbours `w`: unless `w` is
+//! indistinguishable from `v` this phase (`same class ∧ same tag`, in which
+//! case both transmit simultaneously and `v` hears nothing from `w`),
+//! record the pair `(a, b) = (class(w), σ+1+t_w−t_v)`; a repeated pair
+//! becomes a collision triple `(a, b, ∗)`.
+//!
+//! Two implementations with identical outputs:
+//!
+//! * [`labels_reference`] — the paper's literal nested loop (`O(Δ²)` per
+//!   node), instrumented with a step counter.
+//! * [`labels_fast`] — collect, sort once, merge duplicates
+//!   (`O(Δ log Δ)` per node).
+
+use radio_graph::{Configuration, NodeId};
+
+use crate::partition::Partition;
+use crate::triple::{Label, Multi, Triple};
+
+/// `b = σ + 1 + t_w − t_v`, computed in signed space: the definition of
+/// span guarantees `|t_w − t_v| ≤ σ`, so the result is in `1 ..= 2σ+1`.
+#[inline]
+fn block_round(sigma: u64, tw: u64, tv: u64) -> u64 {
+    let b = sigma as i128 + 1 + tw as i128 - tv as i128;
+    debug_assert!(b >= 1 && b <= 2 * sigma as i128 + 1, "b={b} out of range");
+    b as u64
+}
+
+/// Paper-literal label computation. Returns the labels plus the number of
+/// elementary steps taken (neighbour visits + triple comparisons), the
+/// quantity the `O(n∆²)` bound of Lemma 3.5 counts.
+pub fn labels_reference(config: &Configuration, partition: &Partition) -> (Vec<Label>, u64) {
+    let csr = config.csr();
+    let sigma = config.span();
+    let n = config.size();
+    let mut labels = Vec::with_capacity(n);
+    let mut steps = 0u64;
+
+    for v in 0..n as NodeId {
+        let tv = config.tag(v);
+        let v_class = partition.class_of(v);
+        // The paper's N_v: triples in insertion order, scanned linearly for
+        // duplicates (lines 5–15).
+        let mut nv: Vec<Triple> = Vec::new();
+        for &w in csr.neighbors(v) {
+            steps += 1;
+            let w_class = partition.class_of(w);
+            let tw = config.tag(w);
+            if w_class != v_class || tw != tv {
+                let a = w_class;
+                let b = block_round(sigma, tw, tv);
+                let mut new_tuple = true;
+                for t in nv.iter_mut() {
+                    steps += 1;
+                    if t.a == a && t.b == b {
+                        new_tuple = false;
+                        t.c = Multi::Star;
+                    }
+                }
+                if new_tuple {
+                    nv.push(Triple::new(a, b, Multi::One));
+                }
+            }
+        }
+        steps += nv.len() as u64; // the sort + concatenation pass
+        labels.push(Label::from_triples(nv));
+    }
+    (labels, steps)
+}
+
+/// Sort-merge label computation: identical output, `O(Δ log Δ)` per node.
+pub fn labels_fast(config: &Configuration, partition: &Partition) -> Vec<Label> {
+    let csr = config.csr();
+    let sigma = config.span();
+    let n = config.size();
+    let mut labels = Vec::with_capacity(n);
+    let mut pairs: Vec<(u32, u64)> = Vec::new();
+
+    for v in 0..n as NodeId {
+        let tv = config.tag(v);
+        let v_class = partition.class_of(v);
+        pairs.clear();
+        for &w in csr.neighbors(v) {
+            let w_class = partition.class_of(w);
+            let tw = config.tag(w);
+            if w_class != v_class || tw != tv {
+                pairs.push((w_class, block_round(sigma, tw, tv)));
+            }
+        }
+        pairs.sort_unstable();
+        let mut triples: Vec<Triple> = Vec::with_capacity(pairs.len());
+        let mut i = 0;
+        while i < pairs.len() {
+            let (a, b) = pairs[i];
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j] == (a, b) {
+                j += 1;
+            }
+            triples.push(Triple::new(
+                a,
+                b,
+                if j - i == 1 { Multi::One } else { Multi::Star },
+            ));
+            i = j;
+        }
+        labels.push(Label::from_triples(triples));
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::{families, generators, Configuration};
+
+    fn initial_labels(config: &Configuration) -> (Vec<Label>, Vec<Label>) {
+        let p = Partition::initial(config.size());
+        let (reference, _) = labels_reference(config, &p);
+        let fast = labels_fast(config, &p);
+        (reference, fast)
+    }
+
+    #[test]
+    fn engines_agree_on_h_m() {
+        let c = families::h_m(3);
+        let (a, b) = initial_labels(&c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn h_m_first_iteration_labels_match_hand_computation() {
+        // H_2: path a-b-c-d, tags [2,0,0,3], σ=3, all in class 1.
+        // b for neighbour w of v: σ+1+tw−tv = 4+tw−tv.
+        let c = families::h_m(2);
+        let p = Partition::initial(4);
+        let (labels, _) = labels_reference(&c, &p);
+        // a (t=2): neighbour b (t=0, class 1≠? same class but t differs):
+        //   (1, 4+0−2=2, 1)
+        assert_eq!(
+            labels[0],
+            Label::from_triples(vec![Triple::new(1, 2, Multi::One)])
+        );
+        // b (t=0): neighbours a (t=2): (1, 4+2−0=6); c (t=0): same class,
+        // same tag → excluded.
+        assert_eq!(
+            labels[1],
+            Label::from_triples(vec![Triple::new(1, 6, Multi::One)])
+        );
+        // c (t=0): neighbours b (excluded), d (t=3): (1, 4+3=7)
+        assert_eq!(
+            labels[2],
+            Label::from_triples(vec![Triple::new(1, 7, Multi::One)])
+        );
+        // d (t=3): neighbour c (t=0): (1, 4+0−3=1)
+        assert_eq!(
+            labels[3],
+            Label::from_triples(vec![Triple::new(1, 1, Multi::One)])
+        );
+    }
+
+    #[test]
+    fn s_m_labels_are_mirror_symmetric() {
+        let c = families::s_m(2); // tags [2,0,0,2], σ=2, b = 3+tw−tv
+        let p = Partition::initial(4);
+        let (labels, _) = labels_reference(&c, &p);
+        assert_eq!(labels[0], labels[3], "a and d symmetric");
+        assert_eq!(labels[1], labels[2], "b and c symmetric");
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn same_class_same_tag_neighbours_are_invisible() {
+        // uniform tags on a complete graph: every neighbour is excluded →
+        // all labels empty.
+        let c = Configuration::new(generators::complete(5), vec![4; 5]).unwrap();
+        let p = Partition::initial(5);
+        let (labels, _) = labels_reference(&c, &p);
+        assert!(labels.iter().all(Label::is_empty));
+    }
+
+    #[test]
+    fn collision_triples_merge_duplicates() {
+        // star centre (tag 0) with 3 leaves (tag 1), all class 1: centre
+        // sees three neighbours mapping to the same (a=1, b=σ+1+1) → one ∗
+        // triple.
+        let c = Configuration::new(generators::star(4), vec![0, 1, 1, 1]).unwrap();
+        let p = Partition::initial(4);
+        let (labels, _) = labels_reference(&c, &p);
+        assert_eq!(labels[0].triples(), &[Triple::new(1, 3, Multi::Star)]);
+        // each leaf sees only the centre: (1, σ+1−1 = 1, 1)
+        for leaf_label in &labels[1..4] {
+            assert_eq!(leaf_label.triples(), &[Triple::new(1, 1, Multi::One)]);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_configs() {
+        use radio_util::rng::rng_from;
+        let mut rng = rng_from(77);
+        for _ in 0..30 {
+            let g = generators::gnp_connected(12, 0.3, &mut rng);
+            let c = radio_graph::tags::random_in_span(g, 4, &mut rng);
+            let (a, b) = initial_labels(&c);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn step_count_bounded_by_delta_squared() {
+        let c = Configuration::new(generators::star(30), vec![0; 30]).unwrap();
+        let p = Partition::initial(30);
+        let (_, steps) = labels_reference(&c, &p);
+        let n = 30u64;
+        let delta = 29u64;
+        assert!(steps <= n * delta * delta + n * delta, "steps={steps}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper-literal `Refine` (Algorithm 2).
+//!
+//! Each node is compared against every class representative; it joins the
+//! (unique) class whose representative has the same previous class and the
+//! same freshly computed label, or founds a new class. Representatives
+//! added mid-loop participate in later comparisons, exactly as in the
+//! pseudocode (`for k = 1, …, numClasses` with a live upper bound).
+
+use radio_graph::NodeId;
+
+use crate::triple::Label;
+
+/// Mutable classifier state shared by both engines.
+#[derive(Debug, Clone)]
+pub(crate) struct RefState {
+    /// 1-based class per node.
+    pub classes: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: u32,
+    /// `reps[k-1]` = representative of class `k`.
+    pub reps: Vec<NodeId>,
+}
+
+impl RefState {
+    pub fn initial(n: usize) -> RefState {
+        RefState {
+            classes: vec![1; n],
+            num_classes: 1,
+            reps: vec![0],
+        }
+    }
+}
+
+/// One paper-literal `Refine` pass. Returns the number of elementary steps
+/// (label-triple comparisons plus bookkeeping), the quantity Lemma 3.5
+/// bounds by `O(n²Δ)` per iteration.
+pub(crate) fn refine_reference(state: &mut RefState, labels: &[Label]) -> u64 {
+    let n = state.classes.len();
+    let old: Vec<u32> = state.classes.clone();
+    let mut steps = 0u64;
+
+    for v in 0..n {
+        let mut matched: Option<u32> = None;
+        let mut k = 1u32;
+        while k <= state.num_classes {
+            let rep = state.reps[(k - 1) as usize] as usize;
+            // Comparing two sorted labels costs at most min(len)+1 triple
+            // comparisons; count the class check as one more step.
+            steps += 1 + labels[v].len().min(labels[rep].len()) as u64 + 1;
+            if old[v] == old[rep] && labels[v] == labels[rep] {
+                debug_assert!(
+                    matched.is_none(),
+                    "two representatives matched node {v}: classes {} and {k}",
+                    matched.unwrap()
+                );
+                matched = Some(k);
+            }
+            k += 1;
+        }
+        match matched {
+            Some(k) => state.classes[v] = k,
+            None => {
+                state.num_classes += 1;
+                state.classes[v] = state.num_classes;
+                state.reps.push(v as NodeId);
+            }
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::{Multi, Triple};
+
+    fn lbl(a: u32, b: u64) -> Label {
+        Label::from_triples(vec![Triple::new(a, b, Multi::One)])
+    }
+
+    #[test]
+    fn splits_by_label() {
+        // 4 nodes, all class 1; labels: x, y, x, y → classes 1,2,1,2
+        let mut st = RefState::initial(4);
+        let labels = vec![lbl(1, 1), lbl(1, 2), lbl(1, 1), lbl(1, 2)];
+        refine_reference(&mut st, &labels);
+        assert_eq!(st.classes, vec![1, 2, 1, 2]);
+        assert_eq!(st.num_classes, 2);
+        assert_eq!(st.reps, vec![0, 1]);
+    }
+
+    #[test]
+    fn respects_previous_classes() {
+        // nodes 0,1 in class 1; nodes 2,3 in class 2; all labels equal:
+        // partition unchanged (same label but different old class keeps
+        // them apart).
+        let mut st = RefState {
+            classes: vec![1, 1, 2, 2],
+            num_classes: 2,
+            reps: vec![0, 2],
+        };
+        let labels = vec![Label::empty(); 4];
+        refine_reference(&mut st, &labels);
+        assert_eq!(st.classes, vec![1, 1, 2, 2]);
+        assert_eq!(st.num_classes, 2);
+    }
+
+    #[test]
+    fn new_rep_captures_later_twins() {
+        // class 1 = {0,1,2}; labels: x, y, y → node 1 founds class 2, node
+        // 2 must join it (matching the mid-loop representative).
+        let mut st = RefState::initial(3);
+        let labels = vec![lbl(1, 1), lbl(1, 5), lbl(1, 5)];
+        refine_reference(&mut st, &labels);
+        assert_eq!(st.classes, vec![1, 2, 2]);
+        assert_eq!(st.reps, vec![0, 1]);
+    }
+
+    #[test]
+    fn representatives_stay_in_their_classes() {
+        // run two refinements; reps must remain members of their classes.
+        let mut st = RefState::initial(5);
+        let l1 = vec![lbl(1, 1), lbl(1, 1), lbl(1, 2), lbl(1, 2), lbl(1, 3)];
+        refine_reference(&mut st, &l1);
+        assert_eq!(st.classes, vec![1, 1, 2, 2, 3]);
+        let l2 = vec![lbl(1, 1), lbl(2, 1), lbl(1, 2), lbl(1, 2), lbl(1, 3)];
+        refine_reference(&mut st, &l2);
+        // node 1 splits off into a fresh class 4; reps 0,2,4 unchanged
+        assert_eq!(st.classes, vec![1, 4, 2, 2, 3]);
+        assert_eq!(st.reps, vec![0, 2, 4, 1]);
+        for (idx, &rep) in st.reps.iter().enumerate() {
+            assert_eq!(st.classes[rep as usize], idx as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let mut st = RefState::initial(2);
+        let labels = vec![Label::empty(), Label::empty()];
+        let steps = refine_reference(&mut st, &labels);
+        assert!(steps > 0);
+    }
+}

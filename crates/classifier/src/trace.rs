@@ -1,0 +1,72 @@
+//! Human-readable rendering of a classifier run — used by the
+//! `classifier_trace` example and for debugging refinement behaviour.
+
+use radio_graph::Configuration;
+
+use crate::outcome::Outcome;
+
+/// Renders the iteration-by-iteration refinement as text: per iteration the
+/// class count, the members and representative label of each class, and the
+/// final verdict.
+pub fn render(config: &Configuration, outcome: &Outcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Classifier on {config}");
+    let _ = writeln!(out, "tags: {:?}", config.tags());
+    for (i, rec) in outcome.records.iter().enumerate() {
+        let p = &rec.partition;
+        let _ = writeln!(out, "-- iteration {}: {} classes", i + 1, p.num_classes());
+        for k in 1..=p.num_classes() {
+            let members = p.members(k);
+            let rep = p.rep(k);
+            let _ = writeln!(
+                out,
+                "   class {k}: members {:?}, rep v{rep}, label {}",
+                members, rec.labels[rep as usize]
+            );
+        }
+    }
+    let verdict = if outcome.feasible {
+        format!(
+            "YES — feasible; leader class {} after {} iteration(s)",
+            outcome
+                .leader_class()
+                .expect("feasible outcome has a leader class"),
+            outcome.iterations
+        )
+    } else {
+        format!(
+            "NO — infeasible; partition stabilized after {} iteration(s)",
+            outcome.iterations
+        )
+    };
+    let _ = writeln!(out, "verdict: {verdict}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::classify;
+    use radio_graph::families;
+
+    #[test]
+    fn trace_mentions_iterations_and_verdict() {
+        let c = families::h_m(2);
+        let out = classify(&c);
+        let text = render(&c, &out);
+        assert!(text.contains("iteration 1"));
+        assert!(text.contains("YES"));
+        assert!(text.contains("leader class 1"));
+        assert!(text.contains("class 4"));
+    }
+
+    #[test]
+    fn infeasible_trace_says_no() {
+        let c = families::s_m(1);
+        let out = classify(&c);
+        let text = render(&c, &out);
+        assert!(text.contains("NO"));
+        assert!(text.contains("stabilized"));
+    }
+}

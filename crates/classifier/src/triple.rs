@@ -1,0 +1,240 @@
+//! Label triples and the `≺_hist` ordering (paper Definition 3.1).
+//!
+//! During `Partitioner`, each node `v` summarizes what it would hear in one
+//! phase of the canonical DRIP as a list of triples `(a, b, c)`:
+//!
+//! * `a` — the class of a transmitting neighbour (= the transmission block
+//!   in which it transmits),
+//! * `b = σ + 1 + t_w − t_v` — the local round *within* block `a` at which
+//!   `v` hears it (`1 ≤ b ≤ 2σ+1`),
+//! * `c` — `1` if exactly one neighbour maps to `(a, b)` (a clean message),
+//!   `∗` if two or more do (a collision).
+//!
+//! A node's **label** is the concatenation of its triples sorted by
+//! `≺_hist`, so equal would-be histories produce equal labels regardless of
+//! neighbour iteration order.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Multiplicity marker of a triple: one transmitter or a collision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multi {
+    /// Exactly one neighbour transmits at this (block, round): the node
+    /// hears the message.
+    One,
+    /// Two or more: the node hears noise.
+    Star,
+}
+
+impl fmt::Display for Multi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Multi::One => write!(f, "1"),
+            Multi::Star => write!(f, "∗"),
+        }
+    }
+}
+
+/// A label triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Transmission block = class number of the transmitting neighbour(s).
+    pub a: u32,
+    /// Local round within the block, `1 ..= 2σ+1`.
+    pub b: u64,
+    /// One transmitter or collision.
+    pub c: Multi,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(a: u32, b: u64, c: Multi) -> Triple {
+        Triple { a, b, c }
+    }
+}
+
+impl PartialOrd for Triple {
+    fn partial_cmp(&self, other: &Triple) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Triple {
+    /// `≺_hist` (Definition 3.1): by `a`, then `b`, then `c` with `1 ≺ ∗`.
+    fn cmp(&self, other: &Triple) -> Ordering {
+        self.a
+            .cmp(&other.a)
+            .then(self.b.cmp(&other.b))
+            .then_with(|| match (self.c, other.c) {
+                (Multi::One, Multi::Star) => Ordering::Less,
+                (Multi::Star, Multi::One) => Ordering::Greater,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.a, self.b, self.c)
+    }
+}
+
+/// A node label: triples sorted by `≺_hist`. The paper concatenates the
+/// triples into a string (`vLBL`); structural equality of the sorted vector
+/// is the same relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Label {
+    triples: Vec<Triple>,
+}
+
+impl Label {
+    /// The empty label (the paper's `null`; a node that would hear only
+    /// silence).
+    pub fn empty() -> Label {
+        Label {
+            triples: Vec::new(),
+        }
+    }
+
+    /// Builds a label from triples, sorting them by `≺_hist`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if two triples share `(a, b)` — the
+    /// partitioner is required to have merged those into one `∗` triple.
+    pub fn from_triples(mut triples: Vec<Triple>) -> Label {
+        triples.sort_unstable();
+        debug_assert!(
+            triples
+                .windows(2)
+                .all(|w| (w[0].a, w[0].b) != (w[1].a, w[1].b)),
+            "duplicate (a,b) pair in label"
+        );
+        Label { triples }
+    }
+
+    /// The sorted triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True for the empty label.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Looks up the multiplicity at `(a, b)`, if present (binary search —
+    /// the vector is `≺_hist`-sorted and `(a, b)` pairs are unique).
+    pub fn multiplicity_at(&self, a: u32, b: u64) -> Option<Multi> {
+        self.triples
+            .binary_search_by(|t| t.a.cmp(&a).then(t.b.cmp(&b)))
+            .ok()
+            .map(|i| self.triples[i].c)
+    }
+
+    /// Rendering in the paper's concatenated form, e.g.
+    /// `(1,3,1)(2,5,∗)` — `null` for the empty label.
+    pub fn render(&self) -> String {
+        if self.triples.is_empty() {
+            "null".to_string()
+        } else {
+            self.triples
+                .iter()
+                .map(Triple::to_string)
+                .collect::<Vec<_>>()
+                .join("")
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_definition_3_1() {
+        let t = |a, b, c| Triple::new(a, b, c);
+        // a dominates
+        assert!(t(1, 9, Multi::Star) < t(2, 1, Multi::One));
+        // then b
+        assert!(t(1, 2, Multi::Star) < t(1, 3, Multi::One));
+        // then c with 1 ≺ ∗
+        assert!(t(1, 2, Multi::One) < t(1, 2, Multi::Star));
+        assert_eq!(
+            t(1, 2, Multi::One).cmp(&t(1, 2, Multi::One)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn label_sorts_triples() {
+        let l = Label::from_triples(vec![
+            Triple::new(2, 1, Multi::One),
+            Triple::new(1, 5, Multi::Star),
+            Triple::new(1, 2, Multi::One),
+        ]);
+        let order: Vec<(u32, u64)> = l.triples().iter().map(|t| (t.a, t.b)).collect();
+        assert_eq!(order, vec![(1, 2), (1, 5), (2, 1)]);
+    }
+
+    #[test]
+    fn labels_equal_iff_same_triples_any_order() {
+        let a = Label::from_triples(vec![
+            Triple::new(1, 2, Multi::One),
+            Triple::new(3, 4, Multi::Star),
+        ]);
+        let b = Label::from_triples(vec![
+            Triple::new(3, 4, Multi::Star),
+            Triple::new(1, 2, Multi::One),
+        ]);
+        assert_eq!(a, b);
+        let c = Label::from_triples(vec![
+            Triple::new(1, 2, Multi::Star),
+            Triple::new(3, 4, Multi::Star),
+        ]);
+        assert_ne!(a, c, "multiplicity matters");
+    }
+
+    #[test]
+    fn multiplicity_lookup() {
+        let l = Label::from_triples(vec![
+            Triple::new(1, 2, Multi::One),
+            Triple::new(2, 7, Multi::Star),
+        ]);
+        assert_eq!(l.multiplicity_at(1, 2), Some(Multi::One));
+        assert_eq!(l.multiplicity_at(2, 7), Some(Multi::Star));
+        assert_eq!(l.multiplicity_at(1, 3), None);
+        assert_eq!(l.multiplicity_at(9, 9), None);
+    }
+
+    #[test]
+    fn render_forms() {
+        assert_eq!(Label::empty().render(), "null");
+        let l = Label::from_triples(vec![
+            Triple::new(2, 5, Multi::Star),
+            Triple::new(1, 3, Multi::One),
+        ]);
+        assert_eq!(l.render(), "(1,3,1)(2,5,∗)");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate (a,b)")]
+    fn duplicate_pairs_rejected_in_debug() {
+        let _ = Label::from_triples(vec![
+            Triple::new(1, 2, Multi::One),
+            Triple::new(1, 2, Multi::Star),
+        ]);
+    }
+}

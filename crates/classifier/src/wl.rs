@@ -1,0 +1,207 @@
+//! Weisfeiler–Leman (1-WL) colour refinement on configurations — a
+//! *structural* symmetry detector to contrast with `Classifier`'s
+//! *radio-feasibility* decision.
+//!
+//! 1-WL iteratively recolours each node by the pair
+//! `(own colour, sorted multiset of neighbour colours)`, starting from the
+//! wake-up tags, until the colouring stabilizes. A node with a unique
+//! stable colour is structurally unique — in the *wired* message-passing
+//! world that would suffice to elect it (the paper's introduction makes
+//! exactly this contrast).
+//!
+//! The radio world is strictly harder, and this module makes the gap
+//! measurable:
+//!
+//! * **WL-unique but infeasible**: a path `P_3` with uniform tags has a
+//!   structurally unique centre, yet no radio algorithm can elect it —
+//!   with identical wake-ups no message is ever heard. Structural
+//!   asymmetry does not survive collision-masked, timing-driven
+//!   communication.
+//! * The census experiment (E12) checks the converse direction
+//!   exhaustively on small configurations: every feasible configuration
+//!   observed has a WL-unique node, i.e. WL-uniqueness is (empirically) a
+//!   *necessary* condition for feasibility, never a sufficient one.
+
+use radio_graph::{Configuration, NodeId};
+use radio_util::FxHashMap;
+
+use crate::partition::Partition;
+
+/// Result of running colour refinement to stability.
+#[derive(Debug, Clone)]
+pub struct WlOutcome {
+    /// The stable colouring as a partition (classes numbered by first
+    /// appearance in node order, like `Classifier`'s).
+    pub partition: Partition,
+    /// Refinement rounds until stability (0 when the initial colouring is
+    /// already stable).
+    pub iterations: usize,
+}
+
+impl WlOutcome {
+    /// True iff some node has a unique stable colour.
+    pub fn has_singleton(&self) -> bool {
+        self.partition.has_singleton()
+    }
+}
+
+/// Runs 1-WL colour refinement on `(graph, tags)` until the partition
+/// stabilizes.
+pub fn refine(config: &Configuration) -> WlOutcome {
+    let n = config.size();
+    let csr = config.csr();
+
+    // Initial colours: tag classes, numbered by first appearance.
+    let mut colours: Vec<u32> = vec![0; n];
+    let mut next = renumber_by_key((0..n).map(|v| config.tag(v as NodeId)), &mut colours);
+
+    let mut iterations = 0usize;
+    loop {
+        // New colour key: (own colour, sorted neighbour colours).
+        let keys: Vec<(u32, Vec<u32>)> = (0..n as NodeId)
+            .map(|v| {
+                let mut ns: Vec<u32> = csr
+                    .neighbors(v)
+                    .iter()
+                    .map(|&w| colours[w as usize])
+                    .collect();
+                ns.sort_unstable();
+                (colours[v as usize], ns)
+            })
+            .collect();
+        let mut new_colours = vec![0u32; n];
+        let classes = renumber_by_key(keys.into_iter(), &mut new_colours);
+        if classes == next {
+            // `renumber_by_key` numbers by first appearance, and the new
+            // key embeds the old colour, so an equal class count means an
+            // identical partition: stable.
+            break;
+        }
+        colours = new_colours;
+        next = classes;
+        iterations += 1;
+    }
+
+    let reps = representatives(&colours, next);
+    WlOutcome {
+        partition: Partition::from_parts(colours, next, reps),
+        iterations,
+    }
+}
+
+/// Assigns 1-based class numbers by first appearance of each key; writes
+/// them into `out` and returns the class count.
+fn renumber_by_key<K: std::hash::Hash + Eq>(keys: impl Iterator<Item = K>, out: &mut [u32]) -> u32 {
+    let mut table: FxHashMap<K, u32> = FxHashMap::default();
+    let mut next = 0u32;
+    for (v, key) in keys.enumerate() {
+        let id = *table.entry(key).or_insert_with(|| {
+            next += 1;
+            next
+        });
+        out[v] = id;
+    }
+    next
+}
+
+fn representatives(colours: &[u32], classes: u32) -> Vec<NodeId> {
+    let mut reps = vec![NodeId::MAX; classes as usize];
+    for (v, &c) in colours.iter().enumerate() {
+        let slot = &mut reps[(c - 1) as usize];
+        if *slot == NodeId::MAX {
+            *slot = v as NodeId;
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::{families, generators, Configuration};
+
+    #[test]
+    fn uniform_path3_is_wl_unique_but_infeasible() {
+        // The motivating gap: P_3 with uniform tags.
+        let c = Configuration::with_uniform_tags(generators::path(3), 0).unwrap();
+        let wl = refine(&c);
+        assert!(wl.has_singleton(), "the centre is structurally unique");
+        assert_eq!(wl.partition.num_classes(), 2); // {ends}, {centre}
+        assert!(
+            !crate::classify(&c).feasible,
+            "yet no radio algorithm can elect it"
+        );
+    }
+
+    #[test]
+    fn uniform_cycle_has_no_wl_singleton() {
+        let c = Configuration::with_uniform_tags(generators::cycle(5), 0).unwrap();
+        let wl = refine(&c);
+        assert_eq!(wl.partition.num_classes(), 1);
+        assert!(!wl.has_singleton());
+    }
+
+    #[test]
+    fn tags_refine_beyond_structure() {
+        // A 4-cycle is vertex-transitive, but tags break it.
+        let c = Configuration::new(generators::cycle(4), vec![0, 1, 0, 2]).unwrap();
+        let wl = refine(&c);
+        assert!(wl.has_singleton());
+    }
+
+    #[test]
+    fn s_m_mirror_classes_match_classifier() {
+        // On S_m both analyses agree: {a,d} and {b,c}.
+        let c = families::s_m(2);
+        let wl = refine(&c);
+        assert_eq!(wl.partition.num_classes(), 2);
+        assert_eq!(wl.partition.class_of(0), wl.partition.class_of(3));
+        assert_eq!(wl.partition.class_of(1), wl.partition.class_of(2));
+        assert!(!wl.has_singleton());
+    }
+
+    #[test]
+    fn h_m_fully_separates() {
+        let c = families::h_m(3);
+        let wl = refine(&c);
+        assert_eq!(wl.partition.num_classes(), 4);
+    }
+
+    #[test]
+    fn feasible_implies_wl_singleton_on_small_corpus() {
+        // The necessary-condition direction, spot-checked (E12 does this
+        // exhaustively).
+        let mut rng = radio_util::rng::rng_from(17);
+        let mut feasible_seen = 0;
+        for _ in 0..60 {
+            let g = generators::gnp_connected(6, 0.4, &mut rng);
+            let c = radio_graph::tags::random_in_span(g, 2, &mut rng);
+            if crate::classify(&c).feasible {
+                feasible_seen += 1;
+                assert!(
+                    refine(&c).has_singleton(),
+                    "{c}: feasible but no WL singleton"
+                );
+            }
+        }
+        assert!(
+            feasible_seen > 10,
+            "corpus should contain feasible instances"
+        );
+    }
+
+    #[test]
+    fn iterations_are_bounded_by_n() {
+        let c = families::g_m(4);
+        let wl = refine(&c);
+        assert!(wl.iterations <= c.size());
+    }
+
+    #[test]
+    fn stable_on_singleton_graph() {
+        let c = Configuration::new(generators::path(1), vec![0]).unwrap();
+        let wl = refine(&c);
+        assert_eq!(wl.iterations, 0);
+        assert!(wl.has_singleton());
+    }
+}

@@ -1,0 +1,154 @@
+//! Top-level convenience API: feasibility, solving, and one-call election.
+
+use radio_graph::{Configuration, NodeId};
+
+use crate::dedicated::DedicatedElection;
+
+/// The configuration admits no deterministic leader-election algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Infeasible {
+    /// The iteration at which `Classifier` found the partition stable.
+    pub iterations: usize,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "configuration is infeasible (partition stabilized after {} iteration(s))",
+            self.iterations
+        )
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Failure while running a dedicated election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectError {
+    /// The simulator aborted (round limit).
+    Simulation(String),
+    /// The decision function did not mark exactly one node — a broken
+    /// invariant for a feasible configuration.
+    Contract {
+        /// Nodes that claimed leadership.
+        leaders: Vec<NodeId>,
+    },
+    /// The elected node differs from `Classifier`'s prediction — a broken
+    /// invariant.
+    PredictionMismatch {
+        /// Node the simulation elected.
+        elected: NodeId,
+        /// Node the classifier predicted.
+        predicted: NodeId,
+    },
+}
+
+impl std::fmt::Display for ElectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            ElectError::Contract { leaders } => {
+                write!(
+                    f,
+                    "decision function marked {} nodes: {leaders:?}",
+                    leaders.len()
+                )
+            }
+            ElectError::PredictionMismatch { elected, predicted } => {
+                write!(
+                    f,
+                    "elected v{elected} but classifier predicted v{predicted}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElectError {}
+
+/// Summary of a successful dedicated election run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionReport {
+    /// The elected node.
+    pub leader: NodeId,
+    /// Configuration size `n`.
+    pub n: usize,
+    /// Configuration span `σ`.
+    pub sigma: u64,
+    /// Number of phases `T` the canonical DRIP ran.
+    pub phases: usize,
+    /// Local rounds until termination (`r_T + 1`; the `O(n²σ)` quantity).
+    pub rounds_local: u64,
+    /// Global round by which every node had terminated.
+    pub completion_round: u64,
+    /// Total transmissions over the run (= `n · T`).
+    pub transmissions: u64,
+}
+
+/// Decides feasibility of leader election on `config` (Theorem 3.17).
+pub fn is_feasible(config: &Configuration) -> bool {
+    radio_classifier::classify(config).feasible
+}
+
+/// Compiles the dedicated leader-election algorithm `(D_G, f_G)` for a
+/// feasible configuration (Theorem 3.15).
+pub fn solve(config: &Configuration) -> Result<DedicatedElection, Infeasible> {
+    DedicatedElection::solve(config)
+}
+
+/// One call: classify, compile, simulate, validate — returns the elected
+/// leader and run metrics.
+pub fn elect_leader(config: &Configuration) -> Result<ElectionReport, ElectError> {
+    let dedicated = solve(config).map_err(|e| ElectError::Simulation(e.to_string()))?;
+    dedicated.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::{families, generators, Configuration};
+
+    #[test]
+    fn feasibility_shortcuts() {
+        assert!(is_feasible(&families::h_m(2)));
+        assert!(!is_feasible(&families::s_m(2)));
+    }
+
+    #[test]
+    fn elect_leader_end_to_end() {
+        let report = elect_leader(&families::h_m(4)).unwrap();
+        assert_eq!(report.leader, 0);
+        assert_eq!(report.transmissions, 4, "n · T = 4 · 1");
+    }
+
+    #[test]
+    fn elect_leader_on_infeasible_is_an_error() {
+        let err = elect_leader(&families::s_m(1)).unwrap_err();
+        assert!(matches!(err, ElectError::Simulation(_)));
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = ElectError::Contract {
+            leaders: vec![1, 2],
+        };
+        assert!(e.to_string().contains("2 nodes"));
+        let e = ElectError::PredictionMismatch {
+            elected: 3,
+            predicted: 1,
+        };
+        assert!(e.to_string().contains("v3"));
+        assert!(e.to_string().contains("v1"));
+        let i = Infeasible { iterations: 2 };
+        assert!(i.to_string().contains("2 iteration"));
+    }
+
+    #[test]
+    fn feasible_iff_shift_invariant() {
+        let base = Configuration::new(generators::path(3), vec![0, 2, 1]).unwrap();
+        let shifted = base.shift_tags(7);
+        assert_eq!(is_feasible(&base), is_feasible(&shifted.normalize()));
+    }
+}

@@ -1,0 +1,172 @@
+//! `anon-radio` — command-line front end for the library.
+//!
+//! ```sh
+//! anon-radio family h 3                # print the H_3 configuration file
+//! anon-radio family h 3 | anon-radio check -     # decide feasibility
+//! anon-radio family g 4 | anon-radio trace -     # refinement trace
+//! anon-radio family h 3 | anon-radio elect -     # run the election
+//! anon-radio family s 2 | anon-radio dot -       # Graphviz export
+//! ```
+//!
+//! Configuration files use the `radio-graph` text format:
+//!
+//! ```text
+//! config <n> <m>
+//! tags <t_0> … <t_{n-1}>
+//! edge <u> <v>   (m lines)
+//! ```
+
+use std::io::Read;
+
+use radio_graph::{families, io, Configuration};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("check") => with_config(&args, |config| {
+            let outcome = radio_classifier::classify(config);
+            println!("{config}");
+            if outcome.feasible {
+                println!(
+                    "FEASIBLE — leader class {} after {} iteration(s)",
+                    outcome.leader_class().expect("feasible"),
+                    outcome.iterations
+                );
+            } else {
+                println!(
+                    "INFEASIBLE — partition stabilized after {} iteration(s)",
+                    outcome.iterations
+                );
+            }
+            0
+        }),
+        Some("trace") => with_config(&args, |config| {
+            let outcome = radio_classifier::classify(config);
+            print!("{}", radio_classifier::trace::render(config, &outcome));
+            0
+        }),
+        Some("elect") => with_config(&args, |config| match anon_radio::elect_leader(config) {
+            Ok(report) => {
+                println!("{config}");
+                println!(
+                    "leader: v{} | phases: {} | local rounds: {} | done by global round {} | \
+                     transmissions: {}",
+                    report.leader,
+                    report.phases,
+                    report.rounds_local,
+                    report.completion_round,
+                    report.transmissions
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("election failed: {e}");
+                1
+            }
+        }),
+        Some("dot") => with_config(&args, |config| {
+            print!("{}", io::to_dot(config, "configuration"));
+            0
+        }),
+        Some("compile") => with_config(&args, |config| {
+            let (outcome, schedule) = anon_radio::CanonicalSchedule::build(config);
+            println!("{config}");
+            println!(
+                "classifier: {} after {} iteration(s)",
+                if outcome.feasible {
+                    "FEASIBLE"
+                } else {
+                    "INFEASIBLE"
+                },
+                outcome.iterations
+            );
+            print!("{}", schedule.render());
+            0
+        }),
+        Some("explain") => {
+            with_config(
+                &args,
+                |config| match anon_radio::explain::explain_infeasibility(config) {
+                    Ok(report) => {
+                        println!("{config}");
+                        print!("{}", report.render());
+                        0
+                    }
+                    Err(e) => {
+                        println!("{config}");
+                        println!("{e}");
+                        0
+                    }
+                },
+            )
+        }
+        Some("family") => family_command(&args),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn family_command(args: &[String]) -> i32 {
+    let (kind, m) = match (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) {
+        (Some(kind), Some(m)) => (kind.as_str(), m),
+        _ => return usage(),
+    };
+    let config = match kind {
+        "g" if m >= 2 => families::g_m(m as usize),
+        "h" if m >= 1 => families::h_m(m),
+        "s" if m >= 1 => families::s_m(m),
+        _ => return usage(),
+    };
+    print!("{}", io::to_text(&config));
+    0
+}
+
+/// Loads the configuration named by `args[1]` (`-` = stdin) and applies
+/// `f`.
+fn with_config(args: &[String], f: impl FnOnce(&Configuration) -> i32) -> i32 {
+    let Some(path) = args.get(1) else {
+        eprintln!("error: missing <config-file> (use `-` for stdin)");
+        return 2;
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: could not read stdin");
+            return 2;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: could not read {path}: {e}");
+                return 2;
+            }
+        }
+    };
+    match io::from_text(&text) {
+        Ok(config) => f(&config),
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            2
+        }
+    }
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "anon-radio — deterministic leader election in anonymous radio networks\n\
+         \n\
+         usage:\n\
+         \u{20}  anon-radio check   <file|->    decide feasibility (Thm 3.17)\n\
+         \u{20}  anon-radio trace   <file|->    show the Classifier refinement trace\n\
+         \u{20}  anon-radio elect   <file|->    compile and run the dedicated election\n\
+         \u{20}  anon-radio compile <file|->    print the compiled dedicated algorithm\n\
+         \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
+         \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\
+         \u{20}  anon-radio family g|h|s <m>    print a paper family configuration\n\
+         \n\
+         configuration file format: see `radio-graph::io` docs"
+    );
+    2
+}

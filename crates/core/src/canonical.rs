@@ -1,0 +1,253 @@
+//! The canonical DRIP `D_G` (paper Section 3.3.1) as an executable node.
+//!
+//! Per phase `j ≤ T`, a node transmits `'1'` exactly once — in the
+//! `(σ+1)`-th round of its transmission block — and listens in every other
+//! round. Its block for phase 1 is 1 (all nodes); for each later phase it
+//! re-derives the block by matching its recorded history of the previous
+//! phase against the hard-coded `L_j` entries. In the first round after
+//! phase `T` every node terminates.
+//!
+//! ## Off-schedule histories
+//!
+//! On its own configuration the matching is guaranteed to succeed uniquely
+//! (Lemma 3.8). When the dedicated algorithm is (ab)used on a *different*
+//! configuration — e.g. in the universal-algorithm counterexample — a
+//! node's history may match zero or two entries. Such a node downgrades to
+//! a silent observer: it listens for the rest of the schedule and
+//! terminates on time. This keeps the DRIP total (every node terminates)
+//! without inventing behaviour the paper doesn't define.
+
+use radio_sim::{Action, DripFactory, DripNode, History, Msg};
+
+use crate::schedule::{MatchResult, SharedSchedule};
+use radio_classifier::Level;
+
+/// Factory installing the canonical DRIP of one configuration at every
+/// node.
+pub struct CanonicalFactory {
+    schedule: SharedSchedule,
+}
+
+impl CanonicalFactory {
+    /// Wraps a compiled schedule.
+    pub fn new(schedule: SharedSchedule) -> CanonicalFactory {
+        CanonicalFactory { schedule }
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &SharedSchedule {
+        &self.schedule
+    }
+}
+
+impl DripFactory for CanonicalFactory {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        Box::new(CanonicalNode {
+            schedule: self.schedule.clone(),
+            phase: 1,
+            t_block: 1,
+            transmit_at: self.schedule.transmit_round(1, 1),
+            off_schedule: false,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "canonical(σ={}, T={})",
+            self.schedule.sigma,
+            self.schedule.phases()
+        )
+    }
+}
+
+struct CanonicalNode {
+    schedule: SharedSchedule,
+    /// Current phase `j` (1-based).
+    phase: usize,
+    /// Transmission block within the current phase.
+    t_block: u32,
+    /// Local round of this phase's transmission.
+    transmit_at: u64,
+    /// Set when matching failed (foreign configuration): listen-only mode.
+    off_schedule: bool,
+}
+
+impl DripNode for CanonicalNode {
+    fn decide(&mut self, history: &History) -> Action {
+        let i = history.len() as u64; // local round to act in
+        let s = &self.schedule;
+
+        if i > s.phase_end(s.phases()) {
+            // r_T + 1: all nodes terminate (L_{T+1} = terminate).
+            return Action::Terminate;
+        }
+
+        if i > s.phase_end(self.phase) {
+            // First round of the next phase: derive the new block from the
+            // history of the phase that just ended.
+            let next = self.phase + 1;
+            debug_assert!(next <= s.phases());
+            if !self.off_schedule {
+                let entries = match s.lists.level(next) {
+                    Level::Blocks(entries) => entries,
+                    Level::Terminate => unreachable!("terminate level handled above"),
+                };
+                match s.match_entries(history, self.phase, self.t_block, entries) {
+                    MatchResult::Unique(k) => {
+                        self.t_block = k;
+                        self.transmit_at = s.transmit_round(next, k);
+                    }
+                    MatchResult::NoMatch | MatchResult::Ambiguous { .. } => {
+                        self.off_schedule = true;
+                    }
+                }
+            }
+            self.phase = next;
+        }
+
+        if !self.off_schedule && i == self.transmit_at {
+            Action::Transmit(Msg::ONE)
+        } else {
+            Action::Listen
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::CanonicalSchedule;
+    use radio_graph::{families, generators, Configuration};
+    use radio_sim::{Executor, RunOpts};
+    use std::sync::Arc;
+
+    fn run_canonical(config: &Configuration) -> radio_sim::Execution {
+        let (_, schedule) = CanonicalSchedule::build(config);
+        let factory = CanonicalFactory::new(Arc::new(schedule));
+        Executor::run(config, &factory, RunOpts::default().traced()).unwrap()
+    }
+
+    #[test]
+    fn all_nodes_terminate_simultaneously_in_local_time() {
+        let c = families::h_m(2);
+        let (_, schedule) = CanonicalSchedule::build(&c);
+        let done = schedule.done_local();
+        let ex = run_canonical(&c);
+        for v in 0..4u32 {
+            assert_eq!(ex.done_local(v), done, "node {v}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_patient_lemma_3_6() {
+        // No transmission in global rounds 0..=σ; every wake-up is
+        // spontaneous at the node's tag.
+        for c in [families::h_m(3), families::g_m(2), families::s_m(2)] {
+            let sigma = c.span();
+            let ex = run_canonical(&c);
+            let trace = ex.trace.as_ref().unwrap();
+            for e in &trace.events {
+                if !e.transmitters.is_empty() {
+                    assert!(
+                        e.round > sigma,
+                        "{c}: transmission at round {} ≤ σ",
+                        e.round
+                    );
+                }
+            }
+            for v in 0..c.size() as u32 {
+                assert!(ex.woke_spontaneously(v), "{c}: node {v}");
+                assert_eq!(ex.wake_round[v as usize], c.tag(v));
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_transmits_once_per_phase() {
+        let c = families::g_m(2);
+        let (out, schedule) = CanonicalSchedule::build(&c);
+        let ex = run_canonical(&c);
+        let total_tx: u64 = ex.stats.transmissions;
+        // every node transmits exactly once per phase
+        assert_eq!(total_tx, (c.size() * out.iterations) as u64);
+        let _ = schedule;
+    }
+
+    #[test]
+    fn transmit_blocks_match_classifier_classes() {
+        // Lemma 3.8(2): node v transmits in block k of phase j iff its
+        // class at the start of phase j is k.
+        let c = families::g_m(3);
+        let (out, schedule) = CanonicalSchedule::build(&c);
+        let ex = run_canonical(&c);
+        let trace = ex.trace.as_ref().unwrap();
+        let width = 2 * schedule.sigma + 1;
+
+        // expected: class of v at phase j = v_CLASS,j = partition after
+        // iteration j-1 (phase 1: class 1 for all).
+        for j in 1..=schedule.phases() {
+            let class_of = |v: u32| -> u32 {
+                if j == 1 {
+                    1
+                } else {
+                    out.records[j - 2].partition.class_of(v)
+                }
+            };
+            for v in 0..c.size() as u32 {
+                let k = class_of(v);
+                let local = schedule.phase_end(j - 1) + (k as u64 - 1) * width + schedule.sigma + 1;
+                let global = c.tag(v) + local; // spontaneous wake at tag
+                let ev = trace
+                    .round(global)
+                    .unwrap_or_else(|| panic!("phase {j} node {v}: no event at round {global}"));
+                assert!(
+                    ev.transmitters.iter().any(|&(u, _)| u == v),
+                    "phase {j}: node {v} must transmit in block {k} (global round {global})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histories_partition_matches_final_classes() {
+        // Lemma 3.9 at the final iteration: equal final histories ⟺ equal
+        // final classes.
+        for c in [families::h_m(1), families::s_m(2), families::g_m(2)] {
+            let (out, _) = CanonicalSchedule::build(&c);
+            let ex = run_canonical(&c);
+            let p = out.final_partition();
+            for v in 0..c.size() as u32 {
+                for w in 0..c.size() as u32 {
+                    let same_class = p.class_of(v) == p.class_of(w);
+                    let same_hist = ex.history(v) == ex.history(w);
+                    assert_eq!(same_class, same_hist, "{c}: nodes {v},{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_schedule_node_goes_silent_but_terminates() {
+        // Run H_2's dedicated DRIP on S_2 (same span σ... S_2 has σ=2 but
+        // H_2 has σ=3 — geometry differs, matching will fail for some
+        // nodes). All nodes must still terminate on schedule.
+        let h2 = families::h_m(2);
+        let (_, schedule) = CanonicalSchedule::build(&h2);
+        let done = schedule.done_local();
+        let factory = CanonicalFactory::new(Arc::new(schedule));
+        let s2 = families::s_m(2);
+        let ex = Executor::run(&s2, &factory, RunOpts::default()).unwrap();
+        for v in 0..4u32 {
+            assert_eq!(ex.done_local(v), done);
+        }
+    }
+
+    #[test]
+    fn factory_name_is_descriptive() {
+        let c = generators::path(1);
+        let c = Configuration::new(c, vec![0]).unwrap();
+        let (_, schedule) = CanonicalSchedule::build(&c);
+        let f = CanonicalFactory::new(Arc::new(schedule));
+        assert_eq!(f.name(), "canonical(σ=0, T=1)");
+    }
+}

@@ -1,0 +1,399 @@
+//! The canonical schedule: phase geometry plus the hard-coded lists.
+//!
+//! The canonical DRIP (paper Section 3.3.1) is parameterized entirely by
+//! the configuration-specific data compiled here:
+//!
+//! * the span `σ`,
+//! * the lists `L_1 … L_{T+1}` ([`radio_classifier::CanonicalLists`]),
+//! * the derived phase geometry: phase `P_j` (for `j ≤ T`) consists of
+//!   `numClasses_j` transmission blocks of `2σ+1` rounds followed by `σ`
+//!   listening rounds, so it ends at local round
+//!   `r_j = r_{j-1} + numClasses_j·(2σ+1) + σ`, with `r_0 = 0`. Every node
+//!   terminates in local round `r_T + 1`.
+//!
+//! The other half of this module is **phase matching**: the procedure by
+//! which a node (or the decision function replaying a history) determines
+//! its transmission block for phase `j` by comparing its recorded history
+//! of phase `P_{j-1}` against the `L_j` entries. A history matches entry
+//! `k = (oldClass_k, label_k)` iff the node transmitted in block
+//! `oldClass_k` of the previous phase and the non-silent rounds of the
+//! previous phase's block region are exactly the triples of `label_k`.
+
+use std::sync::Arc;
+
+use radio_classifier::{CanonicalLists, Label, ListEntry, Multi, Outcome, Triple};
+use radio_graph::Configuration;
+use radio_sim::History;
+
+/// The complete dedicated knowledge of the canonical DRIP for one
+/// configuration, plus derived geometry.
+#[derive(Debug, Clone)]
+pub struct CanonicalSchedule {
+    /// Span of the configuration.
+    pub sigma: u64,
+    /// The compiled lists.
+    pub lists: CanonicalLists,
+    /// `phase_end[j]` = `r_j` for `j = 0..=T` (`phase_end[0] = 0`).
+    pub phase_end: Vec<u64>,
+}
+
+impl CanonicalSchedule {
+    /// Runs `Classifier` (fast engine) and compiles the schedule. Works for
+    /// infeasible configurations too — the canonical DRIP is well-defined
+    /// there; only the leader class is absent.
+    pub fn build(config: &Configuration) -> (Outcome, CanonicalSchedule) {
+        let outcome = radio_classifier::classify(config);
+        let schedule = CanonicalSchedule::from_outcome(config, &outcome);
+        (outcome, schedule)
+    }
+
+    /// Compiles the schedule from an existing classifier outcome.
+    pub fn from_outcome(config: &Configuration, outcome: &Outcome) -> CanonicalSchedule {
+        let lists = CanonicalLists::from_outcome(config, outcome);
+        let sigma = lists.sigma;
+        let mut phase_end = Vec::with_capacity(lists.phases() + 1);
+        phase_end.push(0u64);
+        for j in 1..=lists.phases() {
+            let blocks = lists.level(j).num_blocks() as u64;
+            let prev = *phase_end.last().expect("non-empty");
+            phase_end.push(prev + blocks * (2 * sigma + 1) + sigma);
+        }
+        CanonicalSchedule {
+            sigma,
+            lists,
+            phase_end,
+        }
+    }
+
+    /// Number of non-terminate phases `T`.
+    pub fn phases(&self) -> usize {
+        self.lists.phases()
+    }
+
+    /// `r_j`, the local round at which phase `j` ends (`r_0 = 0`).
+    pub fn phase_end(&self, j: usize) -> u64 {
+        self.phase_end[j]
+    }
+
+    /// The local round in which every node terminates: `r_T + 1`.
+    pub fn done_local(&self) -> u64 {
+        self.phase_end[self.phases()] + 1
+    }
+
+    /// Number of transmission blocks of phase `j`.
+    pub fn blocks(&self, j: usize) -> u64 {
+        self.lists.level(j).num_blocks() as u64
+    }
+
+    /// The local round within phase `j` at which a node assigned block
+    /// `t_block` transmits: `r_{j-1} + (t_block−1)(2σ+1) + σ + 1`.
+    pub fn transmit_round(&self, j: usize, t_block: u32) -> u64 {
+        self.phase_end(j - 1) + (t_block as u64 - 1) * (2 * self.sigma + 1) + self.sigma + 1
+    }
+
+    /// Extracts the triples a history realized during phase `j`'s block
+    /// region: each non-silent entry at local round
+    /// `t = r_{j-1} + (a−1)(2σ+1) + b` becomes `(a, b, c)` with `c = 1` for
+    /// a message and `∗` for a collision. Rounds beyond the block region
+    /// (the trailing `σ` listening rounds) are ignored, as in the paper.
+    pub fn observed_triples(&self, history: &History, j: usize) -> Vec<Triple> {
+        let start = self.phase_end(j - 1); // r_{j-1}; phase rounds start at +1
+        let width = 2 * self.sigma + 1;
+        let block_region = self.blocks(j) * width;
+        let mut triples = Vec::new();
+        for off in 1..=block_region {
+            let t = (start + off) as usize;
+            let obs = match history.get(t) {
+                Some(o) => o,
+                None => break,
+            };
+            let c = match obs {
+                radio_sim::Obs::Silence => continue,
+                radio_sim::Obs::Heard(_) => Multi::One,
+                radio_sim::Obs::Collision => Multi::Star,
+            };
+            let a = ((off - 1) / width + 1) as u32;
+            let b = (off - 1) % width + 1;
+            triples.push(Triple::new(a, b, c));
+        }
+        triples
+    }
+
+    /// Matches a node's phase-`(j-1)` history against the entries of
+    /// `L_j`, given the block `prev_block` it transmitted in during phase
+    /// `j-1`. Returns the 1-based index of the unique matching entry.
+    ///
+    /// `entries` is `L_j`'s entry list (or the final would-be list when the
+    /// decision function resolves the leader class).
+    pub fn match_entries(
+        &self,
+        history: &History,
+        j_prev: usize,
+        prev_block: u32,
+        entries: &[ListEntry],
+    ) -> MatchResult {
+        let observed = self.observed_triples(history, j_prev);
+        let mut found: Option<u32> = None;
+        for (idx, entry) in entries.iter().enumerate() {
+            if entry.old_class != prev_block {
+                continue;
+            }
+            if labels_equal(&observed, &entry.label) {
+                match found {
+                    None => found = Some(idx as u32 + 1),
+                    Some(first) => {
+                        return MatchResult::Ambiguous {
+                            first,
+                            second: idx as u32 + 1,
+                        }
+                    }
+                }
+            }
+        }
+        match found {
+            Some(k) => MatchResult::Unique(k),
+            None => MatchResult::NoMatch,
+        }
+    }
+}
+
+/// Result of matching a phase history against list entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchResult {
+    /// Exactly one entry matched (the on-configuration guarantee of
+    /// Lemma 3.8).
+    Unique(u32),
+    /// No entry matched — the node's history is off-schedule (running the
+    /// dedicated algorithm on a foreign configuration).
+    NoMatch,
+    /// Two entries matched — impossible on-configuration; indicates a
+    /// foreign configuration or a bug.
+    Ambiguous {
+        /// First matching entry (1-based).
+        first: u32,
+        /// Second matching entry (1-based).
+        second: u32,
+    },
+}
+
+fn labels_equal(observed: &[Triple], label: &Label) -> bool {
+    // `observed` is produced in ascending (a, b) order and label triples
+    // are ≺_hist-sorted with unique (a, b), so elementwise comparison is
+    // exact set comparison.
+    observed == label.triples()
+}
+
+impl CanonicalSchedule {
+    /// Renders the compiled dedicated algorithm as human-readable text:
+    /// the phase geometry, every list `L_j` with its entries, and the
+    /// leader class — literally *the algorithm* the paper's Section 3.3.1
+    /// hard-codes for this configuration.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "canonical DRIP: σ = {}, {} phase(s), every node terminates in local round {}",
+            self.sigma,
+            self.phases(),
+            self.done_local()
+        );
+        for j in 1..=self.phases() {
+            let blocks = self.blocks(j);
+            let _ = writeln!(
+                out,
+                "phase P_{j}: local rounds {}..={} ({} block(s) of {} rounds + {} trailing)",
+                self.phase_end(j - 1) + 1,
+                self.phase_end(j),
+                blocks,
+                2 * self.sigma + 1,
+                self.sigma
+            );
+            match self.lists.level(j) {
+                radio_classifier::Level::Blocks(entries) => {
+                    for (k, entry) in entries.iter().enumerate() {
+                        let _ = writeln!(
+                            out,
+                            "  L_{j}[{}] = (oldClass {}, label {})  → transmit in local round {}",
+                            k + 1,
+                            entry.old_class,
+                            entry.label,
+                            self.transmit_round(j, k as u32 + 1)
+                        );
+                    }
+                }
+                radio_classifier::Level::Terminate => unreachable!("levels 1..=T are blocks"),
+            }
+        }
+        let _ = writeln!(out, "L_{}: terminate", self.phases() + 1);
+        match self.lists.leader_class {
+            Some(m_hat) => {
+                let _ = writeln!(
+                    out,
+                    "decision f: history landing in final class {m_hat} (of {}) elects itself",
+                    self.lists.final_entries.len()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "decision f: no leader class — configuration infeasible"
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Shared handle used by the factory and the decision function.
+pub type SharedSchedule = Arc<CanonicalSchedule>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::families;
+    use radio_sim::{History, Msg, Obs};
+
+    fn h2_schedule() -> CanonicalSchedule {
+        let c = families::h_m(2);
+        CanonicalSchedule::build(&c).1
+    }
+
+    #[test]
+    fn geometry_of_h_2() {
+        // H_2: σ=3, T=1, one block in phase 1:
+        // r_1 = 0 + 1·(2·3+1) + 3 = 10; done at 11.
+        let s = h2_schedule();
+        assert_eq!(s.sigma, 3);
+        assert_eq!(s.phases(), 1);
+        assert_eq!(s.phase_end(0), 0);
+        assert_eq!(s.phase_end(1), 10);
+        assert_eq!(s.done_local(), 11);
+        assert_eq!(s.blocks(1), 1);
+        // block 1 transmit: r_0 + 0 + σ + 1 = 4
+        assert_eq!(s.transmit_round(1, 1), 4);
+    }
+
+    #[test]
+    fn geometry_of_g_2() {
+        // G_2: n=9, σ=1. Classifier needs 2 iterations; block counts are
+        // 1 then numClasses after iter 1.
+        let c = families::g_m(2);
+        let (out, s) = CanonicalSchedule::build(&c);
+        assert_eq!(s.phases(), out.iterations);
+        assert_eq!(s.phase_end(0), 0);
+        // phase 1: 1 block of 3 rounds + 1 trailing = 4
+        assert_eq!(s.phase_end(1), 4);
+        let blocks2 = out.records[0].partition.num_classes() as u64;
+        assert_eq!(s.phase_end(2), 4 + blocks2 * 3 + 1);
+    }
+
+    #[test]
+    fn observed_triples_extraction() {
+        let s = h2_schedule(); // σ=3, width 7, 1 block in phase 1
+                               // craft a history: wake at 0, then phase-1 rounds 1..=7 (block) and
+                               // 8..=10 (trailing). Put a message at round 2 (b=2) and a collision
+                               // at round 6 (b=6).
+        let mut entries = vec![Obs::Silence]; // H[0]
+        for t in 1..=10u64 {
+            entries.push(match t {
+                2 => Obs::Heard(Msg::ONE),
+                6 => Obs::Collision,
+                _ => Obs::Silence,
+            });
+        }
+        let h = History::from_entries(entries);
+        let observed = s.observed_triples(&h, 1);
+        assert_eq!(
+            observed,
+            vec![
+                Triple::new(1, 2, Multi::One),
+                Triple::new(1, 6, Multi::Star)
+            ]
+        );
+    }
+
+    #[test]
+    fn observed_triples_ignore_trailing_rounds() {
+        let s = h2_schedule();
+        let mut entries = vec![Obs::Silence];
+        for t in 1..=10u64 {
+            // message in trailing round 9 — outside the block region
+            entries.push(if t == 9 {
+                Obs::Heard(Msg::ONE)
+            } else {
+                Obs::Silence
+            });
+        }
+        let h = History::from_entries(entries);
+        assert!(s.observed_triples(&h, 1).is_empty());
+    }
+
+    #[test]
+    fn matching_is_unique_on_configuration_histories() {
+        // On H_2, node a's phase-1 history: hears b's transmission. b is in
+        // class 2 → transmits in block... phase 1 has ONE block (all in
+        // class 1 at phase 1), so a hears b at (1, σ+1+t_b−t_a = 2).
+        let s = h2_schedule();
+        let mut entries = vec![Obs::Silence];
+        for t in 1..=10u64 {
+            entries.push(if t == 2 {
+                Obs::Heard(Msg::ONE)
+            } else {
+                Obs::Silence
+            });
+        }
+        let h = History::from_entries(entries);
+        let m = s.match_entries(&h, 1, 1, &s.lists.final_entries);
+        assert_eq!(
+            m,
+            MatchResult::Unique(1),
+            "node a's history must match final entry 1"
+        );
+    }
+
+    #[test]
+    fn render_shows_the_whole_algorithm() {
+        let s = h2_schedule();
+        let text = s.render();
+        assert!(text.contains("σ = 3"));
+        assert!(text.contains("phase P_1: local rounds 1..=10"));
+        assert!(text.contains("L_1[1] = (oldClass 1, label null)"));
+        assert!(text.contains("transmit in local round 4"));
+        assert!(text.contains("L_2: terminate"));
+        assert!(text.contains("final class 1"));
+    }
+
+    #[test]
+    fn render_marks_infeasible_schedules() {
+        let c = radio_graph::families::s_m(2);
+        let (_, s) = CanonicalSchedule::build(&c);
+        assert!(s.render().contains("infeasible"));
+    }
+
+    #[test]
+    fn matching_detects_foreign_histories() {
+        let s = h2_schedule();
+        // all-silent phase (no neighbour heard): matches no final entry of
+        // H_2, where every node hears something in phase 1.
+        let h = History::from_entries(vec![Obs::Silence; 11]);
+        assert_eq!(
+            s.match_entries(&h, 1, 1, &s.lists.final_entries),
+            MatchResult::NoMatch
+        );
+        // wrong previous block also fails
+        let mut entries = vec![Obs::Silence];
+        for t in 1..=10u64 {
+            entries.push(if t == 2 {
+                Obs::Heard(Msg::ONE)
+            } else {
+                Obs::Silence
+            });
+        }
+        let h = History::from_entries(entries);
+        assert_eq!(
+            s.match_entries(&h, 1, 99, &s.lists.final_entries),
+            MatchResult::NoMatch
+        );
+    }
+}

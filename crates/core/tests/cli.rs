@@ -1,0 +1,126 @@
+//! Integration tests for the `anon-radio` command-line binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anon-radio"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn family(kind: &str, m: &str) -> String {
+    let out = bin()
+        .args(["family", kind, m])
+        .output()
+        .expect("family runs");
+    assert!(out.status.success());
+    String::from_utf8(out.stdout).expect("utf8 config")
+}
+
+#[test]
+fn family_emits_parseable_configs() {
+    let text = family("h", "3");
+    assert!(text.starts_with("config 4 3"));
+    assert!(text.contains("tags 3 0 0 4"));
+    let parsed = radio_graph::io::from_text(&text).unwrap();
+    assert_eq!(parsed, radio_graph::families::h_m(3));
+}
+
+#[test]
+fn check_pipeline_feasible_and_infeasible() {
+    let (stdout, _, code) = run_with_stdin(&["check", "-"], &family("h", "2"));
+    assert_eq!(code, 0);
+    assert!(stdout.contains("FEASIBLE"), "{stdout}");
+
+    let (stdout, _, code) = run_with_stdin(&["check", "-"], &family("s", "2"));
+    assert_eq!(code, 0);
+    assert!(stdout.contains("INFEASIBLE"), "{stdout}");
+}
+
+#[test]
+fn elect_pipeline_reports_leader() {
+    let (stdout, _, code) = run_with_stdin(&["elect", "-"], &family("h", "2"));
+    assert_eq!(code, 0);
+    assert!(stdout.contains("leader: v0"), "{stdout}");
+    assert!(stdout.contains("transmissions: 4"), "{stdout}");
+}
+
+#[test]
+fn compile_pipeline_prints_lists() {
+    let (stdout, _, code) = run_with_stdin(&["compile", "-"], &family("g", "2"));
+    assert_eq!(code, 0);
+    assert!(stdout.contains("L_1[1]"), "{stdout}");
+    assert!(stdout.contains("terminate"), "{stdout}");
+}
+
+#[test]
+fn explain_pipeline_shows_certificates() {
+    let (stdout, _, code) = run_with_stdin(&["explain", "-"], &family("s", "3"));
+    assert_eq!(code, 0);
+    assert!(stdout.contains("history twins"), "{stdout}");
+    assert!(stdout.contains("automorphism"), "{stdout}");
+}
+
+#[test]
+fn dot_pipeline_exports_graphviz() {
+    let (stdout, _, code) = run_with_stdin(&["dot", "-"], &family("h", "1"));
+    assert_eq!(code, 0);
+    assert!(stdout.starts_with("graph configuration {"), "{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // malformed configuration
+    let (_, stderr, code) = run_with_stdin(&["check", "-"], "config broken\n");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid configuration"), "{stderr}");
+
+    // unknown subcommand prints usage
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // missing file argument
+    let out = bin().arg("check").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // nonexistent file
+    let out = bin()
+        .args(["check", "/nonexistent/nowhere.cfg"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn family_argument_validation() {
+    for bad in [
+        &["family", "g", "1"][..],
+        &["family", "x", "3"],
+        &["family", "h"],
+    ] {
+        let out = bin().args(bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}

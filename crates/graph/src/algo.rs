@@ -1,0 +1,207 @@
+//! Elementary graph algorithms used across the workspace: BFS layers,
+//! connectivity, eccentricity/diameter, and degree statistics.
+
+use crate::graph::{Graph, NodeId};
+
+/// BFS distances from `src`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// True iff the graph is connected (the empty graph counts as connected,
+/// the paper never uses it; a singleton is trivially connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != u32::MAX)
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n as NodeId {
+        if comp[s as usize] != usize::MAX {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        comp[s as usize] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Eccentricity of `v` (greatest BFS distance from `v`); `None` if the graph
+/// is disconnected from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let d = bfs_distances(g, v);
+    let mx = *d.iter().max()?;
+    if mx == u32::MAX {
+        None
+    } else {
+        Some(mx)
+    }
+}
+
+/// Diameter (max eccentricity). `None` for disconnected or empty graphs.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..n as NodeId {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.node_count() as NodeId {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// True iff the graph is a tree (connected with exactly `n − 1` edges).
+pub fn is_tree(g: &Graph) -> bool {
+    g.node_count() >= 1 && g.edge_count() == g.node_count() - 1 && is_connected(g)
+}
+
+/// The graph centre: all nodes of minimum eccentricity. `None` for
+/// disconnected or empty graphs.
+///
+/// Notable connection to the paper: on the lower-bound family `G_m`, the
+/// unique electable node `b_{m+1}` is exactly the centre of the path.
+pub fn center(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let eccs: Option<Vec<u32>> = (0..n as NodeId).map(|v| eccentricity(g, v)).collect();
+    let eccs = eccs?;
+    let best = *eccs.iter().min().expect("non-empty");
+    Some(
+        (0..n as NodeId)
+            .filter(|&v| eccs[v as usize] == best)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&generators::cycle(6)));
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 2);
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(diameter(&generators::path(7)), Some(6));
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+        assert_eq!(diameter(&generators::star(9)), Some(2));
+        assert_eq!(diameter(&Graph::new(1)), Some(0));
+        assert_eq!(diameter(&Graph::new(0)), None);
+        let mut g = Graph::new(2);
+        assert_eq!(diameter(&g), None, "disconnected");
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn histogram() {
+        let g = generators::star(5); // center degree 4, leaves degree 1
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(is_tree(&generators::path(5)));
+        assert!(is_tree(&generators::star(6)));
+        assert!(is_tree(&generators::balanced_tree(9, 2)));
+        assert!(!is_tree(&generators::cycle(4)));
+        let mut forest = Graph::new(4);
+        forest.add_edge(0, 1).unwrap();
+        forest.add_edge(2, 3).unwrap();
+        assert!(
+            !is_tree(&forest),
+            "disconnected with n-1... this has n-2 edges"
+        );
+        assert!(is_tree(&Graph::new(1)));
+    }
+
+    #[test]
+    fn center_of_known_shapes() {
+        assert_eq!(center(&generators::path(5)), Some(vec![2]));
+        assert_eq!(center(&generators::path(4)), Some(vec![1, 2]));
+        assert_eq!(center(&generators::star(7)), Some(vec![0]));
+        assert_eq!(center(&generators::cycle(4)), Some(vec![0, 1, 2, 3]));
+        assert_eq!(center(&Graph::new(0)), None);
+        let mut disc = Graph::new(2);
+        assert_eq!(center(&disc), None);
+        disc.add_edge(0, 1).unwrap();
+        assert_eq!(center(&disc), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn g_m_leader_is_the_path_center() {
+        for m in [2usize, 3, 5] {
+            let config = crate::families::g_m(m);
+            assert_eq!(
+                center(config.graph()),
+                Some(vec![crate::families::g_m_center(m)]),
+                "m={m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Compressed-sparse-row adjacency: the frozen, cache-friendly graph form
+//! consumed by the simulator's per-round loop and by the classifier.
+//!
+//! Neighbour lists are stored back-to-back in one `Vec<NodeId>` with an
+//! offsets array; neighbours of each node are sorted, which gives the fixed
+//! node ordering the paper's `Classifier` relies on ("we fix an arbitrary
+//! ordering of the vertices") and makes iteration branch-predictable.
+
+use crate::graph::{Graph, NodeId};
+
+/// Immutable CSR adjacency structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Freezes a [`Graph`] into CSR form (neighbour lists sorted).
+    pub fn from_graph(g: &Graph) -> Csr {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0u32);
+        for v in 0..n as NodeId {
+            let mut ns = g.neighbors(v).to_vec();
+            ns.sort_unstable();
+            targets.extend_from_slice(&ns);
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Binary-searches the sorted neighbour list for `v`–`w` adjacency.
+    pub fn has_edge(&self, v: NodeId, w: NodeId) -> bool {
+        self.neighbors(v).binary_search(&w).is_ok()
+    }
+
+    /// Thaws back into a mutable [`Graph`] (used by IO round-trips).
+    pub fn to_graph(&self) -> Graph {
+        let n = self.node_count();
+        let mut g = Graph::new(n);
+        for v in 0..n as NodeId {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    g.add_edge(v, w).expect("CSR edges are valid");
+                }
+            }
+        }
+        g
+    }
+}
+
+impl From<&Graph> for Csr {
+    fn from(g: &Graph) -> Csr {
+        Csr::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trips_a_path() {
+        let g = generators::path(5);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(2), &[1, 3]);
+        assert_eq!(csr.degree(2), 2);
+        assert_eq!(csr.max_degree(), 2);
+        assert!(csr.has_edge(1, 2));
+        assert!(!csr.has_edge(0, 2));
+        let back = csr.to_graph();
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn neighbors_are_sorted_even_from_unsorted_builder() {
+        let g = Graph::from_edges(4, &[(2, 0), (2, 3), (2, 1)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let csr = Csr::from_graph(&Graph::new(0));
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.max_degree(), 0);
+        let csr1 = Csr::from_graph(&Graph::new(1));
+        assert_eq!(csr1.node_count(), 1);
+        assert_eq!(csr1.neighbors(0), &[] as &[NodeId]);
+    }
+}

@@ -1,0 +1,448 @@
+//! Deterministic graph constructors.
+
+use crate::graph::{Graph, NodeId};
+
+/// Path `P_n`: nodes `0‒1‒…‒(n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge((v - 1) as NodeId, v as NodeId).unwrap();
+    }
+    g
+}
+
+/// Cycle `C_n` (requires `n ≥ 3`).
+///
+/// # Panics
+/// Panics if `n < 3` (a simple graph has no 1- or 2-cycles).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3, got {n}");
+    let mut g = path(n);
+    g.add_edge(0, (n - 1) as NodeId).unwrap();
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as NodeId, v as NodeId).unwrap();
+        }
+    }
+    g
+}
+
+/// Star `S_{n-1}`: node 0 is the centre, nodes `1..n` are leaves
+/// (requires `n ≥ 1`).
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v as NodeId).unwrap();
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u as NodeId, (a + v) as NodeId).unwrap();
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid; node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1)).unwrap();
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// `d`-dimensional hypercube `Q_d` on `2^d` nodes; nodes adjacent iff their
+/// indices differ in one bit.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1usize << bit);
+            if v < w {
+                g.add_edge(v as NodeId, w as NodeId).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Balanced `k`-ary tree with the given number of nodes, filled level by
+/// level: node `v ≥ 1` attaches to `(v - 1) / k`.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn balanced_tree(n: usize, k: usize) -> Graph {
+    assert!(k > 0, "arity must be positive");
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(((v - 1) / k) as NodeId, v as NodeId).unwrap();
+    }
+    g
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` pendant
+/// leaves. Total nodes `spine * (1 + legs)`. Spine nodes come first
+/// (`0..spine`), then the leaves of spine node `s` are consecutive.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine * (1 + legs);
+    let mut g = Graph::new(n);
+    for s in 1..spine {
+        g.add_edge((s - 1) as NodeId, s as NodeId).unwrap();
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            g.add_edge(s as NodeId, next as NodeId).unwrap();
+            next += 1;
+        }
+    }
+    g
+}
+
+/// Spider: `legs` paths of length `len` glued at a centre node 0. Total
+/// nodes `1 + legs * len`. Leg `i` occupies nodes
+/// `1 + i*len .. 1 + (i+1)*len`, with the node closest to the centre first.
+pub fn spider(legs: usize, len: usize) -> Graph {
+    let n = 1 + legs * len;
+    let mut g = Graph::new(n);
+    for i in 0..legs {
+        let base = (1 + i * len) as NodeId;
+        if len > 0 {
+            g.add_edge(0, base).unwrap();
+            for j in 1..len {
+                g.add_edge(base + (j - 1) as NodeId, base + j as NodeId)
+                    .unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `bridge` intermediate
+/// nodes. Total nodes `2k + bridge` (requires `k ≥ 1`).
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 1, "clique size must be at least 1");
+    let n = 2 * k + bridge;
+    let mut g = Graph::new(n);
+    // left clique 0..k, right clique k+bridge..n
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u as NodeId, v as NodeId).unwrap();
+        }
+    }
+    let right0 = k + bridge;
+    for u in right0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as NodeId, v as NodeId).unwrap();
+        }
+    }
+    // bridge path k-1 ↔ k ↔ … ↔ k+bridge (endpoint cliques attach at node
+    // k-1 and node right0).
+    let mut prev = (k - 1) as NodeId;
+    for b in 0..bridge {
+        let cur = (k + b) as NodeId;
+        g.add_edge(prev, cur).unwrap();
+        prev = cur;
+    }
+    g.add_edge(prev, right0 as NodeId).unwrap();
+    g
+}
+
+/// Wheel `W_n`: a cycle of `n−1` rim nodes (`1..n`) plus hub node 0
+/// adjacent to all of them (requires `n ≥ 4`).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4, got {n}");
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v as NodeId).unwrap();
+        let next = if v == n - 1 { 1 } else { v + 1 };
+        g.add_edge(v as NodeId, next as NodeId).unwrap();
+    }
+    g
+}
+
+/// Ladder: two paths of `len` nodes joined by rungs. Node `(side, i)` is
+/// `side * len + i`. Total nodes `2·len` (requires `len ≥ 1`).
+pub fn ladder(len: usize) -> Graph {
+    assert!(len >= 1, "ladder requires len >= 1");
+    let mut g = Graph::new(2 * len);
+    for i in 0..len {
+        if i + 1 < len {
+            g.add_edge(i as NodeId, (i + 1) as NodeId).unwrap();
+            g.add_edge((len + i) as NodeId, (len + i + 1) as NodeId)
+                .unwrap();
+        }
+        g.add_edge(i as NodeId, (len + i) as NodeId).unwrap();
+    }
+    g
+}
+
+/// `rows × cols` torus: the grid with wraparound in both dimensions
+/// (requires `rows, cols ≥ 3` so the graph stays simple).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols)).unwrap();
+            g.add_edge(id(r, c), id((r + 1) % rows, c)).unwrap();
+        }
+    }
+    g
+}
+
+/// Double star: two adjacent hubs (`0` and `1`) with `a` leaves on the
+/// first and `b` on the second. Total nodes `2 + a + b`.
+pub fn double_star(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(2 + a + b);
+    g.add_edge(0, 1).unwrap();
+    for leaf in 0..a {
+        g.add_edge(0, (2 + leaf) as NodeId).unwrap();
+    }
+    for leaf in 0..b {
+        g.add_edge(1, (2 + a + leaf) as NodeId).unwrap();
+    }
+    g
+}
+
+/// Lollipop: a `K_k` clique with a pendant path of `tail` nodes attached to
+/// clique node `k-1`. Total nodes `k + tail` (requires `k ≥ 1`).
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 1, "clique size must be at least 1");
+    let n = k + tail;
+    let mut g = Graph::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u as NodeId, v as NodeId).unwrap();
+        }
+    }
+    let mut prev = (k - 1) as NodeId;
+    for t in 0..tail {
+        let cur = (k + t) as NodeId;
+        g.add_edge(prev, cur).unwrap();
+        prev = cur;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(is_connected(&g));
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn cycle_too_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(!g.has_edge(0, 1), "no intra-side edges");
+        assert!(g.has_edge(0, 3));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(5)); // (3-1)+(4-1)
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32); // d * 2^(d-1)
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(10, 2);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 11); // tree
+        assert!(is_connected(&g));
+        // interior spine node: 2 spine edges + 2 legs
+        assert_eq!(g.degree(1), 4);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(3, 4);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(diameter(&g), Some(8));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        // 2 * C(4,2) + 3 bridge edges
+        assert_eq!(g.edge_count(), 12 + 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_no_bridge() {
+        let g = barbell(3, 0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6 + 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6 + 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(6); // hub + 5-cycle rim
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10); // 5 spokes + 5 rim
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 3));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 4")]
+    fn wheel_too_small() {
+        let _ = wheel(3);
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let g = ladder(4);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 3 + 3 + 4); // two rails + rungs
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // interior rail
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn ladder_single_rung() {
+        let g = ladder(1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 24); // 2 edges per node
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(3)); // ⌊3/2⌋ + ⌊4/2⌋
+    }
+
+    #[test]
+    #[should_panic(expected = "rows, cols >= 3")]
+    fn torus_too_small() {
+        let _ = torus(2, 5);
+    }
+
+    #[test]
+    fn double_star_shape() {
+        let g = double_star(3, 2);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 4); // hub + 3 leaves
+        assert_eq!(g.degree(1), 3); // hub + 2 leaves
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn double_star_no_leaves() {
+        let g = double_star(0, 0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph generators.
+//!
+//! The deterministic constructors cover the shapes the paper's arguments use
+//! (paths for the lower-bound families, rings for the token-ring motivation,
+//! stars/trees/grids for degree and diameter extremes); the seeded random
+//! constructors drive the feasibility-landscape and scaling experiments.
+//!
+//! All generators return a [`Graph`](crate::Graph); every connected-by-
+//! construction generator is covered by tests asserting connectivity, node
+//! and edge counts.
+
+mod deterministic;
+mod random;
+
+pub use deterministic::{
+    balanced_tree, barbell, caterpillar, complete, complete_bipartite, cycle, double_star, grid,
+    hypercube, ladder, lollipop, path, spider, star, torus, wheel,
+};
+pub use random::{gnp_connected, random_caterpillar, random_connected, random_tree};

@@ -1,0 +1,156 @@
+//! Seeded random graph constructors.
+//!
+//! All constructors take an explicit `&mut impl Rng`; experiments derive
+//! their RNGs via [`radio_util::rng`] so results are reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+
+/// Uniform random labelled tree on `n` nodes via a random attachment
+/// sequence: node `v` (in a random order) attaches to a uniformly chosen
+/// earlier node. This is not the uniform spanning-tree distribution (that
+/// would need Prüfer decoding) but produces well-varied trees and is what
+/// the feasibility experiments need: diverse connected topologies.
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = order[rng.random_range(0..i)];
+        g.add_edge(parent, order[i]).unwrap();
+    }
+    g
+}
+
+/// Connected Erdős–Rényi-style graph: a random tree backbone (guaranteeing
+/// connectivity) plus each remaining pair added independently with
+/// probability `p`.
+///
+/// For `p = 0` this is exactly a random tree; for `p = 1` the complete
+/// graph.
+pub fn gnp_connected(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut g = random_tree(n, rng);
+    if p > 0.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if !g.has_edge(u, v) && rng.random_bool(p) {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Connected graph with exactly `extra` edges beyond a spanning tree
+/// (i.e. `n - 1 + extra` edges), sampled by rejection over non-edges.
+///
+/// # Panics
+/// Panics if `extra` exceeds the number of available non-tree pairs.
+pub fn random_connected(n: usize, extra: usize, rng: &mut impl Rng) -> Graph {
+    let mut g = random_tree(n, rng);
+    let max_extra = n * (n - 1) / 2 - (n.saturating_sub(1));
+    assert!(
+        extra <= max_extra,
+        "requested {extra} extra edges, only {max_extra} available"
+    );
+    let mut added = 0;
+    while added < extra {
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Random caterpillar: a spine of `spine` nodes, with `leaves` pendant
+/// leaves attached to uniformly chosen spine nodes.
+pub fn random_caterpillar(spine: usize, leaves: usize, rng: &mut impl Rng) -> Graph {
+    assert!(spine >= 1, "spine must be non-empty");
+    let n = spine + leaves;
+    let mut g = Graph::new(n);
+    for s in 1..spine {
+        g.add_edge((s - 1) as NodeId, s as NodeId).unwrap();
+    }
+    for leaf in spine..n {
+        let s = rng.random_range(0..spine) as NodeId;
+        g.add_edge(s, leaf as NodeId).unwrap();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use radio_util::rng::rng_from;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = rng_from(7);
+        for n in [1usize, 2, 3, 10, 64] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(is_connected(&g), "n={n}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_tree_is_seed_deterministic() {
+        let a = random_tree(20, &mut rng_from(42));
+        let b = random_tree(20, &mut rng_from(42));
+        assert_eq!(a.edges(), b.edges());
+        let c = random_tree(20, &mut rng_from(43));
+        assert_ne!(
+            a.edges(),
+            c.edges(),
+            "different seed should differ (overwhelmingly)"
+        );
+    }
+
+    #[test]
+    fn gnp_connected_spans_density_range() {
+        let mut rng = rng_from(11);
+        let sparse = gnp_connected(12, 0.0, &mut rng);
+        assert_eq!(sparse.edge_count(), 11);
+        let dense = gnp_connected(12, 1.0, &mut rng);
+        assert_eq!(dense.edge_count(), 12 * 11 / 2);
+        let mid = gnp_connected(12, 0.3, &mut rng);
+        assert!(is_connected(&mid));
+        assert!(mid.edge_count() >= 11);
+    }
+
+    #[test]
+    fn random_connected_edge_budget() {
+        let mut rng = rng_from(3);
+        let g = random_connected(10, 5, &mut rng);
+        assert_eq!(g.edge_count(), 9 + 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra edges")]
+    fn random_connected_rejects_overfull() {
+        let mut rng = rng_from(3);
+        let _ = random_connected(4, 100, &mut rng);
+    }
+
+    #[test]
+    fn random_caterpillar_shape() {
+        let mut rng = rng_from(9);
+        let g = random_caterpillar(5, 7, &mut rng);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 11);
+        assert!(is_connected(&g));
+        // all leaves have degree 1
+        assert!((5..12).all(|v| g.degree(v) == 1));
+    }
+}

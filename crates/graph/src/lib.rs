@@ -1,0 +1,39 @@
+//! Graph and configuration substrate for anonymous radio networks.
+//!
+//! The SPAA 2020 paper models a radio network as a *configuration*: a simple
+//! undirected connected graph whose nodes carry non-negative integer
+//! **wake-up tags**. This crate provides everything upstream crates need to
+//! build, inspect, and serialize such configurations:
+//!
+//! * [`Graph`] — a mutable simple-graph builder with adjacency lists, and
+//!   [`Csr`] — the compressed-sparse-row form used by the simulator's hot
+//!   loop.
+//! * [`generators`] — deterministic constructors for paths, cycles, trees,
+//!   grids, hypercubes, complete/bipartite graphs, and seeded random
+//!   families (connected G(n,p), random trees, caterpillars).
+//! * [`Configuration`] — graph + tags, with span/normalization and
+//!   validation, plus [`tags`] strategies for assigning tags.
+//! * [`families`] — the configuration families the paper's Section 4 builds
+//!   its lower bounds and impossibility results from (`G_m`, `H_m`, `S_m`).
+//! * [`io`] — a line-oriented text format (round-trippable) and DOT export.
+//! * [`algo`] — BFS, connectivity, eccentricity/diameter, degree statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod config;
+pub mod csr;
+pub mod enumerate;
+pub mod families;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod tags;
+
+pub use config::Configuration;
+pub use csr::Csr;
+pub use graph::{Graph, NodeId};
+
+#[cfg(test)]
+mod proptests;

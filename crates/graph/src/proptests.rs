@@ -1,0 +1,123 @@
+//! Property-based tests over the graph substrate.
+
+use proptest::prelude::*;
+
+use crate::algo::{component_count, is_connected};
+use crate::config::Configuration;
+use crate::csr::Csr;
+use crate::generators;
+use crate::graph::{Graph, NodeId};
+use crate::io;
+use radio_util::rng::rng_from;
+
+/// Strategy: a connected random graph described by (n, extra-edge budget,
+/// seed), realized deterministically from the seed.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (1usize..24, 0usize..12, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut rng = rng_from(seed);
+        let max_extra = n * (n - 1) / 2 - n.saturating_sub(1);
+        generators::random_connected(n, extra.min(max_extra), &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_graphs_satisfy_invariants(g in connected_graph()) {
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_edges(g in connected_graph()) {
+        let csr = Csr::from_graph(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(csr.to_graph().edges(), g.edges());
+        // neighbour queries agree
+        for v in 0..g.node_count() as NodeId {
+            let mut expect = g.sorted_neighbors(v);
+            expect.dedup();
+            prop_assert_eq!(csr.neighbors(v), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn io_round_trip(g in connected_graph(), seed in any::<u64>()) {
+        let n = g.node_count();
+        let mut rng = rng_from(seed);
+        use rand::Rng;
+        let tags: Vec<u64> = (0..n).map(|_| rng.random_range(0..10)).collect();
+        let c = Configuration::new(g, tags).unwrap();
+        let back = io::from_text(&io::to_text(&c)).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_span_preserving(
+        g in connected_graph(),
+        shift in 0u64..50,
+    ) {
+        let n = g.node_count();
+        let c = Configuration::new(g, (0..n as u64).map(|v| v % 5 + 3).collect()).unwrap();
+        let shifted = c.shift_tags(shift);
+        prop_assert_eq!(shifted.span(), c.span());
+        let nrm = shifted.normalize();
+        prop_assert!(nrm.is_normalized());
+        prop_assert_eq!(nrm.normalize(), nrm.clone());
+        prop_assert_eq!(nrm, c.normalize());
+    }
+
+    #[test]
+    fn relabel_by_random_permutation_preserves_structure(
+        g in connected_graph(),
+        seed in any::<u64>(),
+        tags_seed in any::<u64>(),
+    ) {
+        let n = g.node_count();
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        perm.shuffle(&mut rng_from(seed));
+        let mut trng = rng_from(tags_seed);
+        let tags: Vec<u64> = (0..n).map(|_| trng.random_range(0..6)).collect();
+        let c = Configuration::new(g, tags).unwrap();
+        let r = c.relabel(&perm);
+        prop_assert_eq!(r.size(), c.size());
+        prop_assert_eq!(r.span(), c.span());
+        prop_assert_eq!(r.graph().edge_count(), c.graph().edge_count());
+        prop_assert_eq!(r.max_degree(), c.max_degree());
+        // tags travel with nodes
+        for (v, &p) in perm.iter().enumerate() {
+            prop_assert_eq!(r.tag(p), c.tag(v as NodeId));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gnp_connected_is_connected(n in 2usize..20, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, p, &mut rng_from(seed));
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,200}") {
+        // Fuzz the configuration parser: any input must yield Ok or a
+        // typed error, never a panic.
+        let _ = io::from_text(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_directive_shaped_text(
+        n in 0usize..6,
+        m in 0usize..6,
+        body in proptest::collection::vec("(config|tags|edge|#x) ?[0-9 ]{0,8}", 0..8),
+    ) {
+        let text = format!("config {n} {m}\n{}", body.join("\n"));
+        let _ = io::from_text(&text);
+    }
+}

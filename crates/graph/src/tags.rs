@@ -1,0 +1,125 @@
+//! Wake-up tag assignment strategies.
+//!
+//! Feasibility hinges entirely on how tags break (or fail to break) the
+//! graph's symmetries, so the experiments need a spectrum of strategies:
+//! from fully symmetric (uniform — infeasible beyond a single node) through
+//! random with a bounded span, to fully distinct tags (maximally
+//! asymmetric).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::{Configuration, Tag};
+use crate::graph::Graph;
+
+/// Every node gets tag `t` — the fully symmetric assignment; infeasible for
+/// any graph with `n ≥ 2` (all nodes share all histories forever).
+pub fn uniform(g: Graph, t: Tag) -> Configuration {
+    Configuration::with_uniform_tags(g, t).expect("valid graph")
+}
+
+/// Independent uniform tags in `0..=span`, then normalized so the minimum
+/// is 0 (hence the realized span may be smaller than requested).
+pub fn random_in_span(g: Graph, span: Tag, rng: &mut impl Rng) -> Configuration {
+    let n = g.node_count();
+    let tags: Vec<Tag> = (0..n).map(|_| rng.random_range(0..=span)).collect();
+    Configuration::new(g, tags)
+        .expect("valid graph")
+        .normalize()
+}
+
+/// Distinct tags `0..n` in random order: the maximally asymmetric
+/// assignment (span `n − 1`).
+pub fn distinct_shuffled(g: Graph, rng: &mut impl Rng) -> Configuration {
+    let n = g.node_count();
+    let mut tags: Vec<Tag> = (0..n as Tag).collect();
+    tags.shuffle(rng);
+    Configuration::new(g, tags).expect("valid graph")
+}
+
+/// Tags equal to BFS depth from node 0, scaled by `step`. Wakes the network
+/// outward from a root — a natural "deployment wave" scenario.
+pub fn bfs_wave(g: Graph, step: Tag) -> Configuration {
+    let depths = crate::algo::bfs_distances(&g, 0);
+    let tags: Vec<Tag> = depths
+        .iter()
+        .map(|&d| {
+            assert_ne!(d, u32::MAX, "bfs_wave requires a connected graph");
+            Tag::from(d) * step
+        })
+        .collect();
+    Configuration::new(g, tags).expect("valid graph")
+}
+
+/// Exactly two tag values: nodes in `late` get tag `span`, everyone else 0.
+/// Used to construct near-symmetric configurations.
+pub fn two_values(g: Graph, late: &[crate::graph::NodeId], span: Tag) -> Configuration {
+    let n = g.node_count();
+    let mut tags = vec![0 as Tag; n];
+    for &v in late {
+        tags[v as usize] = span;
+    }
+    Configuration::new(g, tags).expect("valid graph")
+}
+
+/// Random balanced two-value assignment: each node tags 0 or `span` with
+/// probability 1/2.
+pub fn coin_flip(g: Graph, span: Tag, rng: &mut impl Rng) -> Configuration {
+    let n = g.node_count();
+    let tags: Vec<Tag> = (0..n)
+        .map(|_| if rng.random_bool(0.5) { span } else { 0 })
+        .collect();
+    Configuration::new(g, tags).expect("valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use radio_util::rng::rng_from;
+
+    #[test]
+    fn uniform_has_zero_span() {
+        let c = uniform(generators::cycle(5), 3);
+        assert_eq!(c.span(), 0);
+        assert!(c.tags().iter().all(|&t| t == 3));
+    }
+
+    #[test]
+    fn random_in_span_is_normalized_and_bounded() {
+        let mut rng = rng_from(5);
+        let c = random_in_span(generators::path(40), 6, &mut rng);
+        assert!(c.is_normalized());
+        assert!(c.span() <= 6);
+    }
+
+    #[test]
+    fn distinct_tags_are_a_permutation() {
+        let mut rng = rng_from(5);
+        let c = distinct_shuffled(generators::star(10), &mut rng);
+        let mut sorted = c.tags().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<Tag>>());
+        assert_eq!(c.span(), 9);
+    }
+
+    #[test]
+    fn bfs_wave_matches_depth() {
+        let c = bfs_wave(generators::path(4), 2);
+        assert_eq!(c.tags(), &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn two_values_places_late_set() {
+        let c = two_values(generators::path(4), &[1, 3], 5);
+        assert_eq!(c.tags(), &[0, 5, 0, 5]);
+    }
+
+    #[test]
+    fn coin_flip_uses_both_values_eventually() {
+        let mut rng = rng_from(1);
+        let c = coin_flip(generators::complete(32), 4, &mut rng);
+        assert!(c.tags().contains(&0));
+        assert!(c.tags().contains(&4));
+    }
+}

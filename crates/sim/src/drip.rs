@@ -1,0 +1,292 @@
+//! DRIP traits and a library of elementary DRIPs.
+//!
+//! A **DRIP** (Distributed Radio Interaction Protocol, paper Section 2.2) is
+//! a function `D` from local histories to actions; every node runs the same
+//! `D`. Two representations are provided:
+//!
+//! * [`PureDrip`] / [`PureFactory`] — literally a function
+//!   `Fn(&History) -> Action`, the paper's definition verbatim. Great for
+//!   tests and adversary candidates.
+//! * [`DripNode`] / [`DripFactory`] — a per-node state machine spawned from
+//!   a shared factory. The engine calls [`DripNode::decide`] exactly once
+//!   per local round in order, so implementations may cache derived state
+//!   instead of re-scanning their history; the contract is that the decision
+//!   must remain a function of the history alone (anonymity/uniformity).
+//!
+//! The factory receives no node identity — the only per-configuration
+//! knowledge a *dedicated* algorithm may embed is whatever the factory
+//! itself closes over (e.g. the canonical schedule of `anon-radio`), which
+//! mirrors the paper's "algorithm dedicated to configuration G".
+
+use crate::history::History;
+use crate::msg::{Action, Msg};
+
+/// A per-node DRIP state machine.
+pub trait DripNode {
+    /// Returns the action for the next local round `i`, given the history
+    /// `H[0..i-1]` (so `history.len() == i ≥ 1`; entry 0 is the wake-up
+    /// observation).
+    ///
+    /// The engine guarantees calls happen once per local round, in order,
+    /// and never again after `Action::Terminate` is returned.
+    fn decide(&mut self, history: &History) -> Action;
+}
+
+/// Spawns identical [`DripNode`]s — one per node of the network.
+pub trait DripFactory: Sync {
+    /// Creates the state machine installed at each node.
+    fn spawn(&self) -> Box<dyn DripNode>;
+
+    /// Human-readable protocol name (used in traces and experiment tables).
+    fn name(&self) -> String {
+        "drip".to_string()
+    }
+}
+
+/// The paper's definition made executable: a pure function of the history.
+pub struct PureDrip<F: Fn(&History) -> Action> {
+    f: std::sync::Arc<F>,
+}
+
+impl<F: Fn(&History) -> Action> DripNode for PureDrip<F> {
+    fn decide(&mut self, history: &History) -> Action {
+        (self.f)(history)
+    }
+}
+
+/// Factory for [`PureDrip`]s sharing one decision function.
+pub struct PureFactory<F: Fn(&History) -> Action> {
+    f: std::sync::Arc<F>,
+    name: String,
+}
+
+impl<F: Fn(&History) -> Action> PureFactory<F> {
+    /// Wraps a pure decision function as a DRIP factory.
+    pub fn new(name: impl Into<String>, f: F) -> PureFactory<F> {
+        PureFactory {
+            f: std::sync::Arc::new(f),
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: Fn(&History) -> Action + Send + Sync + 'static> DripFactory for PureFactory<F> {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        Box::new(PureDrip {
+            f: std::sync::Arc::clone(&self.f),
+        })
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementary DRIPs
+// ---------------------------------------------------------------------------
+
+/// Listens for `lifetime` rounds, then terminates. Never transmits.
+pub struct SilentFactory {
+    /// Local round at which to terminate.
+    pub lifetime: u64,
+}
+
+impl DripFactory for SilentFactory {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        let lifetime = self.lifetime;
+        Box::new(StepDrip(Box::new(move |i, _| {
+            if i >= lifetime {
+                Action::Terminate
+            } else {
+                Action::Listen
+            }
+        })))
+    }
+
+    fn name(&self) -> String {
+        format!("silent({})", self.lifetime)
+    }
+}
+
+/// Transmits `msg` every round from local round `start` until terminating
+/// at local round `lifetime`.
+pub struct BeaconFactory {
+    /// First transmitting local round.
+    pub start: u64,
+    /// Local round at which to terminate.
+    pub lifetime: u64,
+    /// The transmitted message.
+    pub msg: Msg,
+}
+
+impl DripFactory for BeaconFactory {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        let (start, lifetime, msg) = (self.start, self.lifetime, self.msg);
+        Box::new(StepDrip(Box::new(move |i, _| {
+            if i >= lifetime {
+                Action::Terminate
+            } else if i >= start {
+                Action::Transmit(msg)
+            } else {
+                Action::Listen
+            }
+        })))
+    }
+
+    fn name(&self) -> String {
+        format!("beacon(start={}, life={})", self.start, self.lifetime)
+    }
+}
+
+/// Listens for `wait` rounds, transmits `msg` once in local round
+/// `wait + 1`, then listens until terminating at `lifetime`.
+pub struct WaitThenTransmitFactory {
+    /// Number of initial listening rounds.
+    pub wait: u64,
+    /// The transmitted message.
+    pub msg: Msg,
+    /// Local round at which to terminate.
+    pub lifetime: u64,
+}
+
+impl DripFactory for WaitThenTransmitFactory {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        let (wait, msg, lifetime) = (self.wait, self.msg, self.lifetime);
+        Box::new(StepDrip(Box::new(move |i, _| {
+            if i >= lifetime {
+                Action::Terminate
+            } else if i == wait + 1 {
+                Action::Transmit(msg)
+            } else {
+                Action::Listen
+            }
+        })))
+    }
+
+    fn name(&self) -> String {
+        format!("wait-then-transmit(wait={})", self.wait)
+    }
+}
+
+/// Echo: transmits once in the round right after first hearing a message
+/// (re-broadcasting it), otherwise listens; terminates at `lifetime`.
+/// A building block for wake-up chains in tests.
+pub struct EchoFactory {
+    /// Local round at which to terminate.
+    pub lifetime: u64,
+}
+
+impl DripFactory for EchoFactory {
+    fn spawn(&self) -> Box<dyn DripNode> {
+        let lifetime = self.lifetime;
+        Box::new(StepDrip(Box::new(move |i, h: &History| {
+            if i >= lifetime {
+                return Action::Terminate;
+            }
+            match h.first_message() {
+                Some(r) if (r + 1) as u64 == i => {
+                    Action::Transmit(h.message_at(r).expect("entry is Heard"))
+                }
+                _ => Action::Listen,
+            }
+        })))
+    }
+
+    fn name(&self) -> String {
+        format!("echo(life={})", self.lifetime)
+    }
+}
+
+/// The boxed step function of a [`StepDrip`].
+type StepFn = Box<dyn Fn(u64, &History) -> Action + Send>;
+
+/// Internal adapter: a DRIP given as `(local_round, history) -> action`.
+/// The round argument is redundant (it equals `history.len()`) but makes
+/// the elementary DRIPs above read like the paper's prose.
+struct StepDrip(StepFn);
+
+impl DripNode for StepDrip {
+    fn decide(&mut self, history: &History) -> Action {
+        (self.0)(history.len() as u64, history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Obs;
+
+    fn hist(n: usize) -> History {
+        History::from_entries(vec![Obs::Silence; n])
+    }
+
+    #[test]
+    fn silent_listens_then_terminates() {
+        let f = SilentFactory { lifetime: 3 };
+        let mut node = f.spawn();
+        assert_eq!(node.decide(&hist(1)), Action::Listen);
+        assert_eq!(node.decide(&hist(2)), Action::Listen);
+        assert_eq!(node.decide(&hist(3)), Action::Terminate);
+        assert_eq!(f.name(), "silent(3)");
+    }
+
+    #[test]
+    fn beacon_transmits_in_window() {
+        let f = BeaconFactory {
+            start: 2,
+            lifetime: 4,
+            msg: Msg(5),
+        };
+        let mut node = f.spawn();
+        assert_eq!(node.decide(&hist(1)), Action::Listen);
+        assert_eq!(node.decide(&hist(2)), Action::Transmit(Msg(5)));
+        assert_eq!(node.decide(&hist(3)), Action::Transmit(Msg(5)));
+        assert_eq!(node.decide(&hist(4)), Action::Terminate);
+    }
+
+    #[test]
+    fn wait_then_transmit_fires_once() {
+        let f = WaitThenTransmitFactory {
+            wait: 2,
+            msg: Msg::ONE,
+            lifetime: 6,
+        };
+        let mut node = f.spawn();
+        assert_eq!(node.decide(&hist(1)), Action::Listen);
+        assert_eq!(node.decide(&hist(2)), Action::Listen);
+        assert_eq!(node.decide(&hist(3)), Action::Transmit(Msg::ONE));
+        assert_eq!(node.decide(&hist(4)), Action::Listen);
+        assert_eq!(node.decide(&hist(6)), Action::Terminate);
+    }
+
+    #[test]
+    fn echo_rebroadcasts_first_message() {
+        let f = EchoFactory { lifetime: 10 };
+        let mut node = f.spawn();
+        // woken by message in round 0 → transmit in round 1
+        let woken = History::from_entries(vec![Obs::Heard(Msg(3))]);
+        assert_eq!(node.decide(&woken), Action::Transmit(Msg(3)));
+        // heard in round 2 → transmit in round 3 only
+        let mut node2 = f.spawn();
+        let h = History::from_entries(vec![Obs::Silence, Obs::Silence, Obs::Heard(Msg(8))]);
+        assert_eq!(node2.decide(&h), Action::Transmit(Msg(8)));
+        let h4 = History::from_entries(vec![
+            Obs::Silence,
+            Obs::Silence,
+            Obs::Heard(Msg(8)),
+            Obs::Silence,
+        ]);
+        assert_eq!(node2.decide(&h4), Action::Listen);
+    }
+
+    #[test]
+    fn pure_factory_shares_one_function() {
+        let f = PureFactory::new("always-listen", |_h: &History| Action::Listen);
+        let mut a = f.spawn();
+        let mut b = f.spawn();
+        assert_eq!(a.decide(&hist(1)), Action::Listen);
+        assert_eq!(b.decide(&hist(5)), Action::Listen);
+        assert_eq!(f.name(), "always-listen");
+    }
+}

@@ -1,0 +1,220 @@
+//! A deliberately naive reference executor for differential testing.
+//!
+//! [`run_reference`] implements the radio model with no optimizations at
+//! all: every global round it scans *every* node, recomputes its state
+//! from first principles, and counts transmitting neighbours by walking
+//! the adjacency list of every node. No active lists, no round-stamped
+//! counters, no tag-sorted wake sweep — just the model's definition,
+//! transcribed.
+//!
+//! The optimized [`crate::engine::Executor`] must produce byte-identical
+//! executions; the property suite checks this across random
+//! configurations and protocols. When the two engines disagree, the naive
+//! one is almost certainly right — that is the point.
+
+use radio_graph::{Configuration, NodeId};
+
+use crate::drip::DripFactory;
+use crate::engine::{ExecStats, Execution, RunOpts, SimError};
+use crate::history::History;
+use crate::msg::{Action, Msg, Obs};
+
+/// Runs `factory`'s DRIP on `config` with the naive engine. Options are
+/// honoured except `record_trace` (the reference engine keeps no trace).
+pub fn run_reference(
+    config: &Configuration,
+    factory: &dyn DripFactory,
+    opts: RunOpts,
+) -> Result<Execution, SimError> {
+    let n = config.size();
+    let graph = config.graph();
+
+    #[derive(PartialEq)]
+    enum State {
+        Asleep,
+        Awake,
+        Done,
+    }
+
+    let mut nodes: Vec<Box<dyn crate::drip::DripNode>> = (0..n).map(|_| factory.spawn()).collect();
+    let mut state: Vec<State> = (0..n).map(|_| State::Asleep).collect();
+    let mut histories: Vec<History> = vec![History::new(); n];
+    let mut wake: Vec<u64> = vec![u64::MAX; n];
+    let mut done: Vec<u64> = vec![u64::MAX; n];
+    let mut stats = ExecStats::default();
+    let mut rounds = 0u64;
+
+    let mut r = 0u64;
+    loop {
+        if state.iter().all(|s| *s == State::Done) {
+            break;
+        }
+        if r > opts.max_rounds {
+            let still = state.iter().filter(|s| **s != State::Done).count();
+            return Err(SimError::RoundLimit {
+                max_rounds: opts.max_rounds,
+                still_running: still,
+            });
+        }
+
+        // 1. Every awake node that woke before this round decides.
+        let mut actions: Vec<Option<Action>> = vec![None; n];
+        for v in 0..n {
+            if state[v] == State::Awake && wake[v] < r {
+                actions[v] = Some(nodes[v].decide(&histories[v]));
+            }
+        }
+
+        // 2. Who transmits?
+        let transmits: Vec<Option<Msg>> = actions
+            .iter()
+            .map(|a| match a {
+                Some(Action::Transmit(m)) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        stats.transmissions += transmits.iter().flatten().count() as u64;
+
+        // 3. What does each node perceive? (Recomputed from scratch.)
+        let perceive = |v: usize| -> (u32, Option<Msg>) {
+            let mut count = 0u32;
+            let mut msg = None;
+            for &w in graph.neighbors(v as NodeId) {
+                if let Some(m) = transmits[w as usize] {
+                    count += 1;
+                    msg = Some(m);
+                }
+            }
+            (count, msg)
+        };
+
+        // 4. Deliver to awake actors.
+        for v in 0..n {
+            match actions[v] {
+                Some(Action::Transmit(_)) => histories[v].push(Obs::Silence),
+                Some(Action::Listen) => {
+                    let (count, msg) = perceive(v);
+                    let obs = match count {
+                        0 => Obs::Silence,
+                        1 => {
+                            stats.messages_received += 1;
+                            Obs::Heard(msg.expect("count 1 has a message"))
+                        }
+                        _ => {
+                            stats.collisions_observed += 1;
+                            Obs::Collision
+                        }
+                    };
+                    histories[v].push(obs);
+                }
+                Some(Action::Terminate) => {
+                    state[v] = State::Done;
+                    done[v] = r;
+                }
+                None => {}
+            }
+        }
+
+        // 5. Wake-ups: forced first (exactly one transmitting neighbour),
+        //    then spontaneous at the tag round.
+        for v in 0..n {
+            if state[v] != State::Asleep {
+                continue;
+            }
+            let (count, msg) = perceive(v);
+            if count == 1 {
+                state[v] = State::Awake;
+                wake[v] = r;
+                histories[v].push(Obs::Heard(msg.expect("count 1 has a message")));
+                stats.forced_wakeups += 1;
+            } else if config.tag(v as NodeId) == r {
+                state[v] = State::Awake;
+                wake[v] = r;
+                histories[v].push(Obs::Silence);
+            }
+        }
+
+        rounds = r + 1;
+        r += 1;
+    }
+
+    Ok(Execution {
+        wake_round: wake,
+        done_round: done,
+        histories,
+        rounds,
+        stats,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drip::{BeaconFactory, EchoFactory, SilentFactory, WaitThenTransmitFactory};
+    use crate::engine::Executor;
+    use crate::patient::PatientFactory;
+    use radio_graph::generators;
+
+    fn assert_engines_agree(config: &Configuration, factory: &dyn DripFactory) {
+        let fast = Executor::run(config, factory, RunOpts::default()).unwrap();
+        let naive = run_reference(config, factory, RunOpts::default()).unwrap();
+        assert_eq!(fast.wake_round, naive.wake_round, "{config}: wake rounds");
+        assert_eq!(fast.done_round, naive.done_round, "{config}: done rounds");
+        assert_eq!(fast.histories, naive.histories, "{config}: histories");
+        assert_eq!(fast.rounds, naive.rounds, "{config}: round count");
+        assert_eq!(fast.stats, naive.stats, "{config}: stats");
+    }
+
+    #[test]
+    fn engines_agree_on_fixed_scenarios() {
+        let configs = vec![
+            Configuration::new(generators::path(3), vec![0, 5, 5]).unwrap(),
+            Configuration::new(generators::star(4), vec![0, 1, 1, 1]).unwrap(),
+            Configuration::new(generators::star(3), vec![9, 0, 0]).unwrap(), // sleeping-collision case
+            Configuration::with_uniform_tags(generators::cycle(5), 2).unwrap(),
+            radio_graph::families::h_m(3),
+            radio_graph::families::g_m(2),
+        ];
+        for config in &configs {
+            assert_engines_agree(config, &SilentFactory { lifetime: 6 });
+            assert_engines_agree(
+                config,
+                &WaitThenTransmitFactory {
+                    wait: 0,
+                    msg: Msg(4),
+                    lifetime: 12,
+                },
+            );
+            assert_engines_agree(
+                config,
+                &BeaconFactory {
+                    start: 1,
+                    lifetime: 5,
+                    msg: Msg(2),
+                },
+            );
+            assert_engines_agree(config, &EchoFactory { lifetime: 15 });
+            assert_engines_agree(
+                config,
+                &PatientFactory::new(
+                    WaitThenTransmitFactory {
+                        wait: 1,
+                        msg: Msg(3),
+                        lifetime: 10,
+                    },
+                    config.span(),
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_round_limit_errors() {
+        let config = Configuration::new(generators::path(2), vec![0, 0]).unwrap();
+        let opts = RunOpts::with_max_rounds(5);
+        let fast = Executor::run(&config, &SilentFactory { lifetime: 100 }, opts).unwrap_err();
+        let naive = run_reference(&config, &SilentFactory { lifetime: 100 }, opts).unwrap_err();
+        assert_eq!(fast, naive);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-node local histories.
+//!
+//! A [`History`] is the vector `H_v[0 .. i-1]` of the paper: entry `r` is
+//! what node `v` perceived in its local round `r` (entry 0 describes the
+//! wake-up). The DRIP of a node at local round `i` is a function of exactly
+//! this vector, so `History` is the *only* information the engine ever
+//! exposes to an algorithm.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::msg::{Msg, Obs};
+
+/// A node's local history: `self[r]` is the observation of local round `r`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct History {
+    entries: Vec<Obs>,
+}
+
+impl History {
+    /// Empty history (before wake-up).
+    pub fn new() -> History {
+        History {
+            entries: Vec::new(),
+        }
+    }
+
+    /// History from explicit entries (tests, decision functions).
+    pub fn from_entries(entries: Vec<Obs>) -> History {
+        History { entries }
+    }
+
+    /// Number of recorded rounds. When the engine asks a DRIP for the action
+    /// of local round `i`, `len() == i` (entries `0..=i-1` are present).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before wake-up.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an observation. Used by the engine while recording, and by
+    /// tools that synthesize histories round-by-round (e.g. the
+    /// silence-probing adversary of Proposition 4.4).
+    #[inline]
+    pub fn push(&mut self, obs: Obs) {
+        self.entries.push(obs);
+    }
+
+    /// All entries as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Obs] {
+        &self.entries
+    }
+
+    /// Entry accessor returning `None` out of range.
+    #[inline]
+    pub fn get(&self, r: usize) -> Option<Obs> {
+        self.entries.get(r).copied()
+    }
+
+    /// Iterator over `(local_round, Obs)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Obs)> + '_ {
+        self.entries.iter().copied().enumerate()
+    }
+
+    /// The local round of the first non-silent entry, if any.
+    pub fn first_nonsilent(&self) -> Option<usize> {
+        self.entries.iter().position(|o| !o.is_silence())
+    }
+
+    /// The local round of the first received message, if any (the paper's
+    /// `rcv_w`). Collisions do not count.
+    pub fn first_message(&self) -> Option<usize> {
+        self.entries.iter().position(|o| o.is_message())
+    }
+
+    /// The message received in local round `r`, if entry `r` is `Heard`.
+    pub fn message_at(&self, r: usize) -> Option<Msg> {
+        match self.entries.get(r) {
+            Some(Obs::Heard(m)) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// True when every entry is silence — the "no information ever" state
+    /// the impossibility proofs revolve around.
+    pub fn all_silent(&self) -> bool {
+        self.entries.iter().all(|o| o.is_silence())
+    }
+
+    /// Sub-history `H[from .. from+len]` as a fresh `History` (used by the
+    /// patient transform, which replays a suffix into an inner DRIP).
+    pub fn window(&self, from: usize, len: usize) -> History {
+        History {
+            entries: self.entries[from..from + len].to_vec(),
+        }
+    }
+
+    /// Compact single-line rendering, e.g. `[∅ ∅ '1' ∗ ∅]`.
+    pub fn render(&self) -> String {
+        let cells: Vec<String> = self
+            .entries
+            .iter()
+            .map(|o| match o {
+                Obs::Silence => "∅".to_string(),
+                Obs::Heard(m) => format!("'{}'", m.0),
+                Obs::Collision => "∗".to_string(),
+            })
+            .collect();
+        format!("[{}]", cells.join(" "))
+    }
+}
+
+impl Index<usize> for History {
+    type Output = Obs;
+
+    fn index(&self, r: usize) -> &Obs {
+        &self.entries[r]
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a Obs;
+    type IntoIter = std::slice::Iter<'a, Obs>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> History {
+        History::from_entries(vec![
+            Obs::Silence,
+            Obs::Silence,
+            Obs::Heard(Msg(9)),
+            Obs::Collision,
+            Obs::Silence,
+        ])
+    }
+
+    #[test]
+    fn len_and_index() {
+        let h = sample();
+        assert_eq!(h.len(), 5);
+        assert!(!h.is_empty());
+        assert_eq!(h[2], Obs::Heard(Msg(9)));
+        assert_eq!(h.get(4), Some(Obs::Silence));
+        assert_eq!(h.get(5), None);
+    }
+
+    #[test]
+    fn first_positions() {
+        let h = sample();
+        assert_eq!(h.first_nonsilent(), Some(2));
+        assert_eq!(h.first_message(), Some(2));
+        assert_eq!(h.message_at(2), Some(Msg(9)));
+        assert_eq!(h.message_at(3), None);
+        let all = History::from_entries(vec![Obs::Silence; 3]);
+        assert!(all.all_silent());
+        assert_eq!(all.first_message(), None);
+        // collision before any message: first_nonsilent differs from
+        // first_message
+        let h2 = History::from_entries(vec![Obs::Silence, Obs::Collision, Obs::Heard(Msg(1))]);
+        assert_eq!(h2.first_nonsilent(), Some(1));
+        assert_eq!(h2.first_message(), Some(2));
+    }
+
+    #[test]
+    fn window_extracts_suffix() {
+        let h = sample();
+        let w = h.window(2, 3);
+        assert_eq!(
+            w.as_slice(),
+            &[Obs::Heard(Msg(9)), Obs::Collision, Obs::Silence]
+        );
+    }
+
+    #[test]
+    fn render_is_compact() {
+        assert_eq!(sample().render(), "[∅ ∅ '9' ∗ ∅]");
+        assert_eq!(History::new().render(), "[]");
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(sample());
+        assert!(set.contains(&sample()));
+        assert!(!set.contains(&History::new()));
+    }
+}

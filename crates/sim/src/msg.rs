@@ -1,0 +1,117 @@
+//! Messages, observations, and actions — the alphabet of the radio model.
+
+use std::fmt;
+
+/// A transmitted message.
+///
+/// The paper allows arbitrary strings; every algorithm it constructs
+/// transmits only the constant `'1'`, and the impossibility arguments need
+/// only message *equality*. A 64-bit token is therefore a faithful and
+/// `Copy`-cheap substitution (documented in `DESIGN.md §2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Msg(pub u64);
+
+impl Msg {
+    /// The constant message `'1'` used by the canonical DRIP.
+    pub const ONE: Msg = Msg(1);
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}'", self.0)
+    }
+}
+
+/// One entry of a node's local history: what the node perceived in one
+/// local round. Matches the paper's `(∅)` / `(M)` / `(∗)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Obs {
+    /// `(∅)`: the node transmitted (hearing nothing), or listened and heard
+    /// silence, or woke spontaneously (round 0).
+    Silence,
+    /// `(M)`: the node listened and exactly one neighbour transmitted `M`,
+    /// or the node was woken by message `M` (round 0).
+    Heard(Msg),
+    /// `(∗)`: the node listened while two or more neighbours transmitted.
+    Collision,
+}
+
+impl Obs {
+    /// True for `Heard(_)`.
+    #[inline]
+    pub fn is_message(&self) -> bool {
+        matches!(self, Obs::Heard(_))
+    }
+
+    /// True for `Silence`.
+    #[inline]
+    pub fn is_silence(&self) -> bool {
+        matches!(self, Obs::Silence)
+    }
+
+    /// True for `Collision`.
+    #[inline]
+    pub fn is_collision(&self) -> bool {
+        matches!(self, Obs::Collision)
+    }
+}
+
+impl fmt::Display for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Obs::Silence => write!(f, "(∅)"),
+            Obs::Heard(m) => write!(f, "({m})"),
+            Obs::Collision => write!(f, "(∗)"),
+        }
+    }
+}
+
+/// The action a DRIP chooses for one local round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Stay silent and listen.
+    Listen,
+    /// Transmit `Msg` to all neighbours.
+    Transmit(Msg),
+    /// Terminate permanently (the engine will never consult this node
+    /// again).
+    Terminate,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Listen => write!(f, "listen"),
+            Action::Transmit(m) => write!(f, "transmit({m})"),
+            Action::Terminate => write!(f, "terminate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_predicates() {
+        assert!(Obs::Silence.is_silence());
+        assert!(Obs::Heard(Msg::ONE).is_message());
+        assert!(Obs::Collision.is_collision());
+        assert!(!Obs::Collision.is_message());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Obs::Silence.to_string(), "(∅)");
+        assert_eq!(Obs::Heard(Msg(7)).to_string(), "('7')");
+        assert_eq!(Obs::Collision.to_string(), "(∗)");
+        assert_eq!(Action::Listen.to_string(), "listen");
+        assert_eq!(Action::Transmit(Msg::ONE).to_string(), "transmit('1')");
+        assert_eq!(Action::Terminate.to_string(), "terminate");
+    }
+
+    #[test]
+    fn msg_one_constant() {
+        assert_eq!(Msg::ONE, Msg(1));
+    }
+}

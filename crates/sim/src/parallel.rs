@@ -1,0 +1,147 @@
+//! Parallel batch execution over crossbeam scoped threads.
+//!
+//! The sweeps in `radio-bench` run thousands of independent simulations;
+//! [`par_map`] distributes them over the machine's cores with dynamic
+//! work-stealing (a shared atomic cursor), which handles the highly skewed
+//! per-item costs of configuration sweeps (an `H_4096` run is ~1000× an
+//! `H_4` run) far better than static chunking.
+//!
+//! `crossbeam::scope` + `parking_lot::Mutex` keep this dependency-light and
+//! data-race-free: items are handed out by index, results are written into
+//! pre-allocated slots, and the scope guarantees all borrows end before
+//! `par_map` returns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving order of results.
+///
+/// `f` runs on `min(available_parallelism, items.len())` worker threads.
+/// Panics in `f` propagate (the scope unwinds).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_threads(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (≥ 1). Used by the scaling
+/// experiment (E10) to measure speedup curves.
+pub fn par_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// The worker count [`par_map`] uses: `available_parallelism`, or 1 if the
+/// platform cannot report it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|nz| nz.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let parallel = par_map(&items, |x| x * x + 1);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn preserves_order_with_skewed_costs() {
+        // items with wildly different costs must still land in order
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = par_map(&[] as &[u8], |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_and_single_thread() {
+        assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+        assert_eq!(
+            par_map_with_threads(&[1, 2, 3], 1, |x| x * 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u32> = (0..100).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 7).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map_with_threads(&items, threads, |x| x + 7), expect);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items = vec![1, 2, 3];
+        let _ = par_map_with_threads(&items, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

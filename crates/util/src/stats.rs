@@ -1,0 +1,219 @@
+//! Descriptive statistics and scaling fits for the experiment harness.
+//!
+//! The paper's claims are asymptotic (`O(n³Δ)` classifier, `O(n²σ)` election,
+//! `Ω(n)`/`Ω(σ)` lower bounds). The experiments validate *shape*, so the
+//! harness needs, beyond plain summaries, a least-squares slope on log–log
+//! axes: a measured slope ≈ k over a decade of inputs is the empirical
+//! counterpart of "grows like x^k".
+
+/// Summary statistics over a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (average of the middle two for even `n`).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Returns `None` on an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Some(Summary {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median,
+        })
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on a sorted copy.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[idx])
+}
+
+/// Result of an ordinary least-squares line fit `y = a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Intercept.
+    pub intercept: f64,
+    /// Slope.
+    pub slope: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Ordinary least-squares fit of `y` against `x`.
+///
+/// Returns `None` if fewer than two points or if `x` is constant.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LineFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let syy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LineFit {
+        intercept,
+        slope,
+        r2,
+    })
+}
+
+/// Least-squares slope on log–log axes: fits `ln y = a + k·ln x` and returns
+/// the exponent estimate `k` (plus fit quality).
+///
+/// Points with non-positive coordinates are skipped (they have no logarithm);
+/// returns `None` if fewer than two usable points remain.
+pub fn loglog_slope(x: &[f64], y: &[f64]) -> Option<LineFit> {
+    let pts: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(&a, &b)| a > 0.0 && b > 0.0)
+        .map(|(&a, &b)| (a.ln(), b.ln()))
+        .collect();
+    let (lx, ly): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
+    linear_fit(&lx, &ly)
+}
+
+/// Maximum of `y[i] / bound[i]`; the experiments use this to report how much
+/// headroom a measured quantity keeps under a theoretical budget.
+///
+/// Returns `None` on empty or mismatched input, or when a bound is zero.
+pub fn max_ratio(y: &[f64], bound: &[f64]) -> Option<f64> {
+    if y.len() != bound.len() || y.is_empty() || bound.contains(&0.0) {
+        return None;
+    }
+    y.iter()
+        .zip(bound)
+        .map(|(a, b)| a / b)
+        .max_by(|p, q| p.partial_cmp(q).expect("NaN ratio"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!(close(s.mean, 2.5));
+        assert!(close(s.median, 2.5));
+        assert!(close(s.min, 1.0));
+        assert!(close(s.max, 4.0));
+        // population std dev of 1..4 is sqrt(1.25)
+        assert!(close(s.std_dev, 1.25f64.sqrt()));
+    }
+
+    #[test]
+    fn summary_median_odd() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert!(close(s.median, 5.0));
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert!(close(quantile(&xs, 0.0).unwrap(), 1.0));
+        assert!(close(quantile(&xs, 1.0).unwrap(), 3.0));
+        assert!(close(quantile(&xs, 0.5).unwrap(), 2.0));
+        assert!(quantile(&xs, 1.5).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let f = linear_fit(&x, &y).unwrap();
+        assert!(close(f.slope, 2.0));
+        assert!(close(f.intercept, 1.0));
+        assert!(close(f.r2, 1.0));
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        // y = 5 x^3
+        let x: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v.powi(3)).collect();
+        let f = loglog_slope(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-6, "slope {}", f.slope);
+        assert!((f.intercept - 5.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let x = [0.0, 1.0, 2.0, 4.0];
+        let y = [7.0, 2.0, 4.0, 8.0]; // usable points follow y = 2x
+        let f = loglog_slope(&x, &y).unwrap();
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_ratio_works() {
+        let r = max_ratio(&[2.0, 9.0, 4.0], &[1.0, 3.0, 4.0]).unwrap();
+        assert!(close(r, 3.0));
+        assert!(max_ratio(&[1.0], &[0.0]).is_none());
+        assert!(max_ratio(&[], &[]).is_none());
+    }
+}

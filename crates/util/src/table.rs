@@ -1,0 +1,238 @@
+//! A minimal table model with Markdown and CSV renderers.
+//!
+//! Every experiment in `radio-bench` reports its result through a [`Table`]:
+//! the `experiments` binary prints the Markdown form to stdout and can save
+//! the CSV form next to it. Keeping the model tiny (strings only, explicit
+//! alignment) avoids a serialization dependency while staying easy to test.
+
+use std::fmt::Write as _;
+
+/// Column alignment in the Markdown rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (default for text).
+    Left,
+    /// Right-aligned (default for numbers).
+    Right,
+}
+
+/// An in-memory table: a title, a header row, and data rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers, all columns
+    /// right-aligned except the first.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if let Some(first) = aligns.first_mut() {
+            *first = Align::Left;
+        }
+        Table {
+            title: title.into(),
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-column alignment. Panics if the length differs from
+    /// the header count.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a data row. Panics if the arity differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of `Display`-able cells.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Cell accessor (row, column) for tests and post-processing.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+
+    /// Renders the table as aligned GitHub-flavoured Markdown, preceded by a
+    /// `###` title line. Widths are computed in characters (not bytes) so
+    /// headers like `σ` or `⌈n/2⌉` align correctly.
+    pub fn to_markdown(&self) -> String {
+        fn width(s: &str) -> usize {
+            s.chars().count()
+        }
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| width(h)).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(width(cell));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let pad = |s: &str, w: usize, a: Align| -> String {
+            let fill = w.saturating_sub(width(s));
+            match a {
+                Align::Left => format!("{s}{}", " ".repeat(fill)),
+                Align::Right => format!("{}{s}", " ".repeat(fill)),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "| {} |",
+            (0..ncols)
+                .map(|i| pad(&self.headers[i], widths[i], self.aligns[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            (0..ncols)
+                .map(|i| match self.aligns[i] {
+                    Align::Left => format!(":{}", "-".repeat(widths[i] + 1)),
+                    Align::Right => format!("{}:", "-".repeat(widths[i] + 1)),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                (0..ncols)
+                    .map(|i| pad(&row[i], widths[i], self.aligns[i]))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quoting cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, trimming `-0`.
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    let s = format!("{v:.decimals$}");
+    if s.starts_with("-0.") && s[3..].bytes().all(|b| b == b'0') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push(&["alpha", "1"]);
+        t.push(&["b", "22"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| alpha |     1 |"), "got:\n{md}");
+        assert!(md.contains("| b     |    22 |"));
+        assert!(md.contains("|:------|------:|"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\",\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(&["only one"]);
+    }
+
+    #[test]
+    fn cell_accessor() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(&["v"]);
+        assert_eq!(t.cell(0, 0), Some("v"));
+        assert_eq!(t.cell(1, 0), None);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_f64_trims_negative_zero() {
+        assert_eq!(fmt_f64(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f64(1.2345, 2), "1.23");
+        assert_eq!(fmt_f64(-1.5, 1), "-1.5");
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new("x", &["a", "b"]).with_aligns(&[Align::Right, Align::Left]);
+        t.push(&["1", "yy"]);
+        let md = t.to_markdown();
+        assert!(md.contains("|--:|:---|"), "got:\n{md}");
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's impossibility results, demonstrated live.
+//!
+//! * **Proposition 4.4** — no universal leader-election algorithm: for each
+//!   candidate in the gallery, find its silence-breaking round `t` and
+//!   watch it fail on the feasible 4-node configuration `H_{t+1}`.
+//! * **Proposition 4.5** — no distributed feasibility decision: the same
+//!   `t` makes every node's history identical on feasible `H_{t+1}` and
+//!   infeasible `S_{t+1}`.
+//!
+//! ```sh
+//! cargo run --example impossibility_live
+//! ```
+
+use anon_radio::distributed::refute_distributed_decision;
+use anon_radio::universal::{gallery, refute_universal, Refutation};
+use radio_graph::families;
+use radio_sim::drip::WaitThenTransmitFactory;
+use radio_sim::Msg;
+
+fn main() {
+    println!("=== Proposition 4.4: every universal candidate fails ===\n");
+    for candidate in gallery() {
+        match refute_universal(&candidate, 10_000) {
+            Refutation::NeverTransmits { probed_rounds } => {
+                println!(
+                    "{:<24} never transmits in {probed_rounds} rounds of silence → \
+                     cannot break symmetry anywhere",
+                    candidate.name
+                );
+            }
+            Refutation::FailsOn {
+                t,
+                m,
+                leaders,
+                symmetric_pairs,
+            } => {
+                println!(
+                    "{:<24} breaks silence at local round t={t} → on H_{m} \
+                     (tags [{}, 0, 0, {}]) it elects {} leader(s) {:?}",
+                    candidate.name,
+                    m,
+                    m + 1,
+                    leaders.len(),
+                    leaders,
+                );
+                println!(
+                    "{:<24} history pairs equal? a=d: {}, b=c: {}",
+                    "", symmetric_pairs[0], symmetric_pairs[1]
+                );
+            }
+        }
+    }
+
+    println!("\n=== Proposition 4.5: feasibility cannot be decided distributively ===\n");
+    let probe = WaitThenTransmitFactory {
+        wait: 2,
+        msg: Msg::ONE,
+        lifetime: 16,
+    };
+    let refutation = refute_distributed_decision(&probe, 10_000).expect("probe transmits");
+    println!(
+        "DRIP 'wait-then-transmit(2)' breaks silence at t={}; compare H_{} vs S_{}:",
+        refutation.t, refutation.m, refutation.m
+    );
+    println!(
+        "  H_{} feasible: {}   S_{} feasible: {}",
+        refutation.m, refutation.h_feasible, refutation.m, refutation.s_feasible
+    );
+    for (v, name) in families::FOUR_NODE_NAMES.iter().enumerate() {
+        println!(
+            "  node {name}: history on H = history on S? {}   ({})",
+            refutation.histories_identical[v],
+            refutation.h_histories[v].render()
+        );
+    }
+    println!();
+    println!("identical per-node histories force identical verdicts — any distributed");
+    println!("decision algorithm is wrong on one of the two configurations.  ∎");
+}

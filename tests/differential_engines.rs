@@ -1,0 +1,74 @@
+//! Differential testing: the optimized executor vs the naive reference
+//! executor, across random configurations and protocols — including the
+//! canonical DRIP itself. Any divergence is a bug in the optimized engine.
+
+use proptest::prelude::*;
+
+use radio_graph::{generators, Configuration};
+use radio_sim::drip::{BeaconFactory, EchoFactory, WaitThenTransmitFactory};
+use radio_sim::engine_ref::run_reference;
+use radio_sim::{DripFactory, Executor, Msg, PatientFactory, RunOpts};
+
+fn build_config(n: usize, extra: usize, span: u64, seed: u64) -> Configuration {
+    let mut rng = radio_util::rng::rng_from(seed);
+    let max_extra = n * (n - 1) / 2 - n.saturating_sub(1);
+    let g = generators::random_connected(n, extra.min(max_extra), &mut rng);
+    radio_graph::tags::random_in_span(g, span, &mut rng)
+}
+
+fn config_strategy() -> impl Strategy<Value = Configuration> {
+    (1usize..12, 0usize..8, 0u64..7, any::<u64>())
+        .prop_map(|(n, extra, span, seed)| build_config(n, extra, span, seed))
+}
+
+fn assert_identical(
+    config: &Configuration,
+    factory: &dyn DripFactory,
+) -> Result<(), TestCaseError> {
+    let fast = Executor::run(config, factory, RunOpts::default()).unwrap();
+    let naive = run_reference(config, factory, RunOpts::default()).unwrap();
+    prop_assert_eq!(&fast.wake_round, &naive.wake_round, "{}", config);
+    prop_assert_eq!(&fast.done_round, &naive.done_round, "{}", config);
+    prop_assert_eq!(&fast.histories, &naive.histories, "{}", config);
+    prop_assert_eq!(fast.rounds, naive.rounds, "{}", config);
+    prop_assert_eq!(fast.stats, naive.stats, "{}", config);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wait_then_transmit_differential(config in config_strategy(), wait in 0u64..5) {
+        let f = WaitThenTransmitFactory { wait, msg: Msg(9), lifetime: wait + 12 };
+        assert_identical(&config, &f)?;
+    }
+
+    #[test]
+    fn beacon_differential(config in config_strategy(), start in 1u64..4, extra in 1u64..5) {
+        let f = BeaconFactory { start, lifetime: start + extra, msg: Msg(2) };
+        assert_identical(&config, &f)?;
+    }
+
+    #[test]
+    fn echo_differential(config in config_strategy()) {
+        let f = EchoFactory { lifetime: 18 };
+        assert_identical(&config, &f)?;
+    }
+
+    #[test]
+    fn patient_differential(config in config_strategy(), wait in 0u64..4) {
+        let f = PatientFactory::new(
+            WaitThenTransmitFactory { wait, msg: Msg(5), lifetime: wait + 10 },
+            config.span(),
+        );
+        assert_identical(&config, &f)?;
+    }
+
+    #[test]
+    fn canonical_drip_differential(config in config_strategy()) {
+        let (_, schedule) = anon_radio::CanonicalSchedule::build(&config);
+        let factory = anon_radio::CanonicalFactory::new(std::sync::Arc::new(schedule));
+        assert_identical(&config, &factory)?;
+    }
+}
