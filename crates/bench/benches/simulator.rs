@@ -1,9 +1,11 @@
-//! Criterion: raw simulator throughput — the E10 companion timing.
+//! Criterion: raw simulator throughput — the E10 companion timing — plus
+//! a channel-model comparison on an identical workload (the default model
+//! is the regression-watch baseline; the other two price the model layer).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use radio_graph::{generators, Configuration};
 use radio_sim::drip::{SilentFactory, WaitThenTransmitFactory};
-use radio_sim::{Executor, Msg, RunOpts};
+use radio_sim::{Executor, ModelKind, Msg, RunOpts};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -49,5 +51,42 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    // One fixed flood workload per model: identical configuration and
+    // DRIP, only the channel semantics vary.
+    let n = 256usize;
+    let config = Configuration::new(generators::path(n), (0..n as u64).collect()).unwrap();
+    let rounds = (n as u64 + 20) * n as u64;
+    group.throughput(Throughput::Elements(rounds));
+    for model in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("flood_path_256", model),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    model
+                        .run(
+                            config,
+                            &WaitThenTransmitFactory {
+                                wait: 0,
+                                msg: Msg::ONE,
+                                lifetime: 20,
+                            },
+                            RunOpts::default(),
+                        )
+                        .unwrap()
+                        .rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_models);
 criterion_main!(benches);

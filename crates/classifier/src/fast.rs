@@ -20,19 +20,20 @@ pub(crate) fn refine_fast(state: &mut RefState, labels: &[Label]) {
     let n = state.classes.len();
     let old: Vec<u32> = state.classes.clone();
 
-    let mut table: FxHashMap<(u32, Label), u32> = FxHashMap::default();
+    // Keys borrow the labels slice — hashing a key costs a walk over at
+    // most Δ triples but never a clone or allocation. Everything inserted
+    // (representatives up front, fresh class representatives below) is a
+    // reference into `labels`, which outlives the table.
+    let mut table: FxHashMap<(u32, &Label), u32> = FxHashMap::default();
     table.reserve(state.num_classes as usize + 8);
     for k in 1..=state.num_classes {
         let rep = state.reps[(k - 1) as usize] as usize;
-        let prev = table.insert((old[rep], labels[rep].clone()), k);
+        let prev = table.insert((old[rep], &labels[rep]), k);
         debug_assert!(prev.is_none(), "representatives must have distinct keys");
     }
 
     for v in 0..n {
-        // One clone per lookup keeps the code simple; labels hold at most Δ
-        // triples, so this is O(nΔ) per iteration overall.
-        let key = (old[v], labels[v].clone());
-        match table.entry(key) {
+        match table.entry((old[v], &labels[v])) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 state.classes[v] = *e.get();
             }

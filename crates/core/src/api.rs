@@ -100,8 +100,20 @@ pub fn solve(config: &Configuration) -> Result<DedicatedElection, Infeasible> {
 /// One call: classify, compile, simulate, validate — returns the elected
 /// leader and run metrics.
 pub fn elect_leader(config: &Configuration) -> Result<ElectionReport, ElectError> {
+    elect_leader_under(config, radio_sim::ModelKind::default())
+}
+
+/// [`elect_leader`] under an explicit channel model.
+///
+/// The compiled algorithm is proved correct only for the default (paper)
+/// model; foreign models run deterministically but may break the
+/// exactly-one-leader contract, which surfaces as an error.
+pub fn elect_leader_under(
+    config: &Configuration,
+    model: radio_sim::ModelKind,
+) -> Result<ElectionReport, ElectError> {
     let dedicated = solve(config).map_err(|e| ElectError::Simulation(e.to_string()))?;
-    dedicated.run()
+    dedicated.run_under(model, radio_sim::RunOpts::default())
 }
 
 #[cfg(test)]

@@ -5,8 +5,12 @@
 //! anon-radio family h 3 | anon-radio check -     # decide feasibility
 //! anon-radio family g 4 | anon-radio trace -     # refinement trace
 //! anon-radio family h 3 | anon-radio elect -     # run the election
+//! anon-radio family h 3 | anon-radio elect --model cd -   # … under collision detection
 //! anon-radio family s 2 | anon-radio dot -       # Graphviz export
 //! ```
+//!
+//! `--model <no-cd|cd|beep>` selects the channel semantics for `elect`
+//! (default: `no-cd`, the paper's model).
 //!
 //! Configuration files use the `radio-graph` text format:
 //!
@@ -19,9 +23,24 @@
 use std::io::Read;
 
 use radio_graph::{families, io, Configuration};
+use radio_sim::ModelKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let model = match extract_model(&mut args) {
+        Ok(model) => model,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    // Only `elect` runs a simulation; silently ignoring --model elsewhere
+    // would let a model sweep produce identical results without warning.
+    if model.is_some() && args.first().map(String::as_str) != Some("elect") {
+        eprintln!("error: --model only applies to the `elect` subcommand");
+        std::process::exit(2);
+    }
+    let model = model.unwrap_or_default();
     let code = match args.first().map(String::as_str) {
         Some("check") => with_config(&args, |config| {
             let outcome = radio_classifier::classify(config);
@@ -45,23 +64,25 @@ fn main() {
             print!("{}", radio_classifier::trace::render(config, &outcome));
             0
         }),
-        Some("elect") => with_config(&args, |config| match anon_radio::elect_leader(config) {
-            Ok(report) => {
-                println!("{config}");
-                println!(
-                    "leader: v{} | phases: {} | local rounds: {} | done by global round {} | \
-                     transmissions: {}",
-                    report.leader,
-                    report.phases,
-                    report.rounds_local,
-                    report.completion_round,
-                    report.transmissions
-                );
-                0
-            }
-            Err(e) => {
-                eprintln!("election failed: {e}");
-                1
+        Some("elect") => with_config(&args, |config| {
+            match anon_radio::elect_leader_under(config, model) {
+                Ok(report) => {
+                    println!("{config}");
+                    println!(
+                        "model: {model} | leader: v{} | phases: {} | local rounds: {} | \
+                         done by global round {} | transmissions: {}",
+                        report.leader,
+                        report.phases,
+                        report.rounds_local,
+                        report.completion_round,
+                        report.transmissions
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("election failed under model {model}: {e}");
+                    1
+                }
             }
         }),
         Some("dot") => with_config(&args, |config| {
@@ -106,6 +127,29 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Strips a `--model <name>` (or `--model=<name>`) flag from `args`,
+/// returning the selected channel model (`None` when the flag is absent).
+fn extract_model(args: &mut Vec<String>) -> Result<Option<ModelKind>, String> {
+    let mut model = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(value) = args[i].strip_prefix("--model=") {
+            model = Some(value.parse()?);
+            args.remove(i);
+        } else if args[i] == "--model" {
+            let value = args
+                .get(i + 1)
+                .cloned()
+                .ok_or_else(|| "--model needs a value (no-cd, cd, or beep)".to_string())?;
+            model = Some(value.parse()?);
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(model)
+}
+
 fn family_command(args: &[String]) -> i32 {
     let (kind, m) = match (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) {
         (Some(kind), Some(m)) => (kind.as_str(), m),
@@ -117,8 +161,19 @@ fn family_command(args: &[String]) -> i32 {
         "s" if m >= 1 => families::s_m(m),
         _ => return usage(),
     };
-    print!("{}", io::to_text(&config));
-    0
+    // `family` is the designed producer end of shell pipelines; a consumer
+    // that exits early (e.g. on a bad flag) closes the pipe, and `print!`
+    // would panic on the resulting EPIPE. Write directly: a closed pipe is
+    // a clean stop, any other write failure is a real error.
+    use std::io::Write as _;
+    match std::io::stdout().write_all(io::to_text(&config).as_bytes()) {
+        Ok(()) => 0,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+        Err(e) => {
+            eprintln!("error: could not write configuration: {e}");
+            1
+        }
+    }
 }
 
 /// Loads the configuration named by `args[1]` (`-` = stdin) and applies
@@ -161,6 +216,7 @@ fn usage() -> i32 {
          \u{20}  anon-radio check   <file|->    decide feasibility (Thm 3.17)\n\
          \u{20}  anon-radio trace   <file|->    show the Classifier refinement trace\n\
          \u{20}  anon-radio elect   <file|->    compile and run the dedicated election\n\
+         \u{20}                                 (--model no-cd|cd|beep selects the channel)\n\
          \u{20}  anon-radio compile <file|->    print the compiled dedicated algorithm\n\
          \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
          \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\

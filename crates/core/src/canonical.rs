@@ -17,7 +17,7 @@
 //! terminates on time. This keeps the DRIP total (every node terminates)
 //! without inventing behaviour the paper doesn't define.
 
-use radio_sim::{Action, DripFactory, DripNode, History, Msg};
+use radio_sim::{Action, DripFactory, DripNode, HistoryView, Msg};
 
 use crate::schedule::{MatchResult, SharedSchedule};
 use radio_classifier::Level;
@@ -73,7 +73,7 @@ struct CanonicalNode {
 }
 
 impl DripNode for CanonicalNode {
-    fn decide(&mut self, history: &History) -> Action {
+    fn decide(&mut self, history: HistoryView<'_>) -> Action {
         let i = history.len() as u64; // local round to act in
         let s = &self.schedule;
 

@@ -37,12 +37,12 @@ impl LeaderDecision {
                 Level::Blocks(entries) => entries,
                 Level::Terminate => unreachable!("levels 1..=T are block levels"),
             };
-            match s.match_entries(history, j - 1, t_block, entries) {
+            match s.match_entries(history.view(), j - 1, t_block, entries) {
                 MatchResult::Unique(k) => t_block = k,
                 _ => return None,
             }
         }
-        match s.match_entries(history, s.phases(), t_block, &s.lists.final_entries) {
+        match s.match_entries(history.view(), s.phases(), t_block, &s.lists.final_entries) {
             MatchResult::Unique(k) => Some(k),
             _ => None,
         }

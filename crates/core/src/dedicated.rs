@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use radio_graph::{Configuration, NodeId};
-use radio_sim::{run_election, Executor, LeaderAlgorithm, RunOpts, SimError};
+use radio_sim::{run_election_under, LeaderAlgorithm, ModelKind, RunOpts, SimError};
 
 use crate::api::{ElectError, ElectionReport, Infeasible};
 use crate::canonical::CanonicalFactory;
@@ -81,6 +81,17 @@ impl DedicatedElection {
 
     /// [`DedicatedElection::run`] with explicit executor options.
     pub fn run_with(&self, opts: RunOpts) -> Result<ElectionReport, ElectError> {
+        self.run_under(ModelKind::default(), opts)
+    }
+
+    /// [`DedicatedElection::run`] under an explicit channel model.
+    ///
+    /// The canonical DRIP's correctness proof (Theorem 3.15) only covers
+    /// the paper's model — the default [`ModelKind::NoCollisionDetection`].
+    /// Under a foreign channel the run is still deterministic and total,
+    /// but the exactly-one-leader contract may fail, surfacing as
+    /// [`ElectError::Contract`] or [`ElectError::PredictionMismatch`].
+    pub fn run_under(&self, model: ModelKind, opts: RunOpts) -> Result<ElectionReport, ElectError> {
         let factory = self.factory();
         let decision = self.decision();
         let decide = move |h: &radio_sim::History| decision.is_leader(h);
@@ -88,7 +99,7 @@ impl DedicatedElection {
             drip: &factory,
             decide: &decide,
         };
-        let outcome = run_election(&self.config, &algorithm, opts)
+        let outcome = run_election_under(model, &self.config, &algorithm, opts)
             .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
         let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
             leaders: outcome.leaders.clone(),
@@ -114,8 +125,17 @@ impl DedicatedElection {
     /// Convenience: run the canonical DRIP and return the raw execution
     /// (used by validators and experiments).
     pub fn execute(&self, opts: RunOpts) -> Result<radio_sim::Execution, SimError> {
+        self.execute_under(ModelKind::default(), opts)
+    }
+
+    /// [`DedicatedElection::execute`] under an explicit channel model.
+    pub fn execute_under(
+        &self,
+        model: ModelKind,
+        opts: RunOpts,
+    ) -> Result<radio_sim::Execution, SimError> {
         let factory = self.factory();
-        Executor::run(&self.config, &factory, opts)
+        model.run(&self.config, &factory, opts)
     }
 }
 

@@ -50,7 +50,9 @@ pub mod schedule;
 pub mod universal;
 pub mod verify;
 
-pub use api::{elect_leader, is_feasible, solve, ElectError, ElectionReport, Infeasible};
+pub use api::{
+    elect_leader, elect_leader_under, is_feasible, solve, ElectError, ElectionReport, Infeasible,
+};
 pub use canonical::CanonicalFactory;
 pub use dedicated::DedicatedElection;
 pub use schedule::CanonicalSchedule;

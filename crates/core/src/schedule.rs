@@ -23,7 +23,6 @@ use std::sync::Arc;
 
 use radio_classifier::{CanonicalLists, Label, ListEntry, Multi, Outcome, Triple};
 use radio_graph::Configuration;
-use radio_sim::History;
 
 /// The complete dedicated knowledge of the canonical DRIP for one
 /// configuration, plus derived geometry.
@@ -96,7 +95,7 @@ impl CanonicalSchedule {
     /// `t = r_{j-1} + (a−1)(2σ+1) + b` becomes `(a, b, c)` with `c = 1` for
     /// a message and `∗` for a collision. Rounds beyond the block region
     /// (the trailing `σ` listening rounds) are ignored, as in the paper.
-    pub fn observed_triples(&self, history: &History, j: usize) -> Vec<Triple> {
+    pub fn observed_triples(&self, history: radio_sim::HistoryView<'_>, j: usize) -> Vec<Triple> {
         let start = self.phase_end(j - 1); // r_{j-1}; phase rounds start at +1
         let width = 2 * self.sigma + 1;
         let block_region = self.blocks(j) * width;
@@ -110,7 +109,10 @@ impl CanonicalSchedule {
             let c = match obs {
                 radio_sim::Obs::Silence => continue,
                 radio_sim::Obs::Heard(_) => Multi::One,
-                radio_sim::Obs::Collision => Multi::Star,
+                // Noise only arises off-model; treat it like collision
+                // noise for matching purposes (the node goes off-schedule
+                // anyway on any foreign channel).
+                radio_sim::Obs::Collision | radio_sim::Obs::Noise => Multi::Star,
             };
             let a = ((off - 1) / width + 1) as u32;
             let b = (off - 1) % width + 1;
@@ -127,7 +129,7 @@ impl CanonicalSchedule {
     /// decision function resolves the leader class).
     pub fn match_entries(
         &self,
-        history: &History,
+        history: radio_sim::HistoryView<'_>,
         j_prev: usize,
         prev_block: u32,
         entries: &[ListEntry],
@@ -303,7 +305,7 @@ mod tests {
             });
         }
         let h = History::from_entries(entries);
-        let observed = s.observed_triples(&h, 1);
+        let observed = s.observed_triples(h.view(), 1);
         assert_eq!(
             observed,
             vec![
@@ -326,7 +328,7 @@ mod tests {
             });
         }
         let h = History::from_entries(entries);
-        assert!(s.observed_triples(&h, 1).is_empty());
+        assert!(s.observed_triples(h.view(), 1).is_empty());
     }
 
     #[test]
@@ -344,7 +346,7 @@ mod tests {
             });
         }
         let h = History::from_entries(entries);
-        let m = s.match_entries(&h, 1, 1, &s.lists.final_entries);
+        let m = s.match_entries(h.view(), 1, 1, &s.lists.final_entries);
         assert_eq!(
             m,
             MatchResult::Unique(1),
@@ -378,7 +380,7 @@ mod tests {
         // H_2, where every node hears something in phase 1.
         let h = History::from_entries(vec![Obs::Silence; 11]);
         assert_eq!(
-            s.match_entries(&h, 1, 1, &s.lists.final_entries),
+            s.match_entries(h.view(), 1, 1, &s.lists.final_entries),
             MatchResult::NoMatch
         );
         // wrong previous block also fails
@@ -392,7 +394,7 @@ mod tests {
         }
         let h = History::from_entries(entries);
         assert_eq!(
-            s.match_entries(&h, 1, 99, &s.lists.final_entries),
+            s.match_entries(h.view(), 1, 99, &s.lists.final_entries),
             MatchResult::NoMatch
         );
     }

@@ -21,7 +21,8 @@
 
 use radio_graph::{families, Configuration, NodeId};
 use radio_sim::{
-    run_election, Action, DripFactory, History, LeaderAlgorithm, Msg, PureFactory, RunOpts,
+    run_election, run_election_model, Action, DripFactory, History, HistoryView, LeaderAlgorithm,
+    Msg, PureFactory, RadioModel, RunOpts,
 };
 
 /// A candidate universal leader-election algorithm: a DRIP plus a decision
@@ -82,7 +83,7 @@ pub fn silence_breaking_round(factory: &dyn DripFactory, probe_limit: u64) -> Op
     let mut node = factory.spawn();
     let mut history = History::from_entries(vec![radio_sim::Obs::Silence]); // spontaneous wake
     for i in 1..=probe_limit {
-        match node.decide(&history) {
+        match node.decide(history.view()) {
             Action::Transmit(_) => return Some(i),
             Action::Terminate => return None,
             Action::Listen => history.push(radio_sim::Obs::Silence),
@@ -98,6 +99,18 @@ pub fn silence_breaking_round(factory: &dyn DripFactory, probe_limit: u64) -> Op
 /// election time on any `H_m` would exceed the probe limit anyway, and a
 /// DRIP that *never* transmits fails on every `H_m`).
 pub fn refute_universal(candidate: &UniversalCandidate, probe_limit: u64) -> Refutation {
+    refute_universal_model::<radio_sim::NoCollisionDetection>(candidate, probe_limit)
+}
+
+/// [`refute_universal`] under an explicit channel model.
+///
+/// The mirror-symmetry argument is channel-agnostic: whatever the model
+/// delivers to `a` it delivers to `d` (and to `b` what it delivers to
+/// `c`), so the symmetric-pair evidence survives any [`RadioModel`].
+pub fn refute_universal_model<M: RadioModel>(
+    candidate: &UniversalCandidate,
+    probe_limit: u64,
+) -> Refutation {
     let t = match silence_breaking_round(candidate.factory.as_ref(), probe_limit) {
         Some(t) => t,
         None => {
@@ -120,7 +133,7 @@ pub fn refute_universal(candidate: &UniversalCandidate, probe_limit: u64) -> Ref
     // Generous limit: the candidate terminated its probe node within
     // probe_limit rounds of silence; give the real run ample room.
     let opts = RunOpts::with_max_rounds(8 * (probe_limit + m) + 64);
-    let outcome = run_election(&config, &algorithm, opts)
+    let outcome = run_election_model::<M>(&config, &algorithm, opts)
         .expect("candidate DRIPs must terminate within the probe-derived bound");
 
     let ex = &outcome.execution;
@@ -150,7 +163,7 @@ pub fn gallery() -> Vec<UniversalCandidate> {
             name: format!("claim-by-silence({k})"),
             factory: Box::new(PureFactory::new(
                 format!("claim-by-silence({k})"),
-                move |h: &History| {
+                move |h: HistoryView| {
                     let i = h.len() as u64;
                     if i >= lifetime {
                         Action::Terminate
@@ -175,7 +188,7 @@ pub fn gallery() -> Vec<UniversalCandidate> {
     //    message afterwards.
     candidates.push(UniversalCandidate {
         name: "first-voice".into(),
-        factory: Box::new(PureFactory::new("first-voice", |h: &History| {
+        factory: Box::new(PureFactory::new("first-voice", |h: HistoryView| {
             let i = h.len() as u64;
             if i >= 10 {
                 Action::Terminate
@@ -192,7 +205,7 @@ pub fn gallery() -> Vec<UniversalCandidate> {
     //    leader iff still all-silent at round 12.
     candidates.push(UniversalCandidate {
         name: "binary-backoff".into(),
-        factory: Box::new(PureFactory::new("binary-backoff", |h: &History| {
+        factory: Box::new(PureFactory::new("binary-backoff", |h: HistoryView| {
             let i = h.len() as u64;
             if i >= 12 {
                 Action::Terminate
@@ -210,7 +223,7 @@ pub fn gallery() -> Vec<UniversalCandidate> {
     //    spontaneously — "the sources claim".
     candidates.push(UniversalCandidate {
         name: "relay-flood".into(),
-        factory: Box::new(PureFactory::new("relay-flood", |h: &History| {
+        factory: Box::new(PureFactory::new("relay-flood", |h: HistoryView| {
             let i = h.len() as u64;
             if i >= 8 {
                 Action::Terminate

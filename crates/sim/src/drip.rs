@@ -5,7 +5,8 @@
 //! `D`. Two representations are provided:
 //!
 //! * [`PureDrip`] / [`PureFactory`] — literally a function
-//!   `Fn(&History) -> Action`, the paper's definition verbatim. Great for
+//!   `Fn(HistoryView) -> Action`, the paper's definition verbatim. Great
+//!   for
 //!   tests and adversary candidates.
 //! * [`DripNode`] / [`DripFactory`] — a per-node state machine spawned from
 //!   a shared factory. The engine calls [`DripNode::decide`] exactly once
@@ -18,7 +19,7 @@
 //! itself closes over (e.g. the canonical schedule of `anon-radio`), which
 //! mirrors the paper's "algorithm dedicated to configuration G".
 
-use crate::history::History;
+use crate::history::HistoryView;
 use crate::msg::{Action, Msg};
 
 /// A per-node DRIP state machine.
@@ -27,9 +28,14 @@ pub trait DripNode {
     /// `H[0..i-1]` (so `history.len() == i ≥ 1`; entry 0 is the wake-up
     /// observation).
     ///
+    /// The history arrives as a borrowed [`HistoryView`] — in the engine's
+    /// hot loop it points straight into the shared observation arena, so
+    /// deciding a round allocates nothing. Call
+    /// [`History::view`] to drive a node from an owned history.
+    ///
     /// The engine guarantees calls happen once per local round, in order,
     /// and never again after `Action::Terminate` is returned.
-    fn decide(&mut self, history: &History) -> Action;
+    fn decide(&mut self, history: HistoryView<'_>) -> Action;
 }
 
 /// Spawns identical [`DripNode`]s — one per node of the network.
@@ -44,23 +50,23 @@ pub trait DripFactory: Sync {
 }
 
 /// The paper's definition made executable: a pure function of the history.
-pub struct PureDrip<F: Fn(&History) -> Action> {
+pub struct PureDrip<F: Fn(HistoryView<'_>) -> Action> {
     f: std::sync::Arc<F>,
 }
 
-impl<F: Fn(&History) -> Action> DripNode for PureDrip<F> {
-    fn decide(&mut self, history: &History) -> Action {
+impl<F: Fn(HistoryView<'_>) -> Action> DripNode for PureDrip<F> {
+    fn decide(&mut self, history: HistoryView<'_>) -> Action {
         (self.f)(history)
     }
 }
 
 /// Factory for [`PureDrip`]s sharing one decision function.
-pub struct PureFactory<F: Fn(&History) -> Action> {
+pub struct PureFactory<F: Fn(HistoryView<'_>) -> Action> {
     f: std::sync::Arc<F>,
     name: String,
 }
 
-impl<F: Fn(&History) -> Action> PureFactory<F> {
+impl<F: Fn(HistoryView<'_>) -> Action> PureFactory<F> {
     /// Wraps a pure decision function as a DRIP factory.
     pub fn new(name: impl Into<String>, f: F) -> PureFactory<F> {
         PureFactory {
@@ -70,7 +76,7 @@ impl<F: Fn(&History) -> Action> PureFactory<F> {
     }
 }
 
-impl<F: Fn(&History) -> Action + Send + Sync + 'static> DripFactory for PureFactory<F> {
+impl<F: Fn(HistoryView<'_>) -> Action + Send + Sync + 'static> DripFactory for PureFactory<F> {
     fn spawn(&self) -> Box<dyn DripNode> {
         Box::new(PureDrip {
             f: std::sync::Arc::clone(&self.f),
@@ -180,7 +186,7 @@ pub struct EchoFactory {
 impl DripFactory for EchoFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         let lifetime = self.lifetime;
-        Box::new(StepDrip(Box::new(move |i, h: &History| {
+        Box::new(StepDrip(Box::new(move |i, h: HistoryView| {
             if i >= lifetime {
                 return Action::Terminate;
             }
@@ -199,7 +205,7 @@ impl DripFactory for EchoFactory {
 }
 
 /// The boxed step function of a [`StepDrip`].
-type StepFn = Box<dyn Fn(u64, &History) -> Action + Send>;
+type StepFn = Box<dyn Fn(u64, HistoryView<'_>) -> Action + Send>;
 
 /// Internal adapter: a DRIP given as `(local_round, history) -> action`.
 /// The round argument is redundant (it equals `history.len()`) but makes
@@ -207,7 +213,7 @@ type StepFn = Box<dyn Fn(u64, &History) -> Action + Send>;
 struct StepDrip(StepFn);
 
 impl DripNode for StepDrip {
-    fn decide(&mut self, history: &History) -> Action {
+    fn decide(&mut self, history: HistoryView<'_>) -> Action {
         (self.0)(history.len() as u64, history)
     }
 }
@@ -215,6 +221,7 @@ impl DripNode for StepDrip {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::History;
     use crate::msg::Obs;
 
     fn hist(n: usize) -> History {
@@ -225,9 +232,9 @@ mod tests {
     fn silent_listens_then_terminates() {
         let f = SilentFactory { lifetime: 3 };
         let mut node = f.spawn();
-        assert_eq!(node.decide(&hist(1)), Action::Listen);
-        assert_eq!(node.decide(&hist(2)), Action::Listen);
-        assert_eq!(node.decide(&hist(3)), Action::Terminate);
+        assert_eq!(node.decide(hist(1).view()), Action::Listen);
+        assert_eq!(node.decide(hist(2).view()), Action::Listen);
+        assert_eq!(node.decide(hist(3).view()), Action::Terminate);
         assert_eq!(f.name(), "silent(3)");
     }
 
@@ -239,10 +246,10 @@ mod tests {
             msg: Msg(5),
         };
         let mut node = f.spawn();
-        assert_eq!(node.decide(&hist(1)), Action::Listen);
-        assert_eq!(node.decide(&hist(2)), Action::Transmit(Msg(5)));
-        assert_eq!(node.decide(&hist(3)), Action::Transmit(Msg(5)));
-        assert_eq!(node.decide(&hist(4)), Action::Terminate);
+        assert_eq!(node.decide(hist(1).view()), Action::Listen);
+        assert_eq!(node.decide(hist(2).view()), Action::Transmit(Msg(5)));
+        assert_eq!(node.decide(hist(3).view()), Action::Transmit(Msg(5)));
+        assert_eq!(node.decide(hist(4).view()), Action::Terminate);
     }
 
     #[test]
@@ -253,11 +260,11 @@ mod tests {
             lifetime: 6,
         };
         let mut node = f.spawn();
-        assert_eq!(node.decide(&hist(1)), Action::Listen);
-        assert_eq!(node.decide(&hist(2)), Action::Listen);
-        assert_eq!(node.decide(&hist(3)), Action::Transmit(Msg::ONE));
-        assert_eq!(node.decide(&hist(4)), Action::Listen);
-        assert_eq!(node.decide(&hist(6)), Action::Terminate);
+        assert_eq!(node.decide(hist(1).view()), Action::Listen);
+        assert_eq!(node.decide(hist(2).view()), Action::Listen);
+        assert_eq!(node.decide(hist(3).view()), Action::Transmit(Msg::ONE));
+        assert_eq!(node.decide(hist(4).view()), Action::Listen);
+        assert_eq!(node.decide(hist(6).view()), Action::Terminate);
     }
 
     #[test]
@@ -266,27 +273,27 @@ mod tests {
         let mut node = f.spawn();
         // woken by message in round 0 → transmit in round 1
         let woken = History::from_entries(vec![Obs::Heard(Msg(3))]);
-        assert_eq!(node.decide(&woken), Action::Transmit(Msg(3)));
+        assert_eq!(node.decide(woken.view()), Action::Transmit(Msg(3)));
         // heard in round 2 → transmit in round 3 only
         let mut node2 = f.spawn();
         let h = History::from_entries(vec![Obs::Silence, Obs::Silence, Obs::Heard(Msg(8))]);
-        assert_eq!(node2.decide(&h), Action::Transmit(Msg(8)));
+        assert_eq!(node2.decide(h.view()), Action::Transmit(Msg(8)));
         let h4 = History::from_entries(vec![
             Obs::Silence,
             Obs::Silence,
             Obs::Heard(Msg(8)),
             Obs::Silence,
         ]);
-        assert_eq!(node2.decide(&h4), Action::Listen);
+        assert_eq!(node2.decide(h4.view()), Action::Listen);
     }
 
     #[test]
     fn pure_factory_shares_one_function() {
-        let f = PureFactory::new("always-listen", |_h: &History| Action::Listen);
+        let f = PureFactory::new("always-listen", |_h: HistoryView| Action::Listen);
         let mut a = f.spawn();
         let mut b = f.spawn();
-        assert_eq!(a.decide(&hist(1)), Action::Listen);
-        assert_eq!(b.decide(&hist(5)), Action::Listen);
+        assert_eq!(a.decide(hist(1).view()), Action::Listen);
+        assert_eq!(b.decide(hist(5).view()), Action::Listen);
         assert_eq!(f.name(), "always-listen");
     }
 }

@@ -12,6 +12,7 @@ use radio_graph::{Configuration, NodeId};
 use crate::drip::DripFactory;
 use crate::engine::{Execution, Executor, RunOpts, SimError};
 use crate::history::History;
+use crate::model::{NoCollisionDetection, RadioModel};
 
 /// A leader-election algorithm: the DRIP and its decision function.
 pub struct LeaderAlgorithm<'a> {
@@ -52,13 +53,36 @@ impl ElectionOutcome {
     }
 }
 
-/// Runs `(D, f)` on `config`.
+/// Runs `(D, f)` on `config` under the paper's channel model.
 pub fn run_election(
     config: &Configuration,
     algorithm: &LeaderAlgorithm<'_>,
     opts: RunOpts,
 ) -> Result<ElectionOutcome, SimError> {
-    let execution = Executor::run(config, algorithm.drip, opts)?;
+    run_election_model::<NoCollisionDetection>(config, algorithm, opts)
+}
+
+/// [`run_election`] under a runtime-selected channel model.
+pub fn run_election_under(
+    model: crate::model::ModelKind,
+    config: &Configuration,
+    algorithm: &LeaderAlgorithm<'_>,
+    opts: RunOpts,
+) -> Result<ElectionOutcome, SimError> {
+    let execution = model.run(config, algorithm.drip, opts)?;
+    let leaders = (0..config.size() as NodeId)
+        .filter(|&v| (algorithm.decide)(execution.history(v)))
+        .collect();
+    Ok(ElectionOutcome { leaders, execution })
+}
+
+/// [`run_election`] under an explicit channel model `M`.
+pub fn run_election_model<M: RadioModel>(
+    config: &Configuration,
+    algorithm: &LeaderAlgorithm<'_>,
+    opts: RunOpts,
+) -> Result<ElectionOutcome, SimError> {
+    let execution = Executor::run_model::<M>(config, algorithm.drip, opts)?;
     let leaders = (0..config.size() as NodeId)
         .filter(|&v| (algorithm.decide)(execution.history(v)))
         .collect();

@@ -4,7 +4,12 @@
 //! [`radio_graph::Configuration`] and produces an
 //! [`Execution`]: per-node histories, wake and termination rounds, and
 //! aggregate statistics. The engine is fully deterministic — same
-//! configuration and DRIP, same execution, bit for bit.
+//! configuration, DRIP, and channel model, same execution, bit for bit.
+//!
+//! Channel semantics are pluggable: [`Executor::run_model`] is generic
+//! over a [`RadioModel`], which decides what listeners perceive and what
+//! wakes sleepers. [`Executor::run`] is the paper's model
+//! ([`NoCollisionDetection`]).
 //!
 //! # Round anatomy (global round `r`)
 //!
@@ -15,21 +20,35 @@
 //!    transmitter the engine counts transmitting neighbours (round-stamped
 //!    counters, no per-round clearing).
 //! 3. **Deliver** — transmitters record silence (they hear nothing);
-//!    listeners record silence / the message / a collision; terminators are
-//!    retired.
-//! 4. **Forced wake-ups** — sleeping neighbours of transmitters that would
-//!    hear exactly one message wake with `H[0] = (M)`; sleeping nodes under
-//!    a collision stay asleep (noise is not a message).
+//!    listeners record what [`RadioModel::listener_obs`] dictates;
+//!    terminators are retired.
+//! 4. **Forced wake-ups** — sleeping neighbours of transmitters wake
+//!    exactly when [`RadioModel::wake_obs`] says so, with the entry it
+//!    returns as `H[0]`. Under the default model that is "exactly one
+//!    message heard" and sleeping nodes under a collision stay asleep
+//!    (noise is not a message).
 //! 5. **Spontaneous wake-ups** — sleeping nodes whose tag equals `r` wake
 //!    with `H[0] = (∅)`.
 //!
 //! Step 4 runs before step 5 so a message arriving exactly in a node's tag
-//! round yields the forced-style `H[0] = (M)`.
+//! round yields the forced-style `H[0] = (M)` — in every model.
+//!
+//! # Hot-loop memory layout
+//!
+//! All per-node engine state is struct-of-arrays, and all observations
+//! live in one shared [`ObsArena`]: per node an `(offset, len, capacity)`
+//! segment into a single flat `Vec<Obs>`, relocated with geometric growth
+//! when full. Steady-state rounds therefore allocate nothing — no
+//! per-node `Vec<Obs>` ever exists during the run — and a node's history
+//! reaches its DRIP as a borrowed [`HistoryView`](crate::HistoryView)
+//! straight into the arena. Owned [`History`] values are materialized once,
+//! when the [`Execution`] is assembled.
 
 use radio_graph::{Configuration, NodeId};
 
 use crate::drip::DripFactory;
-use crate::history::History;
+use crate::history::{History, HistoryView};
+use crate::model::{record_listener_obs, NoCollisionDetection, RadioModel};
 use crate::msg::{Action, Msg, Obs};
 use crate::trace::{RoundEvent, Trace};
 
@@ -103,9 +122,11 @@ pub struct ExecStats {
     pub transmissions: u64,
     /// Total messages successfully received by awake listeners.
     pub messages_received: u64,
-    /// Total collision observations by awake listeners.
+    /// Total collision/noise observations by awake listeners (`(∗)` plus,
+    /// under carrier-sensing models, `(~)`).
     pub collisions_observed: u64,
-    /// Number of nodes woken by a message rather than their tag.
+    /// Number of nodes woken by channel activity rather than their tag
+    /// (a message under the default model; possibly noise under others).
     pub forced_wakeups: u64,
 }
 
@@ -152,7 +173,7 @@ impl Execution {
     /// True if node `v` woke spontaneously (in its tag round, hearing
     /// nothing).
     pub fn woke_spontaneously(&self, v: NodeId) -> bool {
-        !self.wake_obs(v).is_message()
+        self.wake_obs(v).is_silence()
     }
 
     /// Nodes grouped by identical history — the partition the whole theory
@@ -182,6 +203,73 @@ impl Execution {
     }
 }
 
+/// One shared observation arena: every node's history is an
+/// `(offset, len, capacity)` segment of a single flat `Vec<Obs>`.
+///
+/// Appending into a full segment relocates it to the end of the arena with
+/// doubled capacity (amortized O(1), total memory ≤ ~2× the live
+/// observations); the backing vector itself grows geometrically, so
+/// steady-state rounds perform no allocation at all.
+#[derive(Debug)]
+struct ObsArena {
+    data: Vec<Obs>,
+    off: Vec<usize>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+}
+
+impl ObsArena {
+    /// Initial per-node segment capacity (allocated on first push).
+    const FIRST_CAP: u32 = 8;
+
+    fn new(n: usize) -> ObsArena {
+        ObsArena {
+            data: Vec::new(),
+            off: vec![0; n],
+            len: vec![0; n],
+            cap: vec![0; n],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: usize, obs: Obs) {
+        if self.len[v] == self.cap[v] {
+            self.grow(v);
+        }
+        self.data[self.off[v] + self.len[v] as usize] = obs;
+        self.len[v] += 1;
+    }
+
+    #[cold]
+    fn grow(&mut self, v: usize) {
+        let new_cap = (self.cap[v] * 2).max(Self::FIRST_CAP);
+        let new_off = self.data.len();
+        self.data.resize(new_off + new_cap as usize, Obs::Silence);
+        let old_off = self.off[v];
+        let live = self.len[v] as usize;
+        self.data.copy_within(old_off..old_off + live, new_off);
+        self.off[v] = new_off;
+        self.cap[v] = new_cap;
+    }
+
+    #[inline]
+    fn slice(&self, v: usize) -> &[Obs] {
+        &self.data[self.off[v]..self.off[v] + self.len[v] as usize]
+    }
+
+    #[inline]
+    fn view(&self, v: usize) -> HistoryView<'_> {
+        HistoryView::new(self.slice(v))
+    }
+
+    /// Materializes all segments as owned histories.
+    fn into_histories(self) -> Vec<History> {
+        (0..self.off.len())
+            .map(|v| History::from_entries(self.slice(v).to_vec()))
+            .collect()
+    }
+}
+
 /// The simulator. Stateless; [`Executor::run`] may be called freely from
 /// multiple threads.
 #[derive(Debug, Clone, Copy, Default)]
@@ -190,9 +278,19 @@ pub struct Executor;
 const ASLEEP: u64 = u64::MAX;
 
 impl Executor {
-    /// Runs `factory`'s DRIP on `config` until every node has terminated,
-    /// or fails with [`SimError::RoundLimit`].
+    /// Runs `factory`'s DRIP on `config` under the paper's channel model
+    /// ([`NoCollisionDetection`]) until every node has terminated, or
+    /// fails with [`SimError::RoundLimit`].
     pub fn run(
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<Execution, SimError> {
+        Self::run_model::<NoCollisionDetection>(config, factory, opts)
+    }
+
+    /// [`Executor::run`] under an explicit channel model `M`.
+    pub fn run_model<M: RadioModel>(
         config: &Configuration,
         factory: &dyn DripFactory,
         opts: RunOpts,
@@ -202,7 +300,7 @@ impl Executor {
 
         let mut nodes: Vec<Box<dyn crate::drip::DripNode>> =
             (0..n).map(|_| factory.spawn()).collect();
-        let mut histories: Vec<History> = vec![History::new(); n];
+        let mut arena = ObsArena::new(n);
         let mut wake: Vec<u64> = vec![ASLEEP; n];
         let mut done: Vec<u64> = vec![ASLEEP; n];
         let mut done_count = 0usize;
@@ -248,7 +346,7 @@ impl Executor {
             actions.clear();
             for &v in &active {
                 if wake[v as usize] < r {
-                    let action = nodes[v as usize].decide(&histories[v as usize]);
+                    let action = nodes[v as usize].decide(arena.view(v as usize));
                     actions.push((v, action));
                 }
             }
@@ -282,32 +380,21 @@ impl Executor {
                 match action {
                     Action::Transmit(_) => {
                         // A transmitter hears nothing: (∅).
-                        histories[vi].push(Obs::Silence);
+                        arena.push(vi, Obs::Silence);
                     }
                     Action::Listen => {
-                        let obs = if cnt_stamp[vi] == r {
-                            match cnt[vi] {
-                                0 => Obs::Silence,
-                                1 => {
-                                    stats.messages_received += 1;
-                                    Obs::Heard(heard_msg[vi])
-                                }
-                                _ => {
-                                    stats.collisions_observed += 1;
-                                    Obs::Collision
-                                }
-                            }
-                        } else {
-                            Obs::Silence
-                        };
+                        let heard = if cnt_stamp[vi] == r { cnt[vi] } else { 0 };
+                        let msg = if heard == 1 { heard_msg[vi] } else { Msg(0) };
+                        let obs = M::listener_obs(heard, msg);
+                        record_listener_obs(obs, &mut stats);
                         if trace.is_some() {
                             match obs {
                                 Obs::Heard(m) => event.received.push((v, m)),
-                                Obs::Collision => event.collisions.push(v),
+                                Obs::Collision | Obs::Noise => event.collisions.push(v),
                                 Obs::Silence => {}
                             }
                         }
-                        histories[vi].push(obs);
+                        arena.push(vi, obs);
                     }
                     Action::Terminate => {
                         done[vi] = r;
@@ -323,17 +410,21 @@ impl Executor {
                 active.retain(|&v| done[v as usize] == ASLEEP);
             }
 
-            // 4. Forced wake-ups: sleeping neighbours of transmitters that
-            //    heard exactly one message. Collisions leave them asleep.
+            // 4. Forced wake-ups: sleeping neighbours of transmitters, as
+            //    the model dictates. Under the default model a collision
+            //    leaves them asleep; other models may wake them with (~).
             for &w in &touched {
                 let wi = w as usize;
-                if wake[wi] == ASLEEP && cnt[wi] == 1 {
-                    wake[wi] = r;
-                    histories[wi].push(Obs::Heard(heard_msg[wi]));
-                    active.push(w);
-                    stats.forced_wakeups += 1;
-                    if trace.is_some() {
-                        event.woke.push((w, Obs::Heard(heard_msg[wi])));
+                if wake[wi] == ASLEEP {
+                    let msg = if cnt[wi] == 1 { heard_msg[wi] } else { Msg(0) };
+                    if let Some(obs) = M::wake_obs(cnt[wi], msg) {
+                        wake[wi] = r;
+                        arena.push(wi, obs);
+                        active.push(w);
+                        stats.forced_wakeups += 1;
+                        if trace.is_some() {
+                            event.woke.push((w, obs));
+                        }
                     }
                 }
             }
@@ -345,7 +436,7 @@ impl Executor {
                 let wi = w as usize;
                 if wake[wi] == ASLEEP {
                     wake[wi] = r;
-                    histories[wi].push(Obs::Silence);
+                    arena.push(wi, Obs::Silence);
                     active.push(w);
                     if trace.is_some() {
                         event.woke.push((w, Obs::Silence));
@@ -367,7 +458,7 @@ impl Executor {
         Ok(Execution {
             wake_round: wake,
             done_round: done,
-            histories,
+            histories: arena.into_histories(),
             rounds: rounds_executed,
             stats,
             trace,
@@ -379,6 +470,7 @@ impl Executor {
 mod tests {
     use super::*;
     use crate::drip::{BeaconFactory, EchoFactory, SilentFactory, WaitThenTransmitFactory};
+    use crate::model::{Beeping, CollisionDetection};
     use crate::msg::Msg;
     use radio_graph::{generators, Configuration};
 
@@ -502,6 +594,51 @@ mod tests {
         assert_eq!(ex.stats.forced_wakeups, 0);
         // and the collision is not even observed (nobody awake listened)
         assert_eq!(ex.stats.collisions_observed, 0);
+    }
+
+    #[test]
+    fn collision_detection_model_wakes_sleepers_with_noise() {
+        // Same scenario as collisions_do_not_wake_sleepers, but under the
+        // CollisionDetection model the sleeping centre IS woken — by noise,
+        // recording (~) as its wake-up entry.
+        let c = cfg(generators::star(3), vec![9, 0, 0]);
+        let ex = Executor::run_model::<CollisionDetection>(
+            &c,
+            &WaitThenTransmitFactory {
+                wait: 0,
+                msg: Msg(1),
+                lifetime: 12,
+            },
+            RunOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(ex.wake_round[0], 1, "noise wakes the centre at global 1");
+        assert_eq!(ex.wake_obs(0), Obs::Noise);
+        assert!(!ex.woke_spontaneously(0));
+        assert_eq!(ex.stats.forced_wakeups, 1);
+    }
+
+    #[test]
+    fn beeping_model_delivers_beeps_not_messages() {
+        // path 0-1, node 0 transmits at global 1; under Beeping node 1 is
+        // woken by a content-free beep, and no message is ever received.
+        let c = cfg(generators::path(2), vec![0, 9]);
+        let ex = Executor::run_model::<Beeping>(
+            &c,
+            &WaitThenTransmitFactory {
+                wait: 0,
+                msg: Msg(4),
+                lifetime: 5,
+            },
+            RunOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(ex.wake_round[1], 1);
+        assert_eq!(ex.wake_obs(1), Obs::Noise);
+        assert_eq!(ex.stats.messages_received, 0);
+        assert_eq!(ex.stats.forced_wakeups, 1);
+        // node 0 listens from local 2 on; node 1 beeps back at global 2
+        assert_eq!(ex.history(0).get(2), Some(Obs::Noise));
     }
 
     #[test]
@@ -631,5 +768,29 @@ mod tests {
         // everyone transmits simultaneously → nobody ever hears anything
         assert_eq!(ex.stats.messages_received, 0);
         assert_eq!(ex.rounds, 4);
+    }
+
+    #[test]
+    fn arena_segments_grow_and_relocate_correctly() {
+        // Long histories force many segment relocations; the final owned
+        // histories must be exactly the per-round observations.
+        let mut arena = ObsArena::new(3);
+        for i in 0..100u64 {
+            arena.push(0, Obs::Heard(Msg(i)));
+            if i % 2 == 0 {
+                arena.push(1, Obs::Silence);
+            }
+            if i % 3 == 0 {
+                arena.push(2, Obs::Collision);
+            }
+        }
+        assert_eq!(arena.view(0).len(), 100);
+        assert_eq!(arena.view(0).message_at(73), Some(Msg(73)));
+        let hs = arena.into_histories();
+        assert_eq!(hs[0].len(), 100);
+        assert_eq!(hs[1].len(), 50);
+        assert_eq!(hs[2].len(), 34);
+        assert!(hs[1].all_silent());
+        assert!((0..100).all(|i| hs[0].message_at(i) == Some(Msg(i as u64))));
     }
 }

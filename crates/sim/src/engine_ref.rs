@@ -4,24 +4,37 @@
 //! all: every global round it scans *every* node, recomputes its state
 //! from first principles, and counts transmitting neighbours by walking
 //! the adjacency list of every node. No active lists, no round-stamped
-//! counters, no tag-sorted wake sweep — just the model's definition,
-//! transcribed.
+//! counters, no tag-sorted wake sweep, no observation arena — just the
+//! model's definition, transcribed over plain per-node `Vec`s.
 //!
-//! The optimized [`crate::engine::Executor`] must produce byte-identical
-//! executions; the property suite checks this across random
-//! configurations and protocols. When the two engines disagree, the naive
-//! one is almost certainly right — that is the point.
+//! Like the optimized engine it is generic over the channel semantics:
+//! [`run_reference_model`] accepts any [`RadioModel`], and the two engines
+//! must produce byte-identical executions under *every* model; the
+//! property suite checks this across random configurations and protocols.
+//! When the two engines disagree, the naive one is almost certainly right
+//! — that is the point.
 
 use radio_graph::{Configuration, NodeId};
 
 use crate::drip::DripFactory;
 use crate::engine::{ExecStats, Execution, RunOpts, SimError};
 use crate::history::History;
-use crate::msg::{Action, Msg, Obs};
+use crate::model::{record_listener_obs, NoCollisionDetection, RadioModel};
+use crate::msg::{Action, Msg};
 
-/// Runs `factory`'s DRIP on `config` with the naive engine. Options are
-/// honoured except `record_trace` (the reference engine keeps no trace).
+/// Runs `factory`'s DRIP on `config` with the naive engine under the
+/// paper's model. Options are honoured except `record_trace` (the
+/// reference engine keeps no trace).
 pub fn run_reference(
+    config: &Configuration,
+    factory: &dyn DripFactory,
+    opts: RunOpts,
+) -> Result<Execution, SimError> {
+    run_reference_model::<NoCollisionDetection>(config, factory, opts)
+}
+
+/// [`run_reference`] under an explicit channel model `M`.
+pub fn run_reference_model<M: RadioModel>(
     config: &Configuration,
     factory: &dyn DripFactory,
     opts: RunOpts,
@@ -61,7 +74,7 @@ pub fn run_reference(
         let mut actions: Vec<Option<Action>> = vec![None; n];
         for v in 0..n {
             if state[v] == State::Awake && wake[v] < r {
-                actions[v] = Some(nodes[v].decide(&histories[v]));
+                actions[v] = Some(nodes[v].decide(histories[v].view()));
             }
         }
 
@@ -76,35 +89,33 @@ pub fn run_reference(
         stats.transmissions += transmits.iter().flatten().count() as u64;
 
         // 3. What does each node perceive? (Recomputed from scratch.)
-        let perceive = |v: usize| -> (u32, Option<Msg>) {
+        let perceive = |v: usize| -> (u32, Msg) {
             let mut count = 0u32;
-            let mut msg = None;
+            let mut msg = Msg(0);
             for &w in graph.neighbors(v as NodeId) {
                 if let Some(m) = transmits[w as usize] {
                     count += 1;
-                    msg = Some(m);
+                    msg = m;
                 }
+            }
+            // Pin the model-hook contract (`RadioModel`): `msg` carries
+            // content only for a clean single transmission. This keeps the
+            // two engines bit-identical for any model, including ones that
+            // (incorrectly) read `msg` outside `count == 1`.
+            if count != 1 {
+                msg = Msg(0);
             }
             (count, msg)
         };
 
-        // 4. Deliver to awake actors.
+        // 4. Deliver to awake actors, as the model dictates.
         for v in 0..n {
             match actions[v] {
-                Some(Action::Transmit(_)) => histories[v].push(Obs::Silence),
+                Some(Action::Transmit(_)) => histories[v].push(crate::msg::Obs::Silence),
                 Some(Action::Listen) => {
                     let (count, msg) = perceive(v);
-                    let obs = match count {
-                        0 => Obs::Silence,
-                        1 => {
-                            stats.messages_received += 1;
-                            Obs::Heard(msg.expect("count 1 has a message"))
-                        }
-                        _ => {
-                            stats.collisions_observed += 1;
-                            Obs::Collision
-                        }
-                    };
+                    let obs = M::listener_obs(count, msg);
+                    record_listener_obs(obs, &mut stats);
                     histories[v].push(obs);
                 }
                 Some(Action::Terminate) => {
@@ -115,22 +126,27 @@ pub fn run_reference(
             }
         }
 
-        // 5. Wake-ups: forced first (exactly one transmitting neighbour),
-        //    then spontaneous at the tag round.
+        // 5. Wake-ups: forced first (the model decides what channel
+        //    activity wakes a sleeper), then spontaneous at the tag round.
         for v in 0..n {
             if state[v] != State::Asleep {
                 continue;
             }
             let (count, msg) = perceive(v);
-            if count == 1 {
+            let forced = if count >= 1 {
+                M::wake_obs(count, msg)
+            } else {
+                None
+            };
+            if let Some(obs) = forced {
                 state[v] = State::Awake;
                 wake[v] = r;
-                histories[v].push(Obs::Heard(msg.expect("count 1 has a message")));
+                histories[v].push(obs);
                 stats.forced_wakeups += 1;
             } else if config.tag(v as NodeId) == r {
                 state[v] = State::Awake;
                 wake[v] = r;
-                histories[v].push(Obs::Silence);
+                histories[v].push(crate::msg::Obs::Silence);
             }
         }
 
@@ -153,17 +169,31 @@ mod tests {
     use super::*;
     use crate::drip::{BeaconFactory, EchoFactory, SilentFactory, WaitThenTransmitFactory};
     use crate::engine::Executor;
+    use crate::model::ModelKind;
     use crate::patient::PatientFactory;
     use radio_graph::generators;
 
     fn assert_engines_agree(config: &Configuration, factory: &dyn DripFactory) {
-        let fast = Executor::run(config, factory, RunOpts::default()).unwrap();
-        let naive = run_reference(config, factory, RunOpts::default()).unwrap();
-        assert_eq!(fast.wake_round, naive.wake_round, "{config}: wake rounds");
-        assert_eq!(fast.done_round, naive.done_round, "{config}: done rounds");
-        assert_eq!(fast.histories, naive.histories, "{config}: histories");
-        assert_eq!(fast.rounds, naive.rounds, "{config}: round count");
-        assert_eq!(fast.stats, naive.stats, "{config}: stats");
+        for kind in ModelKind::ALL {
+            let fast = kind.run(config, factory, RunOpts::default()).unwrap();
+            let naive = kind
+                .run_reference(config, factory, RunOpts::default())
+                .unwrap();
+            assert_eq!(
+                fast.wake_round, naive.wake_round,
+                "{config} [{kind}]: wake rounds"
+            );
+            assert_eq!(
+                fast.done_round, naive.done_round,
+                "{config} [{kind}]: done rounds"
+            );
+            assert_eq!(
+                fast.histories, naive.histories,
+                "{config} [{kind}]: histories"
+            );
+            assert_eq!(fast.rounds, naive.rounds, "{config} [{kind}]: round count");
+            assert_eq!(fast.stats, naive.stats, "{config} [{kind}]: stats");
+        }
     }
 
     #[test]

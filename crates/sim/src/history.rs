@@ -3,8 +3,17 @@
 //! A [`History`] is the vector `H_v[0 .. i-1]` of the paper: entry `r` is
 //! what node `v` perceived in its local round `r` (entry 0 describes the
 //! wake-up). The DRIP of a node at local round `i` is a function of exactly
-//! this vector, so `History` is the *only* information the engine ever
+//! this vector, so histories are the *only* information the engine ever
 //! exposes to an algorithm.
+//!
+//! Two forms exist:
+//!
+//! * [`History`] — owned, growable; what executions return and tests
+//!   construct.
+//! * [`HistoryView`] — a borrowed, `Copy` read-only view. The engine's hot
+//!   loop keeps all observations in one shared arena and hands DRIPs views
+//!   into it, so deciding a round allocates nothing. Every read accessor
+//!   exists on both forms (the owned form delegates to its view).
 
 use std::fmt;
 use std::ops::Index;
@@ -28,6 +37,14 @@ impl History {
     /// History from explicit entries (tests, decision functions).
     pub fn from_entries(entries: Vec<Obs>) -> History {
         History { entries }
+    }
+
+    /// Borrowed read-only view of the whole history.
+    #[inline]
+    pub fn view(&self) -> HistoryView<'_> {
+        HistoryView {
+            entries: &self.entries,
+        }
     }
 
     /// Number of recorded rounds. When the engine asks a DRIP for the action
@@ -70,27 +87,24 @@ impl History {
 
     /// The local round of the first non-silent entry, if any.
     pub fn first_nonsilent(&self) -> Option<usize> {
-        self.entries.iter().position(|o| !o.is_silence())
+        self.view().first_nonsilent()
     }
 
     /// The local round of the first received message, if any (the paper's
     /// `rcv_w`). Collisions do not count.
     pub fn first_message(&self) -> Option<usize> {
-        self.entries.iter().position(|o| o.is_message())
+        self.view().first_message()
     }
 
     /// The message received in local round `r`, if entry `r` is `Heard`.
     pub fn message_at(&self, r: usize) -> Option<Msg> {
-        match self.entries.get(r) {
-            Some(Obs::Heard(m)) => Some(*m),
-            _ => None,
-        }
+        self.view().message_at(r)
     }
 
     /// True when every entry is silence — the "no information ever" state
     /// the impossibility proofs revolve around.
     pub fn all_silent(&self) -> bool {
-        self.entries.iter().all(|o| o.is_silence())
+        self.view().all_silent()
     }
 
     /// Sub-history `H[from .. from+len]` as a fresh `History` (used by the
@@ -103,16 +117,7 @@ impl History {
 
     /// Compact single-line rendering, e.g. `[∅ ∅ '1' ∗ ∅]`.
     pub fn render(&self) -> String {
-        let cells: Vec<String> = self
-            .entries
-            .iter()
-            .map(|o| match o {
-                Obs::Silence => "∅".to_string(),
-                Obs::Heard(m) => format!("'{}'", m.0),
-                Obs::Collision => "∗".to_string(),
-            })
-            .collect();
-        format!("[{}]", cells.join(" "))
+        self.view().render()
     }
 }
 
@@ -136,6 +141,126 @@ impl<'a> IntoIterator for &'a History {
 
     fn into_iter(self) -> Self::IntoIter {
         self.entries.iter()
+    }
+}
+
+/// A borrowed read-only history — what the engine hands a DRIP each round.
+///
+/// `Copy`-cheap (a fat pointer into the engine's observation arena).
+/// Mirrors every read accessor of [`History`]; [`HistoryView::to_history`]
+/// materializes an owned copy when one is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryView<'a> {
+    entries: &'a [Obs],
+}
+
+impl<'a> HistoryView<'a> {
+    /// View over raw entries.
+    #[inline]
+    pub fn new(entries: &'a [Obs]) -> HistoryView<'a> {
+        HistoryView { entries }
+    }
+
+    /// Number of recorded rounds (see [`History::len`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before wake-up.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [Obs] {
+        self.entries
+    }
+
+    /// Entry accessor returning `None` out of range.
+    #[inline]
+    pub fn get(&self, r: usize) -> Option<Obs> {
+        self.entries.get(r).copied()
+    }
+
+    /// Iterator over `(local_round, Obs)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Obs)> + 'a {
+        self.entries.iter().copied().enumerate()
+    }
+
+    /// The local round of the first non-silent entry, if any.
+    pub fn first_nonsilent(&self) -> Option<usize> {
+        self.entries.iter().position(|o| !o.is_silence())
+    }
+
+    /// The local round of the first received message, if any (the paper's
+    /// `rcv_w`). Collisions do not count.
+    pub fn first_message(&self) -> Option<usize> {
+        self.entries.iter().position(|o| o.is_message())
+    }
+
+    /// The message received in local round `r`, if entry `r` is `Heard`.
+    pub fn message_at(&self, r: usize) -> Option<Msg> {
+        match self.entries.get(r) {
+            Some(Obs::Heard(m)) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// True when every entry is silence.
+    pub fn all_silent(&self) -> bool {
+        self.entries.iter().all(|o| o.is_silence())
+    }
+
+    /// Sub-view `H[from .. from+len]` — no allocation.
+    pub fn window(&self, from: usize, len: usize) -> HistoryView<'a> {
+        HistoryView {
+            entries: &self.entries[from..from + len],
+        }
+    }
+
+    /// Materializes an owned [`History`].
+    pub fn to_history(&self) -> History {
+        History {
+            entries: self.entries.to_vec(),
+        }
+    }
+
+    /// Compact single-line rendering, e.g. `[∅ ∅ '1' ∗ ∅]`.
+    pub fn render(&self) -> String {
+        let cells: Vec<String> = self
+            .entries
+            .iter()
+            .map(|o| match o {
+                Obs::Silence => "∅".to_string(),
+                Obs::Heard(m) => format!("'{}'", m.0),
+                Obs::Collision => "∗".to_string(),
+                Obs::Noise => "~".to_string(),
+            })
+            .collect();
+        format!("[{}]", cells.join(" "))
+    }
+}
+
+impl Index<usize> for HistoryView<'_> {
+    type Output = Obs;
+
+    fn index(&self, r: usize) -> &Obs {
+        &self.entries[r]
+    }
+}
+
+impl fmt::Display for HistoryView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl<'a> From<&'a History> for HistoryView<'a> {
+    fn from(h: &'a History) -> HistoryView<'a> {
+        h.view()
     }
 }
 
@@ -194,6 +319,8 @@ mod tests {
     fn render_is_compact() {
         assert_eq!(sample().render(), "[∅ ∅ '9' ∗ ∅]");
         assert_eq!(History::new().render(), "[]");
+        let noisy = History::from_entries(vec![Obs::Noise]);
+        assert_eq!(noisy.render(), "[~]");
     }
 
     #[test]
@@ -203,5 +330,31 @@ mod tests {
         set.insert(sample());
         assert!(set.contains(&sample()));
         assert!(!set.contains(&History::new()));
+    }
+
+    #[test]
+    fn view_mirrors_owned_accessors() {
+        let h = sample();
+        let v = h.view();
+        assert_eq!(v.len(), h.len());
+        assert_eq!(v.get(2), h.get(2));
+        assert_eq!(v[3], h[3]);
+        assert_eq!(v.first_message(), h.first_message());
+        assert_eq!(v.first_nonsilent(), h.first_nonsilent());
+        assert_eq!(v.message_at(2), h.message_at(2));
+        assert_eq!(v.all_silent(), h.all_silent());
+        assert_eq!(v.render(), h.render());
+        assert_eq!(v.window(1, 3).as_slice(), h.window(1, 3).as_slice());
+        assert_eq!(v.to_history(), h);
+        let collected: Vec<(usize, Obs)> = v.iter().collect();
+        assert_eq!(collected.len(), 5);
+    }
+
+    #[test]
+    fn view_window_is_zero_copy_subslice() {
+        let h = sample();
+        let v = h.view().window(2, 2);
+        assert_eq!(v.as_slice(), &[Obs::Heard(Msg(9)), Obs::Collision]);
+        assert_eq!(HistoryView::from(&h).len(), 5);
     }
 }

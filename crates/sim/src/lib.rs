@@ -32,16 +32,27 @@
 //! 3. **Termination appends nothing**: a node's recorded history ends with
 //!    the last round before it decided `terminate`.
 //!
+//! # Pluggable channel models
+//!
+//! The rules above are the *default* channel — the paper's. They live in
+//! the [`model`] layer: both engines are generic over a
+//! [`RadioModel`](model::RadioModel), and two alternative channels ship
+//! alongside the default ([`model::CollisionDetection`],
+//! [`model::Beeping`]). Everything documented here about collision
+//! semantics and forced wake-ups is the contract of the default
+//! [`model::NoCollisionDetection`] specifically.
+//!
 //! # Crate layout
 //!
 //! * [`msg`] — messages, observations, actions.
-//! * [`history`] — per-node local histories.
+//! * [`history`] — per-node local histories (owned + borrowed views).
 //! * [`drip`] — the DRIP traits plus a library of simple DRIPs.
-//! * [`engine`] — the round-by-round executor.
+//! * [`model`] — pluggable channel semantics (the `RadioModel` layer).
+//! * [`engine`] — the round-by-round executor (arena-backed hot loop).
 //! * [`election`] — leader-election runner (DRIP + decision function).
 //! * [`patient`] — the patient-DRIP transform of Lemma 3.12.
 //! * [`trace`] — optional round-by-round event recording.
-//! * [`parallel`] — crossbeam-based parallel batch execution.
+//! * [`parallel`] — scoped-thread parallel batch execution.
 //!
 //! # Example
 //!
@@ -72,14 +83,18 @@ pub mod election;
 pub mod engine;
 pub mod engine_ref;
 pub mod history;
+pub mod model;
 pub mod msg;
 pub mod parallel;
 pub mod patient;
 pub mod trace;
 
 pub use drip::{DripFactory, DripNode, PureDrip, PureFactory};
-pub use election::{run_election, ElectionOutcome, LeaderAlgorithm};
+pub use election::{
+    run_election, run_election_model, run_election_under, ElectionOutcome, LeaderAlgorithm,
+};
 pub use engine::{ExecStats, Execution, Executor, RunOpts, SimError};
-pub use history::History;
+pub use history::{History, HistoryView};
+pub use model::{Beeping, CollisionDetection, ModelKind, NoCollisionDetection, RadioModel};
 pub use msg::{Action, Msg, Obs};
 pub use patient::PatientFactory;

@@ -23,7 +23,9 @@ impl fmt::Display for Msg {
 }
 
 /// One entry of a node's local history: what the node perceived in one
-/// local round. Matches the paper's `(∅)` / `(M)` / `(∗)`.
+/// local round. Matches the paper's `(∅)` / `(M)` / `(∗)`, plus the `(~)`
+/// carrier-sense entry some [`RadioModel`](crate::model::RadioModel)s
+/// produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Obs {
     /// `(∅)`: the node transmitted (hearing nothing), or listened and heard
@@ -34,6 +36,11 @@ pub enum Obs {
     Heard(Msg),
     /// `(∗)`: the node listened while two or more neighbours transmitted.
     Collision,
+    /// `(~)`: carrier sensed, nothing decodable. Produced only by channel
+    /// models with carrier-sensing semantics: a collision-detection radio
+    /// woken from sleep by noise, or any busy round of the beeping model.
+    /// Never appears under the default (paper) model.
+    Noise,
 }
 
 impl Obs {
@@ -54,6 +61,12 @@ impl Obs {
     pub fn is_collision(&self) -> bool {
         matches!(self, Obs::Collision)
     }
+
+    /// True for `Noise`.
+    #[inline]
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Obs::Noise)
+    }
 }
 
 impl fmt::Display for Obs {
@@ -62,6 +75,7 @@ impl fmt::Display for Obs {
             Obs::Silence => write!(f, "(∅)"),
             Obs::Heard(m) => write!(f, "({m})"),
             Obs::Collision => write!(f, "(∗)"),
+            Obs::Noise => write!(f, "(~)"),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Parallel batch execution over crossbeam scoped threads.
+//! Parallel batch execution over `std::thread::scope`.
 //!
 //! The sweeps in `radio-bench` run thousands of independent simulations;
 //! [`par_map`] distributes them over the machine's cores with dynamic
@@ -6,14 +6,13 @@
 //! per-item costs of configuration sweeps (an `H_4096` run is ~1000× an
 //! `H_4` run) far better than static chunking.
 //!
-//! `crossbeam::scope` + `parking_lot::Mutex` keep this dependency-light and
+//! `std::thread::scope` + `std::sync::Mutex` keep this dependency-free and
 //! data-race-free: items are handed out by index, results are written into
 //! pre-allocated slots, and the scope guarantees all borrows end before
 //! `par_map` returns.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item, in parallel, preserving order of results.
 ///
@@ -48,23 +47,26 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
+                *slots[i].lock().expect("no poisoned slot") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slot")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -74,6 +76,18 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|nz| nz.get())
         .unwrap_or(1)
+}
+
+/// Runs one DRIP over a batch of configurations in parallel, under the
+/// given channel model — the entry point sweep harnesses use to cross a
+/// workload axis with a [`ModelKind`](crate::ModelKind) axis.
+pub fn run_batch(
+    configs: &[radio_graph::Configuration],
+    factory: &(dyn crate::drip::DripFactory + Sync),
+    model: crate::model::ModelKind,
+    opts: crate::engine::RunOpts,
+) -> Vec<Result<crate::engine::Execution, crate::engine::SimError>> {
+    par_map(configs, |config| model.run(config, factory, opts))
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@
 //! substitution is always faithful; see `boundary_collision_is_sanitized`.)
 
 use crate::drip::{DripFactory, DripNode};
-use crate::history::History;
+use crate::history::{History, HistoryView};
 use crate::msg::Action;
 
 /// Factory wrapping an inner DRIP into its patient version for span `σ`.
@@ -76,7 +76,7 @@ struct PatientNode {
 }
 
 impl DripNode for PatientNode {
-    fn decide(&mut self, history: &History) -> Action {
+    fn decide(&mut self, history: HistoryView<'_>) -> Action {
         let i = history.len(); // current local round
         if !self.started {
             // `s = min(σ, rcv)` with `rcv` the first local round holding a
@@ -97,15 +97,20 @@ impl DripNode for PatientNode {
         while self.s + self.inner_hist.len() < i {
             let idx = self.s + self.inner_hist.len();
             let mut obs = history[idx];
-            if idx == self.s && obs.is_collision() {
+            if idx == self.s && (obs.is_collision() || obs.is_noise()) {
                 // Boundary sanitation (see module docs): in the original
                 // execution the node was asleep under this collision and
-                // woke spontaneously, observing (∅).
+                // woke spontaneously, observing (∅). Noise is sanitized the
+                // same way so the inner DRIP's wake-up entry is always a
+                // legal paper-model observation — (∅) or (M) — whatever
+                // channel model the outer execution ran under (Lemma 3.12's
+                // faithfulness guarantee itself is proved for the paper
+                // model only).
                 obs = crate::msg::Obs::Silence;
             }
             self.inner_hist.push(obs);
         }
-        self.inner.decide(&self.inner_hist)
+        self.inner.decide(self.inner_hist.view())
     }
 }
 
@@ -220,7 +225,7 @@ mod tests {
         // Feed a PatientNode a history with a collision exactly at s = σ:
         // the inner DRIP must see (∅) as its wake-up entry, not (∗).
         let f = PatientFactory::new(
-            PureFactory::new("probe", |h: &History| {
+            PureFactory::new("probe", |h: HistoryView| {
                 assert!(
                     !h[0].is_collision(),
                     "inner DRIP must never see a collision wake-up entry"
@@ -235,12 +240,12 @@ mod tests {
         );
         let mut node = f.spawn();
         let mut h = History::from_entries(vec![Obs::Silence]);
-        assert_eq!(node.decide(&h), Action::Listen); // i=1 ≤ σ
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=1 ≤ σ
         h.push(Obs::Silence);
-        assert_eq!(node.decide(&h), Action::Listen); // i=2 = σ
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=2 = σ
         h.push(Obs::Collision); // H[2] = (∗) at the boundary s=σ=2
                                 // i=3 > σ → s=2; inner round 1 sees sanitized (∅) → transmits
-        assert_eq!(node.decide(&h), Action::Transmit(Msg(42)));
+        assert_eq!(node.decide(h.view()), Action::Transmit(Msg(42)));
     }
 
     #[test]
@@ -248,22 +253,22 @@ mod tests {
         // A PatientNode that observes a collision before any message keeps
         // listening: collisions do not set rcv. Drive the node directly.
         let f = PatientFactory::new(
-            PureFactory::new("immediate", |_h: &History| Action::Transmit(Msg(9))),
+            PureFactory::new("immediate", |_h: HistoryView| Action::Transmit(Msg(9))),
             5,
         );
         let mut node = f.spawn();
         // rounds 1..: silence, collision, silence … no message
         let mut h = History::from_entries(vec![Obs::Silence]);
-        assert_eq!(node.decide(&h), Action::Listen); // i=1 ≤ σ
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=1 ≤ σ
         h.push(Obs::Collision);
-        assert_eq!(node.decide(&h), Action::Listen); // i=2, collision ignored
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=2, collision ignored
         h.push(Obs::Silence);
         h.push(Obs::Silence);
         h.push(Obs::Silence);
-        assert_eq!(node.decide(&h), Action::Listen); // i=5 = σ
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=5 = σ
         h.push(Obs::Silence);
         // i=6 > σ → s=5, inner round 1 → inner transmits immediately
-        assert_eq!(node.decide(&h), Action::Transmit(Msg(9)));
+        assert_eq!(node.decide(h.view()), Action::Transmit(Msg(9)));
     }
 
     #[test]
@@ -271,7 +276,7 @@ mod tests {
         // message at local round 2 < σ=9 → s=2; inner sees H[2] = (M) as
         // its wake-up entry.
         let f = PatientFactory::new(
-            PureFactory::new("probe", |h: &History| {
+            PureFactory::new("probe", |h: HistoryView| {
                 // inner: transmit iff its wake-up entry is a message
                 if h[0].is_message() {
                     Action::Transmit(Msg(7))
@@ -283,12 +288,12 @@ mod tests {
         );
         let mut node = f.spawn();
         let mut h = History::from_entries(vec![Obs::Silence]);
-        assert_eq!(node.decide(&h), Action::Listen);
+        assert_eq!(node.decide(h.view()), Action::Listen);
         h.push(Obs::Silence);
-        assert_eq!(node.decide(&h), Action::Listen);
+        assert_eq!(node.decide(h.view()), Action::Listen);
         h.push(Obs::Heard(Msg(1))); // local round 2 = rcv
                                     // i = 3 > s = 2 → inner round 1 with H'[0] = (M) → transmit
-        assert_eq!(node.decide(&h), Action::Transmit(Msg(7)));
+        assert_eq!(node.decide(h.view()), Action::Transmit(Msg(7)));
     }
 
     #[test]

@@ -18,9 +18,10 @@ pub struct RoundEvent {
     /// Nodes that transmitted, with their messages.
     pub transmitters: Vec<(NodeId, Msg)>,
     /// Nodes that woke up this round, with their `H[0]` observation
-    /// (`Heard` = forced wake-up, `Silence` = spontaneous).
+    /// (`Heard`/`Noise` = forced wake-up, `Silence` = spontaneous).
     pub woke: Vec<(NodeId, Obs)>,
-    /// Listeners that perceived a collision.
+    /// Listeners that perceived a collision (or, under carrier-sensing
+    /// models, noise).
     pub collisions: Vec<NodeId>,
     /// Listeners that received a message, with the message.
     pub received: Vec<(NodeId, Msg)>,
@@ -60,7 +61,7 @@ impl RoundEvent {
             .woke
             .iter()
             .map(|(v, o)| match o {
-                Obs::Heard(_) => format!("v{v}(forced)"),
+                Obs::Heard(_) | Obs::Noise => format!("v{v}(forced)"),
                 _ => format!("v{v}(spont)"),
             })
             .collect();
@@ -135,6 +136,7 @@ pub fn render_history_matrix(execution: &crate::engine::Execution, tags: &[u64])
                     let _ = write!(out, "{} ", m.0 % 10);
                 }
                 Some(crate::msg::Obs::Collision) => out.push_str("∗ "),
+                Some(crate::msg::Obs::Noise) => out.push_str("~ "),
             }
         }
         out.push('\n');

@@ -34,7 +34,7 @@ fn main() {
     let jittered: Vec<u64> = wave
         .tags()
         .iter()
-        .map(|&t| t + rng.random_range(0..=2))
+        .map(|&t| t + rng.random_range(0..=2u64))
         .collect();
     let config = Configuration::new(field.clone(), jittered).expect("grid is connected");
     let config = config.normalize();

@@ -1,13 +1,14 @@
 //! Differential testing: the optimized executor vs the naive reference
-//! executor, across random configurations and protocols — including the
-//! canonical DRIP itself. Any divergence is a bug in the optimized engine.
+//! executor, across random configurations, protocols, and *every* channel
+//! model — including the canonical DRIP itself. Any divergence is a bug in
+//! the optimized engine.
 
 use proptest::prelude::*;
 
 use radio_graph::{generators, Configuration};
 use radio_sim::drip::{BeaconFactory, EchoFactory, WaitThenTransmitFactory};
 use radio_sim::engine_ref::run_reference;
-use radio_sim::{DripFactory, Executor, Msg, PatientFactory, RunOpts};
+use radio_sim::{DripFactory, Executor, ModelKind, Msg, PatientFactory, RunOpts};
 
 fn build_config(n: usize, extra: usize, span: u64, seed: u64) -> Configuration {
     let mut rng = radio_util::rng::rng_from(seed);
@@ -25,6 +26,9 @@ fn assert_identical(
     config: &Configuration,
     factory: &dyn DripFactory,
 ) -> Result<(), TestCaseError> {
+    // The default model first (also exercised via the legacy entry points
+    // so `Executor::run`/`run_reference` stay bit-for-bit with the seed
+    // semantics) …
     let fast = Executor::run(config, factory, RunOpts::default()).unwrap();
     let naive = run_reference(config, factory, RunOpts::default()).unwrap();
     prop_assert_eq!(&fast.wake_round, &naive.wake_round, "{}", config);
@@ -32,6 +36,25 @@ fn assert_identical(
     prop_assert_eq!(&fast.histories, &naive.histories, "{}", config);
     prop_assert_eq!(fast.rounds, naive.rounds, "{}", config);
     prop_assert_eq!(fast.stats, naive.stats, "{}", config);
+    let default_fast = fast;
+
+    // … then every model through the dispatching entry points.
+    for kind in ModelKind::ALL {
+        let fast = kind.run(config, factory, RunOpts::default()).unwrap();
+        let naive = kind
+            .run_reference(config, factory, RunOpts::default())
+            .unwrap();
+        prop_assert_eq!(&fast.wake_round, &naive.wake_round, "{} [{}]", config, kind);
+        prop_assert_eq!(&fast.done_round, &naive.done_round, "{} [{}]", config, kind);
+        prop_assert_eq!(&fast.histories, &naive.histories, "{} [{}]", config, kind);
+        prop_assert_eq!(fast.rounds, naive.rounds, "{} [{}]", config, kind);
+        prop_assert_eq!(fast.stats, naive.stats, "{} [{}]", config, kind);
+        if kind == ModelKind::NoCollisionDetection {
+            // the dispatcher's default must be the legacy behaviour
+            prop_assert_eq!(&fast.histories, &default_fast.histories, "{}", config);
+            prop_assert_eq!(fast.stats, default_fast.stats, "{}", config);
+        }
+    }
     Ok(())
 }
 

@@ -1,0 +1,105 @@
+//! Wake-up ordering: forced wake-ups (engine step 4) must precede
+//! spontaneous wake-ups (step 5) within a round — in the optimized engine,
+//! in the reference engine, and under every `RadioModel`.
+//!
+//! The observable consequence, and what these tests pin down: a node whose
+//! tag round coincides with channel activity that would force-wake it
+//! records the *forced-style* `H[0]` (`(M)` — or `(~)` under
+//! carrier-sensing models), never the spontaneous `(∅)`. If step 5 ran
+//! first, the node would wake spontaneously and the channel activity of
+//! its own wake round would be lost (a woken node only starts listening in
+//! its next local round).
+
+use radio_graph::{generators, Configuration};
+use radio_sim::drip::WaitThenTransmitFactory;
+use radio_sim::{Execution, ModelKind, Msg, Obs, RunOpts};
+
+/// Runs the tag-round coincidence scenario under `kind` with both engines
+/// and returns the (asserted-identical) executions.
+fn tag_round_coincidence(kind: ModelKind, tags: Vec<u64>, n: usize) -> (Execution, Execution) {
+    let config = Configuration::new(generators::path(n), tags).unwrap();
+    let drip = WaitThenTransmitFactory {
+        wait: 0,
+        msg: Msg(4),
+        lifetime: 6,
+    };
+    let fast = kind.run(&config, &drip, RunOpts::default()).unwrap();
+    let naive = kind
+        .run_reference(&config, &drip, RunOpts::default())
+        .unwrap();
+    assert_eq!(fast.histories, naive.histories, "[{kind}] engines disagree");
+    assert_eq!(fast.wake_round, naive.wake_round, "[{kind}]");
+    assert_eq!(fast.stats, naive.stats, "[{kind}]");
+    (fast, naive)
+}
+
+#[test]
+fn message_in_tag_round_is_forced_in_both_engines_under_every_model() {
+    // Path 0–1, tags [0, 1]: node 0 transmits at global round 1 — exactly
+    // node 1's tag round. Forced wake-up must win in every model (the
+    // models only differ in what entry a wake records, not in ordering).
+    for kind in ModelKind::ALL {
+        let (fast, _) = tag_round_coincidence(kind, vec![0, 1], 2);
+        assert_eq!(fast.wake_round[1], 1, "[{kind}]");
+        let expected = match kind {
+            // one clean transmitter → a message under both message-bearing
+            // models; a content-free beep under Beeping
+            ModelKind::NoCollisionDetection | ModelKind::CollisionDetection => Obs::Heard(Msg(4)),
+            ModelKind::Beeping => Obs::Noise,
+        };
+        assert_eq!(
+            fast.wake_obs(1),
+            expected,
+            "[{kind}] tag-round wake must be forced-style"
+        );
+        assert!(!fast.woke_spontaneously(1), "[{kind}]");
+        assert_eq!(fast.stats.forced_wakeups, 1, "[{kind}]");
+    }
+}
+
+#[test]
+fn collision_in_tag_round_ordering_is_model_specific() {
+    // Path 0–1–2, tags [0, 1, 0]: nodes 0 and 2 transmit at global round 1
+    // — node 1's tag round — and their transmissions collide at node 1.
+    for kind in ModelKind::ALL {
+        let (fast, _) = tag_round_coincidence(kind, vec![0, 1, 0], 3);
+        assert_eq!(fast.wake_round[1], 1, "[{kind}] wakes at its tag round");
+        match kind {
+            // The paper's model: noise is not a message, the forced path
+            // declines, and the *spontaneous* wake of the same round fires.
+            ModelKind::NoCollisionDetection => {
+                assert_eq!(fast.wake_obs(1), Obs::Silence, "[{kind}]");
+                assert!(fast.woke_spontaneously(1), "[{kind}]");
+                assert_eq!(fast.stats.forced_wakeups, 0, "[{kind}]");
+            }
+            // Carrier-sensing models: the forced path accepts the noise
+            // first, so the spontaneous sweep finds the node already awake.
+            ModelKind::CollisionDetection | ModelKind::Beeping => {
+                assert_eq!(fast.wake_obs(1), Obs::Noise, "[{kind}]");
+                assert!(!fast.woke_spontaneously(1), "[{kind}]");
+                assert_eq!(fast.stats.forced_wakeups, 1, "[{kind}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_wakeup_strictly_before_tag_under_every_model() {
+    // Path 0–1, tags [0, 9]: the transmission at global 1 long precedes
+    // node 1's tag. Every model force-wakes it at round 1; its tag round
+    // later passes without effect (no duplicate H[0], wake_round stays 1).
+    for kind in ModelKind::ALL {
+        let (fast, naive) = tag_round_coincidence(kind, vec![0, 9], 2);
+        assert_eq!(fast.wake_round[1], 1, "[{kind}]");
+        assert!(!fast.wake_obs(1).is_silence(), "[{kind}] forced entry");
+        // H[0] recorded exactly once: local history length = done - wake
+        for v in 0..2u32 {
+            assert_eq!(
+                fast.history(v).len() as u64,
+                fast.done_local(v),
+                "[{kind}] node {v}"
+            );
+        }
+        assert_eq!(naive.wake_round[1], 1, "[{kind}] reference agrees");
+    }
+}

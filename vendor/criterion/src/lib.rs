@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: [`criterion_group!`]/[`criterion_main!`], [`Criterion`] with
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], and [`black_box`].
+//!
+//! Measurement is deliberately simple — a warm-up pass followed by timed
+//! batches until the configured measurement time elapses — and results are
+//! printed as one line per benchmark (mean time per iteration, plus
+//! throughput when configured). Good enough to compare runs by eye; not a
+//! statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Work-per-iteration annotation used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut BenchmarkGroup {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark; nothing to flush).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let mean = bencher.mean_ns();
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut line = format!("{label:<40} time: {}", fmt_ns(mean));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(e) => (e, "elem"),
+                Throughput::Bytes(b) => (b, "B"),
+            };
+            if mean > 0.0 && count > 0 {
+                let per_sec = count as f64 / (mean * 1e-9);
+                line.push_str(&format!("   thrpt: {per_sec:.3e} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    total_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Bencher {
+        Bencher {
+            sample_size,
+            measurement_time,
+            total_ns: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Runs `f` repeatedly: a short warm-up, then timed samples until the
+    /// sample count or the time budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut samples = 0usize;
+        while samples < self.sample_size && start.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total_ns += t0.elapsed().as_nanos() as f64;
+            self.iterations += 1;
+            samples += 1;
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total_ns / self.iterations as f64
+        }
+    }
+}
+
+/// Binds a name to a list of benchmark functions taking `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 3, "warm-up + samples must run");
+    }
+
+    #[test]
+    fn id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+    }
+}

@@ -1,0 +1,168 @@
+//! A generator for the tiny regex subset the workspace's string strategies
+//! use:
+//!
+//! * literal characters,
+//! * `(alt1|alt2|…)` groups of literal alternatives (no nesting),
+//! * `[…]` character classes with literals and `a-z` ranges,
+//! * `\PC` — any printable (non-control) ASCII character,
+//! * postfix `?` and `{m,n}` repetition on the previous atom.
+//!
+//! Unsupported syntax falls back to emitting the characters literally,
+//! which keeps the generator total (every pattern yields *some* string).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    /// One alternative chosen uniformly.
+    Alternatives(Vec<String>),
+    /// One character chosen uniformly from the class.
+    Class(Vec<char>),
+    /// Any printable ASCII character (`\PC`).
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Alternatives(alts) => {
+                    out.push_str(&alts[rng.random_range(0..alts.len())]);
+                }
+                Atom::Class(chars) => out.push(chars[rng.random_range(0..chars.len())]),
+                Atom::Printable => {
+                    out.push(char::from(rng.random_range(0x20u8..0x7F)));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '(' => {
+                let close = find(&chars, i, ')');
+                let inner: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                Atom::Alternatives(inner.split('|').map(str::to_string).collect())
+            }
+            '[' => {
+                let close = find(&chars, i, ']');
+                let mut set = Vec::new();
+                let inner = &chars[i + 1..close];
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        for c in inner[j]..=inner[j + 2] {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(inner[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses a trailing `?` or `{m,n}` at position `i`, advancing it.
+fn parse_repeat(chars: &[char], i: &mut usize) -> (u32, u32) {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            let close = find(chars, *i, '}');
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let (lo, hi) = body
+                .split_once(',')
+                .unwrap_or((body.as_str(), body.as_str()));
+            let lo = lo.trim().parse().unwrap_or(1);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        _ => (1, 1),
+    }
+}
+
+fn find(chars: &[char], from: usize, target: char) -> usize {
+    chars[from..]
+        .iter()
+        .position(|&c| c == target)
+        .map(|p| from + p)
+        .unwrap_or(chars.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_with(pattern: &str, seed: u64) -> String {
+        generate(pattern, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn directive_pattern_produces_valid_shapes() {
+        for seed in 0..200 {
+            let s = gen_with("(config|tags|edge|#x) ?[0-9 ]{0,8}", seed);
+            let prefix_ok = ["config", "tags", "edge", "#x"]
+                .iter()
+                .any(|p| s.starts_with(p));
+            assert!(prefix_ok, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_stays_printable() {
+        for seed in 0..50 {
+            let s = gen_with("\\PC{0,200}", seed);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_and_literal() {
+        let s = gen_with("ab?c", 3);
+        assert!(s == "abc" || s == "ac");
+    }
+}
