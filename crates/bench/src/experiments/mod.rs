@@ -4,6 +4,7 @@ pub mod e10_throughput;
 pub mod e11_census;
 pub mod e12_wl_gap;
 pub mod e13_jitter;
+pub mod e14_time_leap;
 pub mod e1_classifier_scaling;
 pub mod e2_iterations;
 pub mod e3_election_time;

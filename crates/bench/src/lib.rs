@@ -19,6 +19,10 @@
 //! | E8  | feasibility landscape (Sec. 3, implied)    | [`experiments::e8_atlas`] |
 //! | E9  | open problem #1 ablation (ref vs fast)     | [`experiments::e9_ablation`] |
 //! | E10 | substrate throughput + parallel speedup    | [`experiments::e10_throughput`] |
+//! | E11 | small-configuration feasibility census     | [`experiments::e11_census`] |
+//! | E12 | 1-WL uniqueness vs radio feasibility       | [`experiments::e12_wl_gap`] |
+//! | E13 | wake-up jitter sensitivity                 | [`experiments::e13_jitter`] |
+//! | E14 | time-leap scheduler speedup                | [`experiments::e14_time_leap`] |
 //!
 //! Run them all: `cargo run --release -p radio-bench --bin experiments`.
 
@@ -118,6 +122,11 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Wake-up jitter sensitivity of feasibility and leader identity",
             run: experiments::e13_jitter::run,
         },
+        Experiment {
+            id: "e14",
+            claim: "Time-leap scheduler: event-bound execution of silence-dominated spans",
+            run: experiments::e14_time_leap::run,
+        },
     ]
 }
 
@@ -128,7 +137,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 13);
+        assert_eq!(reg.len(), 14);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1));
         }

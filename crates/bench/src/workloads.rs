@@ -78,14 +78,24 @@ pub fn with_distinct_tags(graph: Graph, seed: u64) -> Configuration {
 
 /// Keeps drawing random-tag configurations until one is feasible (bounded
 /// attempts); falls back to distinct tags, which break all symmetry.
+///
+/// All attempts share one validated graph and its frozen CSR — each draw
+/// only swaps the tag vector ([`Configuration::retag`]); nothing is cloned
+/// on the happy path.
 pub fn feasible_with_span(graph: Graph, span: u64, seed: u64) -> Configuration {
+    let n = graph.node_count();
+    let mut config = Configuration::with_uniform_tags(graph, 0).expect("valid graph");
     for attempt in 0..20u64 {
-        let config = with_random_tags(graph.clone(), span, derive(seed, &format!("a{attempt}")));
+        // Same derivation chain as `with_random_tags` of the per-attempt
+        // seed, so the drawn configurations are unchanged.
+        let attempt_seed = derive(derive(seed, &format!("a{attempt}")), "tags");
+        let tags = tags::random_tags_in_span(n, span, &mut rng_from(attempt_seed));
+        config = config.retag(tags).expect("node count unchanged");
         if radio_classifier::classify(&config).feasible {
             return config;
         }
     }
-    with_distinct_tags(graph, seed)
+    with_distinct_tags(config.graph().clone(), seed)
 }
 
 /// One cell of a model-crossed sweep: a named configuration paired with
@@ -147,6 +157,25 @@ mod tests {
         for n in [4usize, 8] {
             let c = feasible_with_span(generators::path(n), 3, 99);
             assert!(radio_classifier::classify(&c).feasible);
+        }
+    }
+
+    #[test]
+    fn feasible_with_span_draws_match_the_per_attempt_chain() {
+        // The retag-based loop must return exactly what the old
+        // clone-per-attempt version did: the first feasible draw of the
+        // `derive(seed, "a{k}")` chain (or the distinct-tag fallback).
+        let (n, span, seed) = (8usize, 3u64, 99u64);
+        let got = feasible_with_span(generators::path(n), span, seed);
+        let chain: Vec<Configuration> = (0..20u64)
+            .map(|a| with_random_tags(generators::path(n), span, derive(seed, &format!("a{a}"))))
+            .collect();
+        match chain
+            .iter()
+            .find(|c| radio_classifier::classify(c).feasible)
+        {
+            Some(first_feasible) => assert_eq!(got, *first_feasible),
+            None => assert_eq!(got, with_distinct_tags(generators::path(n), seed)),
         }
     }
 

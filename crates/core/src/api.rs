@@ -84,6 +84,12 @@ pub struct ElectionReport {
     pub completion_round: u64,
     /// Total transmissions over the run (= `n · T`).
     pub transmissions: u64,
+    /// Global rounds the engine executed one by one (see
+    /// [`radio_sim::Execution::rounds_stepped`]).
+    pub rounds_stepped: u64,
+    /// Global rounds the time-leap scheduler skipped as provably quiet
+    /// (0 when leaping is disabled).
+    pub rounds_leapt: u64,
 }
 
 /// Decides feasibility of leader election on `config` (Theorem 3.17).
@@ -112,8 +118,19 @@ pub fn elect_leader_under(
     config: &Configuration,
     model: radio_sim::ModelKind,
 ) -> Result<ElectionReport, ElectError> {
+    elect_leader_with(config, model, radio_sim::RunOpts::default())
+}
+
+/// [`elect_leader_under`] with explicit executor options — e.g.
+/// `RunOpts::default().no_leap()` for the CLI's `--no-leap` escape hatch,
+/// or a custom round limit.
+pub fn elect_leader_with(
+    config: &Configuration,
+    model: radio_sim::ModelKind,
+    opts: radio_sim::RunOpts,
+) -> Result<ElectionReport, ElectError> {
     let dedicated = solve(config).map_err(|e| ElectError::Simulation(e.to_string()))?;
-    dedicated.run_under(model, radio_sim::RunOpts::default())
+    dedicated.run_under(model, opts)
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! ```
 //!
 //! `--model <no-cd|cd|beep>` selects the channel semantics for `elect`
-//! (default: `no-cd`, the paper's model).
+//! (default: `no-cd`, the paper's model). `--no-leap` disables the
+//! engine's time-leap scheduler and executes every global round one by
+//! one — the result is bit-identical, only slower; useful as an escape
+//! hatch and for timing comparisons.
 //!
 //! Configuration files use the `radio-graph` text format:
 //!
@@ -34,13 +37,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // Only `elect` runs a simulation; silently ignoring --model elsewhere
-    // would let a model sweep produce identical results without warning.
-    if model.is_some() && args.first().map(String::as_str) != Some("elect") {
-        eprintln!("error: --model only applies to the `elect` subcommand");
+    let no_leap = extract_flag(&mut args, "--no-leap");
+    // Only `elect` runs a simulation; silently ignoring --model or
+    // --no-leap elsewhere would let a sweep produce identical results
+    // without warning.
+    if (model.is_some() || no_leap) && args.first().map(String::as_str) != Some("elect") {
+        eprintln!("error: --model/--no-leap only apply to the `elect` subcommand");
         std::process::exit(2);
     }
     let model = model.unwrap_or_default();
+    let opts = if no_leap {
+        radio_sim::RunOpts::default().no_leap()
+    } else {
+        radio_sim::RunOpts::default()
+    };
     let code = match args.first().map(String::as_str) {
         Some("check") => with_config(&args, |config| {
             let outcome = radio_classifier::classify(config);
@@ -65,17 +75,20 @@ fn main() {
             0
         }),
         Some("elect") => with_config(&args, |config| {
-            match anon_radio::elect_leader_under(config, model) {
+            match anon_radio::elect_leader_with(config, model, opts) {
                 Ok(report) => {
                     println!("{config}");
                     println!(
                         "model: {model} | leader: v{} | phases: {} | local rounds: {} | \
-                         done by global round {} | transmissions: {}",
+                         done by global round {} | transmissions: {} | \
+                         engine: {} stepped + {} leapt",
                         report.leader,
                         report.phases,
                         report.rounds_local,
                         report.completion_round,
-                        report.transmissions
+                        report.transmissions,
+                        report.rounds_stepped,
+                        report.rounds_leapt
                     );
                     0
                 }
@@ -150,6 +163,13 @@ fn extract_model(args: &mut Vec<String>) -> Result<Option<ModelKind>, String> {
     Ok(model)
 }
 
+/// Strips a boolean `flag` from `args`, returning whether it was present.
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
 fn family_command(args: &[String]) -> i32 {
     let (kind, m) = match (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) {
         (Some(kind), Some(m)) => (kind.as_str(), m),
@@ -216,7 +236,9 @@ fn usage() -> i32 {
          \u{20}  anon-radio check   <file|->    decide feasibility (Thm 3.17)\n\
          \u{20}  anon-radio trace   <file|->    show the Classifier refinement trace\n\
          \u{20}  anon-radio elect   <file|->    compile and run the dedicated election\n\
-         \u{20}                                 (--model no-cd|cd|beep selects the channel)\n\
+         \u{20}                                 (--model no-cd|cd|beep selects the channel;\n\
+         \u{20}                                 --no-leap executes every round one by one\n\
+         \u{20}                                 instead of time-leaping quiet stretches)\n\
          \u{20}  anon-radio compile <file|->    print the compiled dedicated algorithm\n\
          \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
          \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\

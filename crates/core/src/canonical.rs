@@ -111,6 +111,19 @@ impl DripNode for CanonicalNode {
             Action::Listen
         }
     }
+
+    fn quiet_until(&self, history: HistoryView<'_>) -> Option<u64> {
+        let i = history.len() as u64;
+        if self.off_schedule {
+            // A silent observer listens until the scheduled termination
+            // round (its decide short-circuits to Terminate there, before
+            // any phase bookkeeping).
+            let done = self.schedule.done_local();
+            return (done > i).then_some(done);
+        }
+        // On schedule, the compiled timetable answers exactly.
+        self.schedule.quiet_horizon(i, self.phase, self.transmit_at)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +253,30 @@ mod tests {
         for v in 0..4u32 {
             assert_eq!(ex.done_local(v), done);
         }
+    }
+
+    #[test]
+    fn leap_engine_runs_high_span_schedules_in_few_steps() {
+        // H_m with m = 2^12: σ = 4097, schedule ≈ 3·(2σ+1)+… rounds of
+        // which only a handful are eventful. The leap engine must step a
+        // tiny fraction and still match the step engine bit for bit.
+        let c = families::h_m(1 << 12);
+        let (_, schedule) = CanonicalSchedule::build(&c);
+        let factory = CanonicalFactory::new(Arc::new(schedule));
+        let leap = Executor::run(&c, &factory, RunOpts::default()).unwrap();
+        let step = Executor::run(&c, &factory, RunOpts::default().no_leap()).unwrap();
+        assert_eq!(leap.histories, step.histories);
+        assert_eq!(leap.done_round, step.done_round);
+        assert_eq!(leap.wake_round, step.wake_round);
+        assert_eq!(leap.stats, step.stats);
+        assert_eq!(leap.rounds, step.rounds);
+        assert!(leap.rounds > 8_000, "σ-scale schedule");
+        assert!(
+            leap.rounds_stepped * 100 < leap.rounds,
+            "stepped {} of {} rounds — the schedule is silence-dominated",
+            leap.rounds_stepped,
+            leap.rounds
+        );
     }
 
     #[test]

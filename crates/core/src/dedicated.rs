@@ -91,6 +91,13 @@ impl DedicatedElection {
     /// Under a foreign channel the run is still deterministic and total,
     /// but the exactly-one-leader contract may fail, surfacing as
     /// [`ElectError::Contract`] or [`ElectError::PredictionMismatch`].
+    ///
+    /// By default the engine time-leaps the schedule's silent stretches
+    /// (the canonical DRIP advertises its transmission timetable via
+    /// `quiet_until`), which makes high-σ elections run in time
+    /// proportional to their *events* rather than their rounds. The
+    /// report's `rounds_stepped` / `rounds_leapt` break this down; pass
+    /// `opts.no_leap()` to force round-by-round execution.
     pub fn run_under(&self, model: ModelKind, opts: RunOpts) -> Result<ElectionReport, ElectError> {
         let factory = self.factory();
         let decision = self.decision();
@@ -119,6 +126,8 @@ impl DedicatedElection {
             rounds_local: self.schedule.done_local(),
             completion_round: outcome.completion_round(),
             transmissions: outcome.execution.stats.transmissions,
+            rounds_stepped: outcome.execution.rounds_stepped,
+            rounds_leapt: outcome.execution.rounds_leapt,
         })
     }
 

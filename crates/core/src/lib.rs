@@ -51,7 +51,8 @@ pub mod universal;
 pub mod verify;
 
 pub use api::{
-    elect_leader, elect_leader_under, is_feasible, solve, ElectError, ElectionReport, Infeasible,
+    elect_leader, elect_leader_under, elect_leader_with, is_feasible, solve, ElectError,
+    ElectionReport, Infeasible,
 };
 pub use canonical::CanonicalFactory;
 pub use dedicated::DedicatedElection;

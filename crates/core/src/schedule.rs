@@ -90,6 +90,33 @@ impl CanonicalSchedule {
         self.phase_end(j - 1) + (t_block as u64 - 1) * (2 * self.sigma + 1) + self.sigma + 1
     }
 
+    /// Quiescence horizon of an on-schedule node (the
+    /// [`DripNode::quiet_until`](radio_sim::DripNode::quiet_until)
+    /// contract): given that the node is about to decide local round `i`,
+    /// sits in phase `phase`, and has its transmission pinned at local
+    /// round `transmit_at`, returns the next local round at which it may
+    /// act — transmit, re-derive its block at a phase entry, or terminate.
+    /// `None` when round `i` itself is such a round (no quiet claim).
+    ///
+    /// The schedule knows its entire transmission timetable, so within a
+    /// phase the horizon is exact: the node's own `transmit_at` if still
+    /// ahead, otherwise the first round of the next phase (where the block
+    /// for that phase is re-derived from the just-recorded history).
+    pub fn quiet_horizon(&self, i: u64, phase: usize, transmit_at: u64) -> Option<u64> {
+        if i > self.phase_end(self.phases()) {
+            return None; // terminates this round
+        }
+        if i > self.phase_end(phase) {
+            return None; // phase-entry round: matching must run
+        }
+        let next_act = if transmit_at >= i {
+            transmit_at
+        } else {
+            self.phase_end(phase) + 1
+        };
+        (next_act > i).then_some(next_act)
+    }
+
     /// Extracts the triples a history realized during phase `j`'s block
     /// region: each non-silent entry at local round
     /// `t = r_{j-1} + (a−1)(2σ+1) + b` becomes `(a, b, c)` with `c = 1` for

@@ -82,6 +82,23 @@ impl Configuration {
         Configuration::new(graph, vec![tag; n])
     }
 
+    /// Replaces the tags, reusing the already-validated graph and its
+    /// frozen CSR — no clone, no connectivity re-check. The cheap path
+    /// for sweeps that draw many tag assignments over one graph.
+    pub fn retag(self, tags: Vec<Tag>) -> Result<Configuration, ConfigError> {
+        if tags.len() != self.graph.node_count() {
+            return Err(ConfigError::TagArity {
+                nodes: self.graph.node_count(),
+                tags: tags.len(),
+            });
+        }
+        Ok(Configuration {
+            graph: self.graph,
+            csr: self.csr,
+            tags,
+        })
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn size(&self) -> usize {
@@ -334,6 +351,19 @@ mod tests {
             r.graph().edges(),
             c.graph().edges(),
             "path reversal is an automorphism"
+        );
+    }
+
+    #[test]
+    fn retag_swaps_tags_without_revalidation() {
+        let c = p4();
+        let csr_edges = c.csr().clone();
+        let r = c.retag(vec![9, 8, 7, 6]).unwrap();
+        assert_eq!(r.tags(), &[9, 8, 7, 6]);
+        assert_eq!(r.csr().max_degree(), csr_edges.max_degree());
+        assert_eq!(
+            p4().retag(vec![1, 2]).unwrap_err(),
+            ConfigError::TagArity { nodes: 4, tags: 2 }
         );
     }
 

@@ -18,14 +18,26 @@ pub fn uniform(g: Graph, t: Tag) -> Configuration {
     Configuration::with_uniform_tags(g, t).expect("valid graph")
 }
 
-/// Independent uniform tags in `0..=span`, then normalized so the minimum
-/// is 0 (hence the realized span may be smaller than requested).
+/// The tag vector [`random_in_span`] draws, without consuming a graph:
+/// `n` independent uniform tags in `0..=span`, shifted so the minimum is
+/// 0. Lets sweeps re-tag one shared configuration
+/// ([`Configuration::retag`]) instead of rebuilding it per attempt.
+pub fn random_tags_in_span(n: usize, span: Tag, rng: &mut impl Rng) -> Vec<Tag> {
+    let mut tags: Vec<Tag> = (0..n).map(|_| rng.random_range(0..=span)).collect();
+    let lo = tags.iter().copied().min().unwrap_or(0);
+    if lo > 0 {
+        for t in &mut tags {
+            *t -= lo;
+        }
+    }
+    tags
+}
+
+/// Independent uniform tags in `0..=span`, normalized so the minimum is 0
+/// (hence the realized span may be smaller than requested).
 pub fn random_in_span(g: Graph, span: Tag, rng: &mut impl Rng) -> Configuration {
-    let n = g.node_count();
-    let tags: Vec<Tag> = (0..n).map(|_| rng.random_range(0..=span)).collect();
-    Configuration::new(g, tags)
-        .expect("valid graph")
-        .normalize()
+    let tags = random_tags_in_span(g.node_count(), span, rng);
+    Configuration::new(g, tags).expect("valid graph")
 }
 
 /// Distinct tags `0..n` in random order: the maximally asymmetric

@@ -33,9 +33,35 @@ pub trait DripNode {
     /// deciding a round allocates nothing. Call
     /// [`History::view`] to drive a node from an owned history.
     ///
-    /// The engine guarantees calls happen once per local round, in order,
-    /// and never again after `Action::Terminate` is returned.
+    /// The engine guarantees calls happen in increasing local-round order
+    /// and never again after `Action::Terminate` is returned. Calls are
+    /// once per local round, **except** that the time-leap scheduler may
+    /// skip the calls a [`DripNode::quiet_until`] claim covers: when the
+    /// node has committed to listening through local round `q − 1` and
+    /// only silence was observed meanwhile, the next `decide` may arrive
+    /// with `history` extended by the skipped `(∅)` entries. A node that
+    /// returns `Some(q)` must therefore behave identically whether or not
+    /// those covered calls happen.
     fn decide(&mut self, history: HistoryView<'_>) -> Action;
+
+    /// Quiescence hint for the time-leap scheduler.
+    ///
+    /// Called with the same history the next [`DripNode::decide`] would
+    /// receive (`history.len()` = the next local round `i`). Returning
+    /// `Some(q)` commits the node to `Action::Listen` for every local
+    /// round `j` with `i ≤ j < q`, **provided** all observations it makes
+    /// in those rounds are `(∅)` — the engine only relies on the claim
+    /// while the channel stays silent, and re-asks once anything else is
+    /// heard. Returning `None` (the default) makes no claim; the engine
+    /// then executes the round normally.
+    ///
+    /// The claim licenses the engine to skip the covered `decide` calls
+    /// entirely, appending the silent observations in bulk (see
+    /// `decide`'s contract). Implementations must not mutate state here.
+    fn quiet_until(&self, history: HistoryView<'_>) -> Option<u64> {
+        let _ = history;
+        None
+    }
 }
 
 /// Spawns identical [`DripNode`]s — one per node of the network.
@@ -101,13 +127,17 @@ pub struct SilentFactory {
 impl DripFactory for SilentFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         let lifetime = self.lifetime;
-        Box::new(StepDrip(Box::new(move |i, _| {
-            if i >= lifetime {
-                Action::Terminate
-            } else {
-                Action::Listen
-            }
-        })))
+        Box::new(StepDrip::with_quiet(
+            Box::new(move |i, _| {
+                if i >= lifetime {
+                    Action::Terminate
+                } else {
+                    Action::Listen
+                }
+            }),
+            // Listens in every round before the terminating one.
+            Box::new(move |i, _| (i < lifetime).then_some(lifetime)),
+        ))
     }
 
     fn name(&self) -> String {
@@ -129,15 +159,19 @@ pub struct BeaconFactory {
 impl DripFactory for BeaconFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         let (start, lifetime, msg) = (self.start, self.lifetime, self.msg);
-        Box::new(StepDrip(Box::new(move |i, _| {
-            if i >= lifetime {
-                Action::Terminate
-            } else if i >= start {
-                Action::Transmit(msg)
-            } else {
-                Action::Listen
-            }
-        })))
+        Box::new(StepDrip::with_quiet(
+            Box::new(move |i, _| {
+                if i >= lifetime {
+                    Action::Terminate
+                } else if i >= start {
+                    Action::Transmit(msg)
+                } else {
+                    Action::Listen
+                }
+            }),
+            // Quiet only during the initial listening window.
+            Box::new(move |i, _| (i < start.min(lifetime)).then_some(start.min(lifetime))),
+        ))
     }
 
     fn name(&self) -> String {
@@ -159,15 +193,27 @@ pub struct WaitThenTransmitFactory {
 impl DripFactory for WaitThenTransmitFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         let (wait, msg, lifetime) = (self.wait, self.msg, self.lifetime);
-        Box::new(StepDrip(Box::new(move |i, _| {
-            if i >= lifetime {
-                Action::Terminate
-            } else if i == wait + 1 {
-                Action::Transmit(msg)
-            } else {
-                Action::Listen
-            }
-        })))
+        Box::new(StepDrip::with_quiet(
+            Box::new(move |i, _| {
+                if i >= lifetime {
+                    Action::Terminate
+                } else if i == wait + 1 {
+                    Action::Transmit(msg)
+                } else {
+                    Action::Listen
+                }
+            }),
+            // Two quiet stretches: before the transmission and after it.
+            Box::new(move |i, _| {
+                if i >= lifetime || i == (wait + 1).min(lifetime) {
+                    None
+                } else if i < wait + 1 {
+                    Some((wait + 1).min(lifetime))
+                } else {
+                    Some(lifetime)
+                }
+            }),
+        ))
     }
 
     fn name(&self) -> String {
@@ -186,17 +232,34 @@ pub struct EchoFactory {
 impl DripFactory for EchoFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         let lifetime = self.lifetime;
-        Box::new(StepDrip(Box::new(move |i, h: HistoryView| {
-            if i >= lifetime {
-                return Action::Terminate;
-            }
-            match h.first_message() {
-                Some(r) if (r + 1) as u64 == i => {
-                    Action::Transmit(h.message_at(r).expect("entry is Heard"))
+        Box::new(StepDrip::with_quiet(
+            Box::new(move |i, h: HistoryView| {
+                if i >= lifetime {
+                    return Action::Terminate;
                 }
-                _ => Action::Listen,
-            }
-        })))
+                match h.first_message() {
+                    Some(r) if (r + 1) as u64 == i => {
+                        Action::Transmit(h.message_at(r).expect("entry is Heard"))
+                    }
+                    _ => Action::Listen,
+                }
+            }),
+            // While no message was heard, continued silence means listening
+            // until termination — the quiet_until contract is conditioned
+            // on exactly that. A heard message pins the echo round.
+            Box::new(move |i, h: HistoryView| {
+                if i >= lifetime {
+                    return None;
+                }
+                let next_act = match h.first_message() {
+                    // The echo round is still ahead.
+                    Some(r) if (r + 1) as u64 >= i => ((r + 1) as u64).min(lifetime),
+                    // Echo already sent (or nothing heard): silent to the end.
+                    _ => lifetime,
+                };
+                (next_act > i).then_some(next_act)
+            }),
+        ))
     }
 
     fn name(&self) -> String {
@@ -207,14 +270,37 @@ impl DripFactory for EchoFactory {
 /// The boxed step function of a [`StepDrip`].
 type StepFn = Box<dyn Fn(u64, HistoryView<'_>) -> Action + Send>;
 
-/// Internal adapter: a DRIP given as `(local_round, history) -> action`.
-/// The round argument is redundant (it equals `history.len()`) but makes
-/// the elementary DRIPs above read like the paper's prose.
-struct StepDrip(StepFn);
+/// The boxed quiescence hint of a [`StepDrip`] (see
+/// [`DripNode::quiet_until`]).
+type QuietFn = Box<dyn Fn(u64, HistoryView<'_>) -> Option<u64> + Send>;
+
+/// Internal adapter: a DRIP given as `(local_round, history) -> action`,
+/// optionally with a matching quiescence hint. The round argument is
+/// redundant (it equals `history.len()`) but makes the elementary DRIPs
+/// above read like the paper's prose.
+struct StepDrip {
+    step: StepFn,
+    quiet: Option<QuietFn>,
+}
+
+impl StepDrip {
+    fn with_quiet(step: StepFn, quiet: QuietFn) -> StepDrip {
+        StepDrip {
+            step,
+            quiet: Some(quiet),
+        }
+    }
+}
 
 impl DripNode for StepDrip {
     fn decide(&mut self, history: HistoryView<'_>) -> Action {
-        (self.0)(history.len() as u64, history)
+        (self.step)(history.len() as u64, history)
+    }
+
+    fn quiet_until(&self, history: HistoryView<'_>) -> Option<u64> {
+        self.quiet
+            .as_ref()
+            .and_then(|q| q(history.len() as u64, history))
     }
 }
 
@@ -285,6 +371,58 @@ mod tests {
             Obs::Silence,
         ]);
         assert_eq!(node2.decide(h4.view()), Action::Listen);
+    }
+
+    #[test]
+    fn quiet_hints_match_step_behaviour() {
+        // silent: committed listener until the terminating round
+        let silent = SilentFactory { lifetime: 5 }.spawn();
+        assert_eq!(silent.quiet_until(hist(1).view()), Some(5));
+        assert_eq!(silent.quiet_until(hist(4).view()), Some(5));
+        assert_eq!(silent.quiet_until(hist(5).view()), None);
+
+        // beacon: quiet only before `start`
+        let beacon = BeaconFactory {
+            start: 3,
+            lifetime: 6,
+            msg: Msg(1),
+        }
+        .spawn();
+        assert_eq!(beacon.quiet_until(hist(1).view()), Some(3));
+        assert_eq!(beacon.quiet_until(hist(3).view()), None);
+        assert_eq!(beacon.quiet_until(hist(4).view()), None);
+
+        // wait-then-transmit: quiet before and after the single transmission
+        let wtt = WaitThenTransmitFactory {
+            wait: 2,
+            msg: Msg(1),
+            lifetime: 8,
+        }
+        .spawn();
+        assert_eq!(wtt.quiet_until(hist(1).view()), Some(3));
+        assert_eq!(wtt.quiet_until(hist(3).view()), None, "transmit round");
+        assert_eq!(wtt.quiet_until(hist(4).view()), Some(8));
+        assert_eq!(wtt.quiet_until(hist(8).view()), None, "terminate round");
+
+        // pure DRIPs make no claim (trait default)
+        let pure = PureFactory::new("listen", |_h: HistoryView| Action::Listen).spawn();
+        assert_eq!(pure.quiet_until(hist(1).view()), None);
+    }
+
+    #[test]
+    fn echo_quiet_hint_tracks_the_first_message() {
+        let f = EchoFactory { lifetime: 10 };
+        let node = f.spawn();
+        // nothing heard: silence means silent to the end
+        assert_eq!(node.quiet_until(hist(3).view()), Some(10));
+        // message at local 2 → echo at 3: claim stops there
+        let h = History::from_entries(vec![Obs::Silence, Obs::Silence, Obs::Heard(Msg(4))]);
+        assert_eq!(node.quiet_until(h.view()), None, "echo round is next");
+        // echo sent: quiet until termination
+        let mut h4 = h.clone();
+        h4.push(Obs::Silence);
+        h4.push(Obs::Silence);
+        assert_eq!(node.quiet_until(h4.view()), Some(10));
     }
 
     #[test]

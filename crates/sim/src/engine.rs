@@ -33,6 +33,32 @@
 //! Step 4 runs before step 5 so a message arriving exactly in a node's tag
 //! round yields the forced-style `H[0] = (M)` — in every model.
 //!
+//! # Time-leap scheduling
+//!
+//! Real workloads are dominated by silence (the patient transform listens
+//! for σ rounds, the canonical schedule is almost entirely transmission-
+//! free), so the engine is event-driven: before executing a round it
+//! checks whether a stretch of rounds is provably uneventful and, if so,
+//! jumps straight over it ([`RunOpts::leap`], on by default):
+//!
+//! * **Everyone asleep** — nothing can happen before the next pending
+//!   wake-up tag: jump there directly.
+//! * **Everyone a committed listener** — every active node advertises a
+//!   quiescence horizon via
+//!   [`DripNode::quiet_until`](crate::drip::DripNode::quiet_until); if all
+//!   do, no transmissions (hence no deliveries, forced wake-ups, or
+//!   terminations) can occur before the earliest of {min horizon, next
+//!   tag}: jump there, appending the skipped `(∅)` observations in bulk
+//!   ([`ObsArena::push_silence_n`]).
+//!
+//! Leaping is a pure wall-clock optimization: the resulting [`Execution`]
+//! (histories, wake/done rounds, stats, trace round numbers) is
+//! bit-identical to a step-by-step run — the differential suite enforces
+//! this against both the non-leaping mode and the naive reference engine
+//! ([`crate::engine_ref`], which never leaps). Only
+//! [`Execution::rounds_stepped`] / [`Execution::rounds_leapt`] reveal the
+//! difference.
+//!
 //! # Hot-loop memory layout
 //!
 //! All per-node engine state is struct-of-arrays, and all observations
@@ -56,10 +82,18 @@ use crate::trace::{RoundEvent, Trace};
 #[derive(Debug, Clone, Copy)]
 pub struct RunOpts {
     /// Abort with [`SimError::RoundLimit`] if any node is still running
-    /// after this many global rounds.
+    /// once exactly this many global rounds (`0..max_rounds`) have been
+    /// played. `max_rounds` itself is never executed.
     pub max_rounds: u64,
     /// Record a [`Trace`] of eventful rounds.
     pub record_trace: bool,
+    /// Enable the time-leap scheduler: fast-forward over stretches that
+    /// are provably free of transmissions, wake-ups, and terminations
+    /// (see [`DripNode::quiet_until`](crate::drip::DripNode::quiet_until)).
+    /// On by default; the produced [`Execution`] is bit-identical either
+    /// way — only [`Execution::rounds_stepped`] /
+    /// [`Execution::rounds_leapt`] and wall-clock time differ.
+    pub leap: bool,
 }
 
 impl Default for RunOpts {
@@ -67,6 +101,7 @@ impl Default for RunOpts {
         RunOpts {
             max_rounds: 50_000_000,
             record_trace: false,
+            leap: true,
         }
     }
 }
@@ -83,6 +118,13 @@ impl RunOpts {
     /// Enables trace recording.
     pub fn traced(mut self) -> RunOpts {
         self.record_trace = true;
+        self
+    }
+
+    /// Disables the time-leap scheduler: every global round is executed
+    /// one by one (the pre-leap engine behaviour).
+    pub fn no_leap(mut self) -> RunOpts {
+        self.leap = false;
         self
     }
 }
@@ -139,9 +181,15 @@ pub struct Execution {
     pub done_round: Vec<u64>,
     /// Final local history of each node.
     pub histories: Vec<History>,
-    /// Number of global rounds executed (index of the last eventful round
-    /// plus one).
+    /// Number of global rounds simulated (index of the last eventful round
+    /// plus one). Identical whether or not the engine leapt.
     pub rounds: u64,
+    /// Global rounds the engine actually executed one by one. Always
+    /// `rounds_stepped + rounds_leapt == rounds`; without time-leap the
+    /// whole run is stepped.
+    pub rounds_stepped: u64,
+    /// Global rounds the time-leap scheduler skipped as provably quiet.
+    pub rounds_leapt: u64,
     /// Aggregate counters.
     pub stats: ExecStats,
     /// Recorded trace, when requested via [`RunOpts::record_trace`].
@@ -234,22 +282,47 @@ impl ObsArena {
     #[inline]
     fn push(&mut self, v: usize, obs: Obs) {
         if self.len[v] == self.cap[v] {
-            self.grow(v);
+            self.grow(v, self.len[v] as usize + 1);
         }
         self.data[self.off[v] + self.len[v] as usize] = obs;
         self.len[v] += 1;
     }
 
+    /// Appends `k` `(∅)` entries to segment `v` in one go — how the
+    /// time-leap scheduler materializes a skipped silent stretch.
+    ///
+    /// O(1) past capacity checks: a segment's unused tail `[len..cap)`
+    /// still holds the `Obs::Silence` the backing vector was resized with
+    /// (pushes only ever write at `len`), so appending silence is just a
+    /// length bump.
+    fn push_silence_n(&mut self, v: usize, k: usize) {
+        let need = self.len[v] as usize + k;
+        if need > self.cap[v] as usize {
+            self.grow(v, need);
+        }
+        self.len[v] += k as u32;
+    }
+
     #[cold]
-    fn grow(&mut self, v: usize) {
-        let new_cap = (self.cap[v] * 2).max(Self::FIRST_CAP);
+    fn grow(&mut self, v: usize, need: usize) {
+        // At least double (amortization), but satisfy big jumps — a
+        // time-leap can demand millions of slots at once — exactly, so a
+        // huge silent run is not over-allocated (and over-filled) by up
+        // to 2×.
+        let new_cap = (self.cap[v] as usize * 2)
+            .max(Self::FIRST_CAP as usize)
+            .max(need);
         let new_off = self.data.len();
-        self.data.resize(new_off + new_cap as usize, Obs::Silence);
         let old_off = self.off[v];
         let live = self.len[v] as usize;
-        self.data.copy_within(old_off..old_off + live, new_off);
+        // Relocate by appending: the live prefix is copied once (not
+        // silence-filled first and then overwritten), only the fresh tail
+        // is filled — establishing the all-`Silence`-beyond-`len`
+        // invariant `push_silence_n` relies on.
+        self.data.extend_from_within(old_off..old_off + live);
+        self.data.resize(new_off + new_cap, Obs::Silence);
         self.off[v] = new_off;
-        self.cap[v] = new_cap;
+        self.cap[v] = u32::try_from(new_cap).expect("history exceeds u32 capacity");
     }
 
     #[inline]
@@ -320,6 +393,10 @@ impl Executor {
         let mut cnt: Vec<u32> = vec![0; n];
         let mut cnt_stamp: Vec<u64> = vec![u64::MAX; n];
         let mut heard_msg: Vec<Msg> = vec![Msg(0); n];
+        // Cached quiescence horizons: node `v` has committed to listening
+        // in every global round `< quiet_horizon[v]` (valid only while it
+        // observes silence; invalidated on any other delivery).
+        let mut quiet_horizon: Vec<u64> = vec![0; n];
 
         let mut stats = ExecStats::default();
         let mut trace = if opts.record_trace {
@@ -328,15 +405,76 @@ impl Executor {
             None
         };
         let mut rounds_executed = 0u64;
+        let mut rounds_stepped = 0u64;
+        let mut rounds_leapt = 0u64;
 
         let mut r: u64 = 0;
         while done_count < n {
-            if r > opts.max_rounds {
+            if r >= opts.max_rounds {
                 return Err(SimError::RoundLimit {
                     max_rounds: opts.max_rounds,
                     still_running: n - done_count,
                 });
             }
+
+            // Time-leap scheduler: fast-forward over provably quiet
+            // stretches. Sound because every active node at this point
+            // woke in an earlier round (this round's wake-ups have not
+            // happened yet), so all of them decide in every skipped round
+            // — and all have committed those decisions to `Listen`, which
+            // means no transmissions, hence no deliveries other than
+            // `(∅)`, no forced wake-ups, and no cache invalidations
+            // during the skipped stretch.
+            if opts.leap {
+                if active.is_empty() {
+                    // Nothing is awake: the next possible event is the
+                    // next spontaneous wake-up (the loop condition
+                    // guarantees one exists).
+                    let next_tag = config.tag(by_tag[tag_ptr]).min(opts.max_rounds);
+                    if next_tag > r {
+                        rounds_leapt += next_tag - r;
+                        r = next_tag;
+                        continue;
+                    }
+                } else {
+                    let mut target = u64::MAX;
+                    let mut all_quiet = true;
+                    for &v in &active {
+                        let vi = v as usize;
+                        if quiet_horizon[vi] <= r {
+                            match nodes[vi].quiet_until(arena.view(vi)) {
+                                Some(q) => quiet_horizon[vi] = wake[vi].saturating_add(q),
+                                None => {
+                                    all_quiet = false;
+                                    break;
+                                }
+                            }
+                            if quiet_horizon[vi] <= r {
+                                all_quiet = false;
+                                break;
+                            }
+                        }
+                        target = target.min(quiet_horizon[vi]);
+                    }
+                    if tag_ptr < n {
+                        target = target.min(config.tag(by_tag[tag_ptr]));
+                    }
+                    target = target.min(opts.max_rounds);
+                    if all_quiet && target > r {
+                        // Every active node would have decided (and
+                        // listened) in each skipped round: deliver the
+                        // silent observations in bulk.
+                        let skipped = (target - r) as usize;
+                        for &v in &active {
+                            arena.push_silence_n(v as usize, skipped);
+                        }
+                        rounds_leapt += skipped as u64;
+                        r = target;
+                        continue;
+                    }
+                }
+            }
+
             let mut event = RoundEvent {
                 round: r,
                 ..Default::default()
@@ -379,7 +517,9 @@ impl Executor {
                 let vi = v as usize;
                 match action {
                     Action::Transmit(_) => {
-                        // A transmitter hears nothing: (∅).
+                        // A transmitter hears nothing: (∅). It was no
+                        // committed listener, whatever it once claimed.
+                        quiet_horizon[vi] = 0;
                         arena.push(vi, Obs::Silence);
                     }
                     Action::Listen => {
@@ -387,6 +527,11 @@ impl Executor {
                         let msg = if heard == 1 { heard_msg[vi] } else { Msg(0) };
                         let obs = M::listener_obs(heard, msg);
                         record_listener_obs(obs, &mut stats);
+                        if !matches!(obs, Obs::Silence) {
+                            // Quiet claims hold only while the channel
+                            // stays silent for the node: re-ask later.
+                            quiet_horizon[vi] = 0;
+                        }
                         if trace.is_some() {
                             match obs {
                                 Obs::Heard(m) => event.received.push((v, m)),
@@ -452,6 +597,7 @@ impl Executor {
             }
 
             rounds_executed = r + 1;
+            rounds_stepped += 1;
             r += 1;
         }
 
@@ -460,6 +606,8 @@ impl Executor {
             done_round: done,
             histories: arena.into_histories(),
             rounds: rounds_executed,
+            rounds_stepped,
+            rounds_leapt,
             stats,
             trace,
         })
@@ -685,6 +833,36 @@ mod tests {
     }
 
     #[test]
+    fn round_limit_boundary_is_exact() {
+        // silent(4) on tags [0,1,2] needs rounds 0..=6: exactly 7 rounds.
+        let run = |max_rounds, leap| {
+            let opts = if leap {
+                RunOpts::with_max_rounds(max_rounds)
+            } else {
+                RunOpts::with_max_rounds(max_rounds).no_leap()
+            };
+            Executor::run(
+                &cfg(generators::path(3), vec![0, 1, 2]),
+                &SilentFactory { lifetime: 4 },
+                opts,
+            )
+        };
+        for leap in [false, true] {
+            let ex = run(7, leap).expect("exactly enough rounds");
+            assert_eq!(ex.rounds, 7);
+            let err = run(6, leap).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::RoundLimit {
+                    max_rounds: 6,
+                    still_running: 1
+                },
+                "leap={leap}: 6 rounds must not be enough"
+            );
+        }
+    }
+
+    #[test]
     fn echo_chain_wakes_a_path() {
         // node 0 wakes at 0 and transmits at 1 (wait=0); echo nodes relay
         // the message down the path, force-waking each in turn.
@@ -711,6 +889,62 @@ mod tests {
         }
         assert_eq!(ex.stats.forced_wakeups, (n - 1) as u64);
         let _ = EchoFactory { lifetime: 1 }; // keep the import exercised
+    }
+
+    #[test]
+    fn leap_engine_matches_step_engine_and_skips_quiet_rounds() {
+        // Huge tag span: the step engine must iterate through the whole
+        // stretch, the leap engine jumps it — with identical results. The
+        // ends transmit simultaneously, so their collision leaves the
+        // sleeping centre asleep until its distant tag.
+        let span = 100_000u64;
+        let c = cfg(generators::path(3), vec![0, span, 0]);
+        let f = WaitThenTransmitFactory {
+            wait: 3,
+            msg: Msg(5),
+            lifetime: 20,
+        };
+        let leap = Executor::run(&c, &f, RunOpts::default()).unwrap();
+        let step = Executor::run(&c, &f, RunOpts::default().no_leap()).unwrap();
+        assert_eq!(leap.wake_round, step.wake_round);
+        assert_eq!(leap.done_round, step.done_round);
+        assert_eq!(leap.histories, step.histories);
+        assert_eq!(leap.rounds, step.rounds);
+        assert_eq!(leap.stats, step.stats);
+        // accounting: every round is either stepped or leapt
+        assert_eq!(leap.rounds_stepped + leap.rounds_leapt, leap.rounds);
+        assert_eq!(step.rounds_stepped, step.rounds);
+        assert_eq!(step.rounds_leapt, 0);
+        // and the leap engine actually leapt the dead stretch
+        assert!(leap.rounds > span, "the last node only wakes at {span}");
+        assert!(
+            leap.rounds_stepped < 64,
+            "leap engine stepped {} rounds of {}",
+            leap.rounds_stepped,
+            leap.rounds
+        );
+    }
+
+    #[test]
+    fn leap_preserves_traces_and_their_round_numbers() {
+        // Ends of the path transmit simultaneously at round 3, so the
+        // sleeping centre stays asleep (collision), the ends run out, the
+        // engine leaps the dead stretch, and the centre wakes at its tag
+        // with traffic on both sides of the leap.
+        let c = cfg(generators::path(3), vec![0, 5_000, 0]);
+        let f = WaitThenTransmitFactory {
+            wait: 2,
+            msg: Msg(1),
+            lifetime: 9,
+        };
+        let leap = Executor::run(&c, &f, RunOpts::default().traced()).unwrap();
+        let step = Executor::run(&c, &f, RunOpts::default().no_leap().traced()).unwrap();
+        assert!(leap.rounds_stepped < 20, "dead stretch must be leapt");
+        let (lt, st) = (leap.trace.unwrap(), step.trace.unwrap());
+        assert_eq!(lt.events, st.events, "trace must be round-for-round equal");
+        // sparse round numbers survive the leap
+        assert!(lt.round(5_000).is_some(), "spontaneous wake at 5000");
+        assert!(lt.round(5_003).is_some(), "centre transmits after the leap");
     }
 
     #[test]
@@ -792,5 +1026,21 @@ mod tests {
         assert_eq!(hs[2].len(), 34);
         assert!(hs[1].all_silent());
         assert!((0..100).all(|i| hs[0].message_at(i) == Some(Msg(i as u64))));
+    }
+
+    #[test]
+    fn arena_push_silence_n_appends_bulk_silence() {
+        let mut arena = ObsArena::new(2);
+        arena.push(0, Obs::Heard(Msg(1)));
+        arena.push_silence_n(0, 1000);
+        arena.push(0, Obs::Heard(Msg(2)));
+        arena.push_silence_n(1, 3);
+        let hs = arena.into_histories();
+        assert_eq!(hs[0].len(), 1002);
+        assert_eq!(hs[0].message_at(0), Some(Msg(1)));
+        assert!(hs[0].as_slice()[1..1001].iter().all(|o| o.is_silence()));
+        assert_eq!(hs[0].message_at(1001), Some(Msg(2)));
+        assert_eq!(hs[1].len(), 3);
+        assert!(hs[1].all_silent());
     }
 }

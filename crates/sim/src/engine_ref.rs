@@ -24,7 +24,9 @@ use crate::msg::{Action, Msg};
 
 /// Runs `factory`'s DRIP on `config` with the naive engine under the
 /// paper's model. Options are honoured except `record_trace` (the
-/// reference engine keeps no trace).
+/// reference engine keeps no trace) and `leap` (the reference engine
+/// executes every round one by one, always — it is the oracle the
+/// time-leap scheduler is differenced against, so it must never leap).
 pub fn run_reference(
     config: &Configuration,
     factory: &dyn DripFactory,
@@ -62,7 +64,7 @@ pub fn run_reference_model<M: RadioModel>(
         if state.iter().all(|s| *s == State::Done) {
             break;
         }
-        if r > opts.max_rounds {
+        if r >= opts.max_rounds {
             let still = state.iter().filter(|s| **s != State::Done).count();
             return Err(SimError::RoundLimit {
                 max_rounds: opts.max_rounds,
@@ -159,6 +161,10 @@ pub fn run_reference_model<M: RadioModel>(
         done_round: done,
         histories,
         rounds,
+        // The reference engine never leaps: that is what makes it the
+        // step-by-step oracle the leaping engine is differenced against.
+        rounds_stepped: rounds,
+        rounds_leapt: 0,
         stats,
         trace: None,
     })

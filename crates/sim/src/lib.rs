@@ -48,7 +48,8 @@
 //! * [`history`] — per-node local histories (owned + borrowed views).
 //! * [`drip`] — the DRIP traits plus a library of simple DRIPs.
 //! * [`model`] — pluggable channel semantics (the `RadioModel` layer).
-//! * [`engine`] — the round-by-round executor (arena-backed hot loop).
+//! * [`engine`] — the executor (arena-backed hot loop; event-driven
+//!   time-leap over provably quiet stretches).
 //! * [`election`] — leader-election runner (DRIP + decision function).
 //! * [`patient`] — the patient-DRIP transform of Lemma 3.12.
 //! * [`trace`] — optional round-by-round event recording.

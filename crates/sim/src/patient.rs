@@ -57,6 +57,7 @@ impl<F: DripFactory> DripFactory for PatientFactory<F> {
             inner_hist: History::new(),
             started: false,
             s: 0,
+            scanned: 0,
         })
     }
 
@@ -73,6 +74,21 @@ struct PatientNode {
     started: bool,
     /// `s_w` once determined.
     s: usize,
+    /// Message-free prefix already scanned for `rcv`: entries
+    /// `H[..scanned]` are known to hold no message, so each round only
+    /// the new suffix is searched (keeps σ-long listening windows O(σ)
+    /// total instead of O(σ²)).
+    scanned: usize,
+}
+
+impl PatientNode {
+    /// `rcv` restricted to the unscanned suffix (see `scanned`).
+    fn first_message_from_cursor(&self, history: HistoryView<'_>) -> Option<usize> {
+        history.as_slice()[self.scanned..]
+            .iter()
+            .position(|o| o.is_message())
+            .map(|p| p + self.scanned)
+    }
 }
 
 impl DripNode for PatientNode {
@@ -82,7 +98,11 @@ impl DripNode for PatientNode {
             // `s = min(σ, rcv)` with `rcv` the first local round holding a
             // message. While neither bound is reached we are still inside
             // the listening window.
-            match history.first_message() {
+            let rcv = self.first_message_from_cursor(history);
+            if rcv.is_none() {
+                self.scanned = i;
+            }
+            match rcv {
                 Some(rcv) if (rcv as u64) < self.sigma => self.s = rcv,
                 _ if (i as u64) > self.sigma => self.s = self.sigma as usize,
                 _ => return Action::Listen, // window end still unknown
@@ -111,6 +131,35 @@ impl DripNode for PatientNode {
             self.inner_hist.push(obs);
         }
         self.inner.decide(self.inner_hist.view())
+    }
+
+    fn quiet_until(&self, history: HistoryView<'_>) -> Option<u64> {
+        let i = history.len() as u64;
+        if !self.started {
+            // A message may already sit in the un-processed suffix (the
+            // window end is then about to be resolved): no claim. With
+            // continued silence `rcv` never fires, so the node listens
+            // through local round σ and hands σ+1 to the inner DRIP.
+            if self.first_message_from_cursor(history).is_some() {
+                return None;
+            }
+            return (i <= self.sigma).then_some(self.sigma + 1);
+        }
+        // The inner DRIP took over at `s`. Its view lags the outer history
+        // by the entries `decide` has not replayed yet; the claim is only
+        // valid if that backlog is pure silence (anything else could
+        // change the inner node's mind before the horizon).
+        let replayed = self.s + self.inner_hist.len();
+        if history.as_slice()[replayed..]
+            .iter()
+            .any(|o| !o.is_silence())
+        {
+            return None;
+        }
+        // Inner local round = outer local round − s.
+        self.inner
+            .quiet_until(self.inner_hist.view())
+            .map(|q| q.saturating_add(self.s as u64))
     }
 }
 
@@ -294,6 +343,41 @@ mod tests {
         h.push(Obs::Heard(Msg(1))); // local round 2 = rcv
                                     // i = 3 > s = 2 → inner round 1 with H'[0] = (M) → transmit
         assert_eq!(node.decide(h.view()), Action::Transmit(Msg(7)));
+    }
+
+    #[test]
+    fn quiet_claim_covers_the_listening_window_then_delegates() {
+        let f = PatientFactory::new(
+            WaitThenTransmitFactory {
+                wait: 2,
+                msg: Msg(1),
+                lifetime: 10,
+            },
+            6,
+        );
+        let mut node = f.spawn();
+        // pre-window: committed through σ, handing round σ+1 to the inner
+        let h = History::from_entries(vec![Obs::Silence]);
+        assert_eq!(node.quiet_until(h.view()), Some(7));
+        // an un-processed message voids the claim until decide runs
+        let hm = History::from_entries(vec![Obs::Silence, Obs::Heard(Msg(3))]);
+        assert_eq!(node.quiet_until(hm.view()), None);
+        // drive the window to completion with silence: inner starts at
+        // s = σ = 6; its wait=2 pins the transmit at inner round 3 = outer 9
+        let mut h = History::from_entries(vec![Obs::Silence; 7]);
+        assert_eq!(node.decide(h.view()), Action::Listen); // i=7 > σ: inner round 1
+        h.push(Obs::Silence);
+        assert_eq!(node.quiet_until(h.view()), Some(9), "inner 3 + s 6");
+        assert_eq!(node.decide(h.view()), Action::Listen); // inner round 2
+        h.push(Obs::Silence);
+        assert_eq!(node.decide(h.view()), Action::Transmit(Msg(1))); // outer 9
+        h.push(Obs::Silence);
+        // right after the transmission the inner view still lags: no claim
+        assert_eq!(node.quiet_until(h.view()), None);
+        assert_eq!(node.decide(h.view()), Action::Listen); // inner round 4
+        h.push(Obs::Silence);
+        // post-transmission: quiet until inner termination (10 + s)
+        assert_eq!(node.quiet_until(h.view()), Some(16));
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl RoundEvent {
     }
 
     /// One-line rendering, e.g.
-    /// `r=  5 | tx: v1'1' v2'1' | woke: v0(M) | coll: v3 | done: -`.
+    /// `r=    5 | tx: v1'1' v2'1' | woke: v0(forced) | rx: - | coll: v3 | done: -`.
     pub fn render(&self) -> String {
         fn list<T: std::fmt::Display>(xs: &[T]) -> String {
             if xs.is_empty() {
@@ -102,8 +102,17 @@ impl Trace {
     }
 
     /// The event for a specific round, if that round was eventful.
+    ///
+    /// Events are stored in strictly increasing round order (at most one
+    /// per round), so the lookup is a binary search — which matters under
+    /// the time-leap scheduler, where recorded round numbers are sparse
+    /// (a trace may span millions of global rounds in a handful of
+    /// events).
     pub fn round(&self, r: u64) -> Option<&RoundEvent> {
-        self.events.iter().find(|e| e.round == r)
+        self.events
+            .binary_search_by_key(&r, |e| e.round)
+            .ok()
+            .map(|i| &self.events[i])
     }
 }
 
@@ -224,5 +233,27 @@ mod tests {
         assert!(t.round(1).is_some());
         assert!(t.round(2).is_none());
         assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn round_lookup_handles_sparse_round_numbers() {
+        // Time-leap traces skip huge quiet stretches: lookups must work
+        // before, between, at, and past the recorded rounds.
+        let t = Trace {
+            events: [0u64, 7, 1_000_000]
+                .iter()
+                .map(|&round| RoundEvent {
+                    round,
+                    terminated: vec![0],
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        assert_eq!(t.round(0).map(|e| e.round), Some(0));
+        assert_eq!(t.round(7).map(|e| e.round), Some(7));
+        assert_eq!(t.round(1_000_000).map(|e| e.round), Some(1_000_000));
+        assert!(t.round(6).is_none());
+        assert!(t.round(999_999).is_none());
+        assert!(t.round(1_000_001).is_none());
     }
 }

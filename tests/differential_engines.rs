@@ -38,21 +38,66 @@ fn assert_identical(
     prop_assert_eq!(fast.stats, naive.stats, "{}", config);
     let default_fast = fast;
 
-    // … then every model through the dispatching entry points.
+    // … then every model through the dispatching entry points: the
+    // time-leaping engine, the same engine with leaping disabled, and the
+    // naive reference — all three must agree byte for byte.
     for kind in ModelKind::ALL {
-        let fast = kind.run(config, factory, RunOpts::default()).unwrap();
+        let leap = kind.run(config, factory, RunOpts::default()).unwrap();
+        let step = kind
+            .run(config, factory, RunOpts::default().no_leap())
+            .unwrap();
         let naive = kind
             .run_reference(config, factory, RunOpts::default())
             .unwrap();
-        prop_assert_eq!(&fast.wake_round, &naive.wake_round, "{} [{}]", config, kind);
-        prop_assert_eq!(&fast.done_round, &naive.done_round, "{} [{}]", config, kind);
-        prop_assert_eq!(&fast.histories, &naive.histories, "{} [{}]", config, kind);
-        prop_assert_eq!(fast.rounds, naive.rounds, "{} [{}]", config, kind);
-        prop_assert_eq!(fast.stats, naive.stats, "{} [{}]", config, kind);
+        for (engine, fast) in [("leap", &leap), ("step", &step)] {
+            prop_assert_eq!(
+                &fast.wake_round,
+                &naive.wake_round,
+                "{} [{} {}]",
+                config,
+                kind,
+                engine
+            );
+            prop_assert_eq!(
+                &fast.done_round,
+                &naive.done_round,
+                "{} [{} {}]",
+                config,
+                kind,
+                engine
+            );
+            prop_assert_eq!(
+                &fast.histories,
+                &naive.histories,
+                "{} [{} {}]",
+                config,
+                kind,
+                engine
+            );
+            prop_assert_eq!(
+                fast.rounds,
+                naive.rounds,
+                "{} [{} {}]",
+                config,
+                kind,
+                engine
+            );
+            prop_assert_eq!(fast.stats, naive.stats, "{} [{} {}]", config, kind, engine);
+        }
+        // round accounting: stepped + leapt always partitions the run
+        prop_assert_eq!(
+            leap.rounds_stepped + leap.rounds_leapt,
+            leap.rounds,
+            "{} [{}]",
+            config,
+            kind
+        );
+        prop_assert_eq!(step.rounds_stepped, step.rounds, "{} [{}]", config, kind);
+        prop_assert_eq!(step.rounds_leapt, 0, "{} [{}]", config, kind);
         if kind == ModelKind::NoCollisionDetection {
             // the dispatcher's default must be the legacy behaviour
-            prop_assert_eq!(&fast.histories, &default_fast.histories, "{}", config);
-            prop_assert_eq!(fast.stats, default_fast.stats, "{}", config);
+            prop_assert_eq!(&leap.histories, &default_fast.histories, "{}", config);
+            prop_assert_eq!(leap.stats, default_fast.stats, "{}", config);
         }
     }
     Ok(())
@@ -94,4 +139,70 @@ proptest! {
         let factory = anon_radio::CanonicalFactory::new(std::sync::Arc::new(schedule));
         assert_identical(&config, &factory)?;
     }
+}
+
+// High-span configurations make every naive run cost Θ(span) rounds, so
+// these cases are fewer — the point is that the *leaping* engine crosses
+// huge silent stretches and still agrees with both step-by-step engines,
+// under every model, with patient-wrapped DRIPs layered on top.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn high_span_patient_differential(
+        n in 2usize..7,
+        extra in 0usize..4,
+        big in 0u64..2,
+        span_off in 0u64..50_000,
+        seed in any::<u64>(),
+        wait in 0u64..4,
+    ) {
+        // bimodal spans: moderate (10..2010) and huge (50k..100k)
+        let span = if big == 0 { 10 + span_off % 2_000 } else { 50_000 + span_off };
+        let config = build_config(n, extra, span, seed);
+        let f = PatientFactory::new(
+            WaitThenTransmitFactory { wait, msg: Msg(5), lifetime: wait + 10 },
+            config.span(),
+        );
+        assert_identical(&config, &f)?;
+    }
+
+    #[test]
+    fn high_span_plain_differential(
+        n in 2usize..7,
+        span in 50_000u64..100_000,
+        seed in any::<u64>(),
+        wait in 0u64..4,
+    ) {
+        let config = build_config(n, 2, span, seed);
+        let f = WaitThenTransmitFactory { wait, msg: Msg(2), lifetime: wait + 12 };
+        assert_identical(&config, &f)?;
+    }
+}
+
+/// Regression: a span-10⁶ all-silent configuration must complete in a
+/// number of *executed* loop iterations that is tiny compared to the
+/// simulated span — the whole point of the time-leap scheduler. (Before
+/// it, this workload spun a million empty iterations per silent stretch.)
+#[test]
+fn million_span_silent_config_is_event_bound() {
+    let span = 1_000_000u64;
+    let config = Configuration::new(generators::path(4), vec![0, span / 2, span, 7]).unwrap();
+    let f = radio_sim::drip::SilentFactory { lifetime: 5 };
+    let ex = Executor::run(&config, &f, RunOpts::default()).unwrap();
+    assert_eq!(ex.rounds, span + 6, "last waker terminates 5 rounds in");
+    assert_eq!(ex.rounds_stepped + ex.rounds_leapt, ex.rounds);
+    assert!(
+        ex.rounds_stepped <= 32,
+        "{} rounds stepped for a {}-round run: the engine failed to leap",
+        ex.rounds_stepped,
+        ex.rounds
+    );
+    // And the result is exactly the one the step-by-step engine computes.
+    let step = Executor::run(&config, &f, RunOpts::default().no_leap()).unwrap();
+    assert_eq!(ex.histories, step.histories);
+    assert_eq!(ex.wake_round, step.wake_round);
+    assert_eq!(ex.done_round, step.done_round);
+    assert_eq!(ex.stats, step.stats);
+    assert_eq!(step.rounds_stepped, step.rounds);
 }
