@@ -1,0 +1,98 @@
+//! Bench-facing surface of the campaign layer.
+//!
+//! The machinery — [`CampaignSpec`], [`CampaignRunner`], streaming
+//! per-cell aggregation, the positional seeding contract — lives in
+//! [`anon_radio::campaign`] so the `anon-radio campaign` CLI can reach it;
+//! this module re-exports it for the experiment harness and adds the
+//! spec builders and table renderers the experiments share (E10 ports its
+//! batch-throughput sweep onto the runner, E14 its leap-vs-step span
+//! grid).
+
+pub use anon_radio::campaign::{
+    election_metrics, CampaignRunner, CampaignSpec, CellAggregate, CellKey, FamilyKind, RunMetrics,
+    ShardReport,
+};
+
+use radio_sim::{ModelKind, RunOpts};
+use radio_util::table::{fmt_f64, Table};
+
+use crate::Effort;
+
+/// The election-campaign spec the harness uses at each effort level: a
+/// small multi-family grid under the paper's model, sized so `Quick` runs
+/// in CI seconds and `Full` exercises thousands of elections.
+pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
+    let (sizes, reps) = match effort {
+        Effort::Quick => (vec![8, 16], 4),
+        Effort::Full => (vec![8, 16, 32], 25),
+    };
+    CampaignSpec {
+        families: vec![FamilyKind::Path, FamilyKind::Star, FamilyKind::RandomTree],
+        sizes,
+        spans: vec![2, 8],
+        models: vec![ModelKind::NoCollisionDetection],
+        reps,
+        seed,
+        opts: RunOpts::default(),
+    }
+}
+
+/// Renders a runner's per-cell aggregates as an experiment table:
+/// feasibility/election rates plus round and wall-time summaries.
+pub fn aggregate_table(title: impl Into<String>, runner: &CampaignRunner) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "cell",
+            "runs",
+            "feasible",
+            "elected",
+            "rounds p50",
+            "rounds p95",
+            "wall µs p50",
+        ],
+    );
+    for (cell, agg) in runner.aggregates() {
+        table.push_row(vec![
+            cell.to_string(),
+            agg.runs.to_string(),
+            agg.feasible.to_string(),
+            agg.elected.to_string(),
+            fmt_f64(agg.rounds.p50().unwrap_or(0.0), 0),
+            fmt_f64(agg.rounds.p95().unwrap_or(0.0), 0),
+            fmt_f64(agg.wall_ns.p50().unwrap_or(0.0) / 1e3, 1),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn election_spec_scales_with_effort() {
+        let quick = election_spec(Effort::Quick, 1);
+        let full = election_spec(Effort::Full, 1);
+        assert!(quick.total_runs() < full.total_runs());
+        assert!(quick.total_runs() >= 24, "enough runs to aggregate");
+    }
+
+    #[test]
+    fn aggregate_table_has_one_row_per_cell() {
+        let spec = CampaignSpec {
+            families: vec![FamilyKind::Path],
+            sizes: vec![5],
+            spans: vec![2],
+            models: vec![ModelKind::NoCollisionDetection],
+            reps: 2,
+            seed: 3,
+            opts: RunOpts::default(),
+        };
+        let cells = spec.cells().len();
+        let mut runner = CampaignRunner::new(spec, 2);
+        runner.run_to_completion(2);
+        let table = aggregate_table("t", &runner);
+        assert_eq!(table.len(), cells);
+    }
+}

@@ -23,6 +23,7 @@ use radio_sim::{Execution, PatientFactory, RunOpts};
 use radio_util::rng::derive;
 use radio_util::table::{fmt_f64, Table};
 
+use crate::campaign::{CampaignRunner, CampaignSpec, FamilyKind};
 use crate::workloads::with_random_tags;
 use crate::Effort;
 
@@ -168,7 +169,68 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
         push_comparison_row(&mut canonical, span.to_string(), leap, step.1, naive.1);
     }
 
-    vec![bursts, patient, canonical]
+    // Workload 4: the same leap-vs-step comparison as a declarative
+    // campaign — the E14 sweep ported onto the campaign runner. Two
+    // runners execute the identical grid (same positional seeds, so the
+    // drawn configurations match cell for cell), one with the time-leap
+    // scheduler and one without; per-cell streaming aggregates replace
+    // the hand-rolled per-span loop. The stepped/leapt split is the
+    // deterministic signal; the wall-time ratio is the measured one.
+    let campaign_spans: Vec<u64> = match effort {
+        Effort::Quick => vec![1_000, 10_000],
+        Effort::Full => vec![10_000, 100_000],
+    };
+    let spec = CampaignSpec {
+        families: vec![FamilyKind::Path],
+        sizes: vec![4],
+        spans: campaign_spans,
+        models: vec![radio_sim::ModelKind::NoCollisionDetection],
+        reps: 2,
+        seed,
+        opts: RunOpts::default(),
+    };
+    let leap_spec = spec.clone();
+    let mut step_spec = spec;
+    step_spec.opts = RunOpts::default().no_leap();
+
+    let mut leap_runner = CampaignRunner::new(leap_spec, 2);
+    leap_runner.run_to_completion(2);
+    let mut step_runner = CampaignRunner::new(step_spec, 2);
+    step_runner.run_to_completion(2);
+
+    let mut campaign = Table::new(
+        "E14d: leap vs step across the span grid — campaign aggregation",
+        &[
+            "cell",
+            "rounds p50",
+            "stepped p50 (leap)",
+            "leapt p50 (leap)",
+            "step wall µs p50",
+            "leap wall µs p50",
+            "wall ratio",
+        ],
+    );
+    for ((cell, leap_agg), (_, step_agg)) in leap_runner.aggregates().zip(step_runner.aggregates())
+    {
+        assert_eq!(
+            leap_agg.rounds.p50(),
+            step_agg.rounds.p50(),
+            "leap and step campaigns simulate identical executions"
+        );
+        let step_wall = step_agg.wall_ns.p50().unwrap_or(0.0);
+        let leap_wall = leap_agg.wall_ns.p50().unwrap_or(0.0);
+        campaign.push_row(vec![
+            cell.to_string(),
+            fmt_f64(leap_agg.rounds.p50().unwrap_or(0.0), 0),
+            fmt_f64(leap_agg.stepped.p50().unwrap_or(0.0), 0),
+            fmt_f64(leap_agg.leapt.p50().unwrap_or(0.0), 0),
+            fmt_f64(step_wall / 1e3, 1),
+            fmt_f64(leap_wall / 1e3, 1),
+            fmt_f64(step_wall / leap_wall.max(1.0), 1),
+        ]);
+    }
+
+    vec![bursts, patient, canonical, campaign]
 }
 
 #[cfg(test)]
@@ -178,9 +240,9 @@ mod tests {
     #[test]
     fn tables_have_expected_shape() {
         let tables = run(Effort::Quick, 3);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         for t in &tables {
-            assert_eq!(t.len(), 2, "one row per span");
+            assert_eq!(t.len(), 2, "one row per span (cell)");
         }
     }
 

@@ -1,8 +1,15 @@
 //! Shared workload builders for the experiments: named graph families with
 //! controlled `n`, tagging regimes, and channel-model crossings, all
 //! seed-deterministic.
+//!
+//! The family constructors are the campaign layer's
+//! [`FamilyKind`](anon_radio::campaign::FamilyKind) axis — this module
+//! wraps them in the experiment harness's table-friendly [`Family`] shape
+//! (same graphs, same seed-derivation streams, so pre-campaign experiment
+//! outputs are unchanged).
 
-use radio_graph::{generators, tags, Configuration, Graph};
+use anon_radio::campaign::FamilyKind;
+use radio_graph::{tags, Configuration, Graph};
 use radio_sim::ModelKind;
 use radio_util::rng::{derive, rng_from};
 
@@ -16,26 +23,26 @@ pub struct Family {
 
 /// Families used by the scaling experiments. Degrees range from constant
 /// (path/cycle) through log (hypercube-ish tree) to `n−1` (star), which is
-/// what the `O(n³Δ)` bound needs exercised.
+/// what the `O(n³Δ)` bound needs exercised. One entry per
+/// [`FamilyKind`], in the campaign axis order.
 pub fn scaling_families() -> Vec<Family> {
-    fn path(n: usize, _s: u64) -> Graph {
-        generators::path(n)
+    fn path(n: usize, s: u64) -> Graph {
+        FamilyKind::Path.build(n, s)
     }
-    fn cycle(n: usize, _s: u64) -> Graph {
-        generators::cycle(n.max(3))
+    fn cycle(n: usize, s: u64) -> Graph {
+        FamilyKind::Cycle.build(n, s)
     }
-    fn star(n: usize, _s: u64) -> Graph {
-        generators::star(n)
+    fn star(n: usize, s: u64) -> Graph {
+        FamilyKind::Star.build(n, s)
     }
-    fn btree(n: usize, _s: u64) -> Graph {
-        generators::balanced_tree(n, 2)
+    fn btree(n: usize, s: u64) -> Graph {
+        FamilyKind::BalancedTree.build(n, s)
     }
     fn rtree(n: usize, s: u64) -> Graph {
-        generators::random_tree(n, &mut rng_from(derive(s, "rtree")))
+        FamilyKind::RandomTree.build(n, s)
     }
     fn gnp(n: usize, s: u64) -> Graph {
-        let p = (8.0 / n as f64).min(1.0);
-        generators::gnp_connected(n, p, &mut rng_from(derive(s, "gnp")))
+        FamilyKind::Gnp.build(n, s)
     }
     vec![
         Family {
@@ -140,6 +147,7 @@ pub fn model_crossed_cells(n: usize, span: u64, seed: u64) -> Vec<ModelCell> {
 mod tests {
     use super::*;
     use radio_graph::algo::is_connected;
+    use radio_graph::generators;
 
     #[test]
     fn families_build_connected_graphs() {

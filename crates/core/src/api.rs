@@ -133,6 +133,21 @@ pub fn elect_leader_with(
     dedicated.run_under(model, opts)
 }
 
+/// [`elect_leader_with`] through a caller-provided
+/// [`SimWorkspace`](radio_sim::SimWorkspace): classify, compile, simulate
+/// — with the simulation recycling the workspace's engine state. The
+/// batch/campaign layers hold one workspace per worker thread and route
+/// every election through it.
+pub fn elect_leader_in(
+    workspace: &mut radio_sim::SimWorkspace,
+    config: &Configuration,
+    model: radio_sim::ModelKind,
+    opts: radio_sim::RunOpts,
+) -> Result<ElectionReport, ElectError> {
+    let dedicated = solve(config).map_err(|e| ElectError::Simulation(e.to_string()))?;
+    dedicated.run_in(workspace, model, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,12 @@ use radio_sim::ModelKind;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `campaign` owns its flag grammar (grid lists, shard/thread counts):
+    // hand it the raw arguments before the shared --model/--no-leap
+    // extraction below can reject them.
+    if args.first().map(String::as_str) == Some("campaign") {
+        std::process::exit(campaign_command(&args[1..]));
+    }
     let model = match extract_model(&mut args) {
         Ok(model) => model,
         Err(msg) => {
@@ -170,6 +176,196 @@ fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
+/// `anon-radio campaign` — execute a declarative election campaign grid
+/// shard by shard and emit one JSONL aggregate row per cell.
+fn campaign_command(args: &[String]) -> i32 {
+    use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind};
+
+    fn parse_list<T: std::str::FromStr>(value: &str, what: &str) -> Result<Vec<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let items: Result<Vec<T>, _> = value.split(',').map(str::parse::<T>).collect();
+        items.map_err(|e| format!("bad {what} list `{value}`: {e}"))
+    }
+
+    let mut families: Vec<FamilyKind> = vec![FamilyKind::Path, FamilyKind::Star];
+    let mut sizes: Vec<usize> = vec![8];
+    let mut spans: Vec<u64> = vec![4];
+    let mut models: Vec<ModelKind> = ModelKind::ALL.to_vec();
+    let mut reps = 3usize;
+    let mut shards = 8usize;
+    let mut threads = radio_sim::parallel::default_threads();
+    let mut seed = radio_util::rng::DEFAULT_ROOT_SEED;
+    let mut resume_from = 0usize;
+    let mut no_leap = false;
+    let mut out: Option<String> = None;
+
+    let parsed: Result<(), String> = (|| {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--families" => families = parse_list(&value("--families")?, "family")?,
+                "--sizes" => sizes = parse_list(&value("--sizes")?, "size")?,
+                "--spans" => spans = parse_list(&value("--spans")?, "span")?,
+                "--models" => models = parse_list(&value("--models")?, "model")?,
+                "--reps" => {
+                    reps = value("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?
+                }
+                "--shards" => {
+                    shards = value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?
+                }
+                "--threads" => {
+                    threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--resume-from" => {
+                    resume_from = value("--resume-from")?
+                        .parse()
+                        .map_err(|e| format!("--resume-from: {e}"))?
+                }
+                "--no-leap" => no_leap = true,
+                "--out" => out = Some(value("--out")?),
+                other => return Err(format!("unknown campaign argument `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("error: {msg}");
+        return 2;
+    }
+    if families.is_empty() || sizes.is_empty() || spans.is_empty() || models.is_empty() || reps == 0
+    {
+        eprintln!("error: every grid axis (--families/--sizes/--spans/--models/--reps) needs at least one value");
+        return 2;
+    }
+    if sizes.contains(&0) {
+        eprintln!("error: --sizes values must be ≥ 1 (a graph needs at least one node)");
+        return 2;
+    }
+    if families.contains(&FamilyKind::Cycle) && sizes.iter().any(|&n| n < 3) {
+        eprintln!(
+            "error: the cycle family needs --sizes values ≥ 3 (no smaller cycle exists; \
+             a clamped graph would not match its row's \"n\")"
+        );
+        return 2;
+    }
+    if resume_from > 0 {
+        if let Some(path) = &out {
+            if std::path::Path::new(path).exists() {
+                eprintln!(
+                    "error: {path} already exists — a resumed campaign emits rows for the \
+                     remaining shards only, and writing them here would destroy the \
+                     interrupted run's checkpoint; pass a fresh --out path and combine \
+                     the two files afterwards"
+                );
+                return 2;
+            }
+        }
+    }
+
+    let opts = if no_leap {
+        radio_sim::RunOpts::default().no_leap()
+    } else {
+        radio_sim::RunOpts::default()
+    };
+    let spec = CampaignSpec {
+        families,
+        sizes,
+        spans,
+        models,
+        reps,
+        seed,
+        opts,
+    };
+    let total = spec.total_runs();
+    let mut runner = CampaignRunner::new(spec, shards);
+    runner.skip_to(resume_from);
+    eprintln!(
+        "campaign: {} cells × {reps} rep(s) = {total} runs over {} shard(s), {threads} thread(s)",
+        total / reps,
+        runner.shard_count()
+    );
+    let mut executed = 0usize;
+    while let Some(report) = runner.run_next_shard(threads) {
+        executed += report.runs;
+        eprintln!(
+            "  shard {}/{}: {} run(s) in {:.3}s ({executed}/{total} done)",
+            report.shard + 1,
+            runner.shard_count(),
+            report.runs,
+            report.wall_s
+        );
+        // Checkpoint after every shard: if the process dies mid-campaign,
+        // the file holds the rows aggregated so far and the stderr log
+        // names the shard to pass to --resume-from.
+        if let Some(path) = &out {
+            if let Err(e) = write_rows(path, &runner.jsonl_rows()) {
+                eprintln!("error: could not checkpoint {path}: {e}");
+                return 1;
+            }
+        }
+    }
+
+    if resume_from > 0 {
+        eprintln!(
+            "note: resumed at shard {resume_from} — the emitted rows aggregate shards \
+             {resume_from}..{} only (runs {}..{total} of the campaign); per cell, the \
+             counters add across the two files and min/max/count-weighted mean combine \
+             directly; for exact merged std-dev/quantiles drive CampaignRunner + \
+             CellAggregate::merge programmatically, or rerun without --resume-from",
+            runner.shard_count(),
+            runner.shard_range(resume_from).0,
+        );
+    }
+    let rows = runner.jsonl_rows();
+    match &out {
+        Some(path) => {
+            // Already checkpointed after the final shard; rewrite once
+            // more to cover the zero-shard (fully skipped) case.
+            if let Err(e) = write_rows(path, &rows) {
+                eprintln!("error: could not write {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {} JSONL row(s) to {path}", rows.len());
+        }
+        None => {
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout().lock();
+            for row in &rows {
+                if writeln!(stdout, "{row}").is_err() {
+                    return 0; // closed pipe: clean stop, like `family`
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Writes the JSONL rows to `path` (whole-file rewrite — rows are
+/// running aggregates, so each checkpoint supersedes the previous one).
+fn write_rows(path: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut body = rows.join("\n");
+    body.push('\n');
+    std::fs::write(path, body)
+}
+
 fn family_command(args: &[String]) -> i32 {
     let (kind, m) = match (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) {
         (Some(kind), Some(m)) => (kind.as_str(), m),
@@ -243,6 +439,10 @@ fn usage() -> i32 {
          \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
          \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\
          \u{20}  anon-radio family g|h|s <m>    print a paper family configuration\n\
+         \u{20}  anon-radio campaign [flags]    run an election campaign grid, one JSONL\n\
+         \u{20}                                 aggregate row per cell\n\
+         \u{20}      --families a,b  --sizes n,…  --spans s,…  --models m,…  --reps k\n\
+         \u{20}      --shards K --threads T --seed N --resume-from S --no-leap --out FILE\n\
          \n\
          configuration file format: see `radio-graph::io` docs"
     );

@@ -1,0 +1,771 @@
+//! Declarative election campaigns: graph-family × size × tag-span ×
+//! channel-model grids executed shard by shard with streaming aggregation.
+//!
+//! The paper's experimental claims — and the regime maps of the
+//! neighbouring literature (knowledge-vs-time sweeps, the *Four Shades*
+//! feasibility landscapes) — are statements about *fleets* of executions,
+//! not single runs. This module makes such fleets a first-class workload:
+//!
+//! * [`CampaignSpec`] names the grid declaratively (families, sizes,
+//!   spans, models, repetitions per cell) plus a root seed and engine
+//!   options. Every run's configuration is derived deterministically from
+//!   `(cell, repetition)` alone — independent of execution order, thread
+//!   count, and shard geometry — so a campaign is reproducible
+//!   bit-for-bit and resumable mid-way.
+//! * [`CampaignRunner`] executes the grid *shard by shard*: each shard is
+//!   a contiguous slice of the run sequence, dispatched over worker
+//!   threads that each own one long-lived
+//!   [`SimWorkspace`](radio_sim::SimWorkspace) (see
+//!   [`radio_sim::parallel::par_map_init`]). As a shard completes, its
+//!   per-run metrics are folded into per-cell
+//!   [`StreamingStats`](radio_util::stats::StreamingStats) — count, mean,
+//!   min, max, p50, p95 in constant memory — instead of materializing
+//!   every [`Execution`](radio_sim::Execution). A million-run campaign
+//!   holds one shard's worth of 48-byte metric records at a time.
+//! * The shard cursor ([`CampaignRunner::cursor`], [`CampaignRunner::skip_to`])
+//!   makes interrupted campaigns resumable: because run seeds are
+//!   positional, re-running shards `k..` in a fresh process reproduces
+//!   exactly the rows the interrupted process would have produced.
+//! * [`CampaignRunner::jsonl_rows`] renders one JSON object per grid cell
+//!   — the `anon-radio campaign` subcommand's output format.
+//!
+//! The default per-run workload is the full election pipeline (classify →
+//! compile → simulate → validate, via [`election_metrics`]); the bench
+//! harness supplies custom runners for engine-comparison campaigns
+//! through [`CampaignRunner::run_next_shard_with`].
+
+use std::time::Instant;
+
+use radio_graph::{generators, tags, Configuration, Graph};
+use radio_sim::parallel::par_map_init;
+use radio_sim::{ModelKind, RunOpts, SimWorkspace};
+use radio_util::rng::{derive, derive_index, rng_from};
+use radio_util::stats::StreamingStats;
+
+use crate::dedicated::DedicatedElection;
+
+/// A named graph family usable as a campaign grid axis.
+///
+/// The constructors mirror `radio_bench::workloads::scaling_families`
+/// (which delegates here): degrees range from constant (path/cycle)
+/// through logarithmic (balanced tree) to `n − 1` (star), plus two
+/// seed-randomized families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// Path `P_n` (degree ≤ 2).
+    Path,
+    /// Cycle `C_n` (`n` clamped to ≥ 3).
+    Cycle,
+    /// Star `K_{1,n-1}` (centre degree `n − 1`).
+    Star,
+    /// Balanced binary tree.
+    BalancedTree,
+    /// Uniform random tree (seed-deterministic).
+    RandomTree,
+    /// Connected `G(n, 8/n)` (seed-deterministic).
+    Gnp,
+}
+
+impl FamilyKind {
+    /// All families, in declaration order.
+    pub const ALL: [FamilyKind; 6] = [
+        FamilyKind::Path,
+        FamilyKind::Cycle,
+        FamilyKind::Star,
+        FamilyKind::BalancedTree,
+        FamilyKind::RandomTree,
+        FamilyKind::Gnp,
+    ];
+
+    /// Canonical name (JSONL rows, CLI values, table labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyKind::Path => "path",
+            FamilyKind::Cycle => "cycle",
+            FamilyKind::Star => "star",
+            FamilyKind::BalancedTree => "binary-tree",
+            FamilyKind::RandomTree => "random-tree",
+            FamilyKind::Gnp => "gnp",
+        }
+    }
+
+    /// Builds the family member on `n` nodes. Deterministic families
+    /// ignore the seed; the randomized ones derive their RNG from it with
+    /// the same stream labels the bench workloads use.
+    ///
+    /// `Cycle` clamps `n` to ≥ 3 (no smaller cycle exists) — campaign
+    /// grids crossing the cycle family should use sizes ≥ 3 so the cell
+    /// label matches the simulated graph; the `anon-radio campaign` CLI
+    /// rejects smaller sizes for it.
+    pub fn build(self, n: usize, seed: u64) -> Graph {
+        match self {
+            FamilyKind::Path => generators::path(n),
+            FamilyKind::Cycle => generators::cycle(n.max(3)),
+            FamilyKind::Star => generators::star(n),
+            FamilyKind::BalancedTree => generators::balanced_tree(n, 2),
+            FamilyKind::RandomTree => {
+                generators::random_tree(n, &mut rng_from(derive(seed, "rtree")))
+            }
+            FamilyKind::Gnp => {
+                let p = (8.0 / n as f64).min(1.0);
+                generators::gnp_connected(n, p, &mut rng_from(derive(seed, "gnp")))
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for FamilyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FamilyKind, String> {
+        match s {
+            "path" => Ok(FamilyKind::Path),
+            "cycle" => Ok(FamilyKind::Cycle),
+            "star" => Ok(FamilyKind::Star),
+            "binary-tree" | "btree" => Ok(FamilyKind::BalancedTree),
+            "random-tree" | "rtree" => Ok(FamilyKind::RandomTree),
+            "gnp" => Ok(FamilyKind::Gnp),
+            other => Err(format!(
+                "unknown graph family `{other}` (expected path, cycle, star, binary-tree, \
+                 random-tree, or gnp)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A declarative campaign: the full cross product of the axes, `reps`
+/// runs per cell, deterministic per-run seeds derived from `seed`.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Graph families to cross.
+    pub families: Vec<FamilyKind>,
+    /// Node counts to cross.
+    pub sizes: Vec<usize>,
+    /// Tag spans to cross (tags are drawn uniformly from `0..=span`).
+    pub spans: Vec<u64>,
+    /// Channel models to cross. The same `(family, n, span, rep)`
+    /// configuration is used for every model, so model columns are
+    /// directly comparable.
+    pub models: Vec<ModelKind>,
+    /// Runs per grid cell.
+    pub reps: usize,
+    /// Root seed; every run seed is derived from it positionally.
+    pub seed: u64,
+    /// Engine options applied to every run (round limit, leap mode).
+    pub opts: RunOpts,
+}
+
+impl CampaignSpec {
+    /// A spec with every model, `reps` = 1, default engine options.
+    pub fn new(
+        families: Vec<FamilyKind>,
+        sizes: Vec<usize>,
+        spans: Vec<u64>,
+        seed: u64,
+    ) -> CampaignSpec {
+        CampaignSpec {
+            families,
+            sizes,
+            spans,
+            models: ModelKind::ALL.to_vec(),
+            reps: 1,
+            seed,
+            opts: RunOpts::default(),
+        }
+    }
+
+    /// The grid cells, in row-major `family × n × span × model` order.
+    pub fn cells(&self) -> Vec<CellKey> {
+        let mut cells = Vec::new();
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &span in &self.spans {
+                    for &model in &self.models {
+                        cells.push(CellKey {
+                            family,
+                            n,
+                            span,
+                            model,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total number of runs (`cells × reps`) — computed from the axis
+    /// lengths, no grid enumeration.
+    pub fn total_runs(&self) -> usize {
+        self.families.len() * self.sizes.len() * self.spans.len() * self.models.len() * self.reps
+    }
+
+    /// The configuration of repetition `rep` in `cell` — a pure function
+    /// of `(seed, family, n, span, rep)`. The channel model is *not* part
+    /// of the derivation, so the same drawn configuration appears once
+    /// per model and model columns compare like for like.
+    pub fn configuration(&self, cell: &CellKey, rep: usize) -> Configuration {
+        let base = derive_index(
+            derive_index(derive(self.seed, cell.family.name()), cell.n as u64),
+            cell.span,
+        );
+        let graph = cell
+            .family
+            .build(cell.n, derive_index(derive(base, "graph"), rep as u64));
+        tags::random_in_span(
+            graph,
+            cell.span,
+            &mut rng_from(derive_index(derive(base, "tags"), rep as u64)),
+        )
+    }
+}
+
+/// One grid cell: a point on the `family × n × span × model` lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Graph family.
+    pub family: FamilyKind,
+    /// Node count.
+    pub n: usize,
+    /// Tag span σ.
+    pub span: u64,
+    /// Channel model.
+    pub model: ModelKind,
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/n{}/σ{}/{}",
+            self.family, self.n, self.span, self.model
+        )
+    }
+}
+
+/// The metrics one run contributes to its cell's aggregate — everything
+/// the campaign keeps of an execution (the `Execution` itself is dropped
+/// inside the worker).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    /// The drawn configuration admits leader election.
+    pub feasible: bool,
+    /// The run elected exactly the predicted leader (always false for
+    /// infeasible cells; may be false under foreign channel models, whose
+    /// executions are still measured).
+    pub elected: bool,
+    /// The simulation aborted (round limit) — its zeroed shape metrics
+    /// must not be folded into the per-cell statistics.
+    pub aborted: bool,
+    /// Global rounds simulated (0 when infeasible/aborted).
+    pub rounds: u64,
+    /// Total transmissions.
+    pub transmissions: u64,
+    /// Rounds executed one by one.
+    pub rounds_stepped: u64,
+    /// Rounds skipped by the time-leap scheduler.
+    pub rounds_leapt: u64,
+    /// Wall-clock nanoseconds for the whole run (classify + compile +
+    /// simulate for the election workload).
+    pub wall_ns: u64,
+}
+
+/// Streaming per-cell aggregate: counters plus constant-memory
+/// [`StreamingStats`] per metric. Simulation-shape metrics (rounds,
+/// transmissions, stepped/leapt) are folded for runs that actually
+/// simulated (feasible draws); wall time is folded for every run.
+#[derive(Debug, Clone, Default)]
+pub struct CellAggregate {
+    /// Runs folded so far.
+    pub runs: u64,
+    /// Runs whose drawn configuration was feasible.
+    pub feasible: u64,
+    /// Runs that elected the predicted leader.
+    pub elected: u64,
+    /// Feasible runs whose simulation aborted on the round limit — they
+    /// contribute no shape statistics (their metrics would read as zero).
+    pub aborted: u64,
+    /// Global round counts of completed feasible runs.
+    pub rounds: StreamingStats,
+    /// Transmission counts of completed feasible runs.
+    pub transmissions: StreamingStats,
+    /// Stepped-round counts of completed feasible runs.
+    pub stepped: StreamingStats,
+    /// Leapt-round counts of completed feasible runs.
+    pub leapt: StreamingStats,
+    /// Wall-clock nanoseconds of all runs.
+    pub wall_ns: StreamingStats,
+}
+
+impl CellAggregate {
+    /// Merges another aggregate over the *same cell* into this one — how
+    /// the halves of an interrupted-and-resumed campaign (each covering a
+    /// disjoint shard range) combine into whole-campaign aggregates.
+    /// Counters and moments merge exactly; quantile estimates merge at
+    /// reservoir precision (see
+    /// [`StreamingStats::merge`](radio_util::stats::StreamingStats::merge)).
+    pub fn merge(&mut self, other: &CellAggregate) {
+        self.runs += other.runs;
+        self.feasible += other.feasible;
+        self.elected += other.elected;
+        self.aborted += other.aborted;
+        self.rounds.merge(&other.rounds);
+        self.transmissions.merge(&other.transmissions);
+        self.stepped.merge(&other.stepped);
+        self.leapt.merge(&other.leapt);
+        self.wall_ns.merge(&other.wall_ns);
+    }
+
+    /// Folds one run's metrics into the aggregate.
+    pub fn fold(&mut self, m: &RunMetrics) {
+        self.runs += 1;
+        self.wall_ns.push(m.wall_ns as f64);
+        if m.feasible {
+            self.feasible += 1;
+            if m.aborted {
+                // A round-limit abort carries no shape metrics; folding
+                // its zeros would drag min/mean/p50 down invisibly.
+                self.aborted += 1;
+            } else {
+                self.rounds.push(m.rounds as f64);
+                self.transmissions.push(m.transmissions as f64);
+                self.stepped.push(m.rounds_stepped as f64);
+                self.leapt.push(m.rounds_leapt as f64);
+            }
+        }
+        if m.elected {
+            self.elected += 1;
+        }
+    }
+}
+
+/// The default per-run workload: the full election pipeline on the drawn
+/// configuration — classify, compile, simulate through the worker's
+/// [`SimWorkspace`], validate the exactly-one-leader contract against the
+/// classifier's prediction.
+///
+/// Infeasible draws are recorded as such (that *rate* is itself a
+/// campaign-level result — the feasibility landscape); foreign-model runs
+/// that break the election contract still contribute their execution
+/// shape, with `elected = false`.
+pub fn election_metrics(
+    workspace: &mut SimWorkspace,
+    config: &Configuration,
+    model: ModelKind,
+    opts: RunOpts,
+) -> RunMetrics {
+    let start = Instant::now();
+    let mut metrics = RunMetrics::default();
+    let Ok(dedicated) = DedicatedElection::solve(config) else {
+        metrics.wall_ns = start.elapsed().as_nanos() as u64;
+        return metrics;
+    };
+    metrics.feasible = true;
+    let factory = dedicated.factory();
+    match workspace.run_kind(model, config, &factory, opts) {
+        Ok(execution) => {
+            let decision = dedicated.decision();
+            let leaders: Vec<_> = (0..config.size() as radio_graph::NodeId)
+                .filter(|&v| decision.is_leader(execution.history(v)))
+                .collect();
+            metrics.elected = leaders == [dedicated.predicted_leader()];
+            metrics.rounds = execution.rounds;
+            metrics.transmissions = execution.stats.transmissions;
+            metrics.rounds_stepped = execution.rounds_stepped;
+            metrics.rounds_leapt = execution.rounds_leapt;
+        }
+        Err(_) => metrics.aborted = true,
+    }
+    metrics.wall_ns = start.elapsed().as_nanos() as u64;
+    metrics
+}
+
+/// Summary of one executed shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Runs executed in this shard.
+    pub runs: usize,
+    /// Wall-clock seconds for the shard.
+    pub wall_s: f64,
+}
+
+/// Executes a [`CampaignSpec`] shard by shard, folding per-run metrics
+/// into per-cell [`CellAggregate`]s as each shard completes.
+#[derive(Debug)]
+pub struct CampaignRunner {
+    spec: CampaignSpec,
+    cells: Vec<CellKey>,
+    aggregates: Vec<CellAggregate>,
+    shards: usize,
+    next_shard: usize,
+}
+
+impl CampaignRunner {
+    /// Prepares a runner splitting the run sequence into `shards`
+    /// contiguous shards (clamped to ≥ 1).
+    pub fn new(spec: CampaignSpec, shards: usize) -> CampaignRunner {
+        let cells = spec.cells();
+        let aggregates = vec![CellAggregate::default(); cells.len()];
+        CampaignRunner {
+            spec,
+            cells,
+            aggregates,
+            shards: shards.max(1),
+            next_shard: 0,
+        }
+    }
+
+    /// The spec this runner executes.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The next shard to execute (== number of completed-or-skipped
+    /// shards). Persist this to resume an interrupted campaign.
+    pub fn cursor(&self) -> usize {
+        self.next_shard
+    }
+
+    /// True once every shard has been executed (or skipped).
+    pub fn is_done(&self) -> bool {
+        self.next_shard >= self.shards
+    }
+
+    /// Advances the cursor without executing — the resume path: a fresh
+    /// process skips the shards a previous run already reported.
+    /// Run seeds are positional, so the remaining shards produce exactly
+    /// what they would have in the original process.
+    pub fn skip_to(&mut self, shard: usize) {
+        self.next_shard = shard.min(self.shards);
+    }
+
+    /// The run-index range `[start, end)` of shard `k` — the single
+    /// source of the shard-splitting arithmetic (the CLI's resume note
+    /// reports ranges through this, so it can never drift from what the
+    /// runner actually skips).
+    pub fn shard_range(&self, k: usize) -> (usize, usize) {
+        let total = self.cells.len() * self.spec.reps;
+        let per = total.div_ceil(self.shards).max(1);
+        let start = (k * per).min(total);
+        (start, ((k + 1) * per).min(total))
+    }
+
+    /// Executes the next shard over `threads` workers with the default
+    /// election workload. Returns `None` when the campaign is complete.
+    pub fn run_next_shard(&mut self, threads: usize) -> Option<ShardReport> {
+        self.run_next_shard_with(threads, &election_metrics)
+    }
+
+    /// [`CampaignRunner::run_next_shard`] with a custom per-run workload
+    /// (the bench harness passes engine-comparison runners).
+    ///
+    /// Each worker thread owns one [`SimWorkspace`] for the whole shard;
+    /// only the shard's `RunMetrics` are materialized, never its
+    /// executions.
+    pub fn run_next_shard_with<F>(&mut self, threads: usize, run: &F) -> Option<ShardReport>
+    where
+        F: Fn(&mut SimWorkspace, &Configuration, ModelKind, RunOpts) -> RunMetrics + Sync,
+    {
+        if self.is_done() {
+            return None;
+        }
+        let shard = self.next_shard;
+        self.next_shard += 1;
+        let (start, end) = self.shard_range(shard);
+        let indices: Vec<usize> = (start..end).collect();
+        let started = Instant::now();
+        let spec = &self.spec;
+        let cells = &self.cells;
+        let metrics: Vec<(usize, RunMetrics)> =
+            par_map_init(&indices, threads, SimWorkspace::new, |ws, &idx| {
+                let cell_idx = idx / spec.reps;
+                let rep = idx % spec.reps;
+                let cell = &cells[cell_idx];
+                let config = spec.configuration(cell, rep);
+                (cell_idx, run(ws, &config, cell.model, spec.opts))
+            });
+        for (cell_idx, m) in &metrics {
+            self.aggregates[*cell_idx].fold(m);
+        }
+        Some(ShardReport {
+            shard,
+            runs: indices.len(),
+            wall_s: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs every remaining shard with the default election workload.
+    pub fn run_to_completion(&mut self, threads: usize) -> Vec<ShardReport> {
+        let mut reports = Vec::new();
+        while let Some(report) = self.run_next_shard(threads) {
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// The per-cell aggregates folded so far, in cell order.
+    pub fn aggregates(&self) -> impl Iterator<Item = (&CellKey, &CellAggregate)> {
+        self.cells.iter().zip(&self.aggregates)
+    }
+
+    /// One JSON object per grid cell — the campaign's machine-readable
+    /// output. Fields: the cell key, the counters, and per-metric
+    /// `{count, mean, min, max, p50, p95}` summaries.
+    pub fn jsonl_rows(&self) -> Vec<String> {
+        self.aggregates()
+            .map(|(cell, agg)| {
+                format!(
+                    "{{\"family\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
+                     \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{},\
+                     \"rounds\":{},\"transmissions\":{},\"stepped\":{},\"leapt\":{},\
+                     \"wall_ns\":{}}}",
+                    cell.family,
+                    cell.n,
+                    cell.span,
+                    cell.model,
+                    agg.runs,
+                    agg.feasible,
+                    agg.elected,
+                    agg.aborted,
+                    stats_json(&agg.rounds),
+                    stats_json(&agg.transmissions),
+                    stats_json(&agg.stepped),
+                    stats_json(&agg.leapt),
+                    stats_json(&agg.wall_ns),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Renders a [`StreamingStats`] as a JSON object (`null` when no sample
+/// was folded).
+fn stats_json(s: &StreamingStats) -> String {
+    if s.is_empty() {
+        return "null".to_string();
+    }
+    format!(
+        "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+        s.count(),
+        json_f64(s.mean().expect("non-empty")),
+        json_f64(s.min().expect("non-empty")),
+        json_f64(s.max().expect("non-empty")),
+        json_f64(s.p50().expect("non-empty")),
+        json_f64(s.p95().expect("non-empty")),
+    )
+}
+
+/// JSON-safe float rendering (JSON has no NaN/∞; a whole-valued f64 is
+/// emitted without a fraction, which every JSON parser reads as a number).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            families: vec![FamilyKind::Path, FamilyKind::Star],
+            sizes: vec![5],
+            spans: vec![2, 4],
+            models: ModelKind::ALL.to_vec(),
+            reps: 2,
+            seed: 11,
+            opts: RunOpts::default(),
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_and_counts() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 12, "2 families × 1 size × 2 spans × 3 models");
+        assert_eq!(spec.total_runs(), cells.len() * 2);
+        // row-major order: model varies fastest, family slowest
+        assert_eq!(cells[0].model, ModelKind::NoCollisionDetection);
+        assert_eq!(cells[1].model, ModelKind::CollisionDetection);
+        assert_eq!(cells[0].family, FamilyKind::Path);
+        assert_eq!(cells.last().unwrap().family, FamilyKind::Star);
+    }
+
+    #[test]
+    fn configurations_are_positional_and_model_independent() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        // same (family, n, span, rep) across models → identical config
+        let a = spec.configuration(&cells[0], 1);
+        let b = spec.configuration(&cells[1], 1);
+        assert_eq!(a, b, "model must not perturb the drawn configuration");
+        // different rep → (overwhelmingly) different tags, same graph shape
+        let c = spec.configuration(&cells[0], 0);
+        assert_eq!(a.graph().node_count(), c.graph().node_count());
+        // derivation is stable across calls
+        assert_eq!(a, spec.configuration(&cells[0], 1));
+    }
+
+    #[test]
+    fn family_kind_round_trips_names() {
+        for kind in FamilyKind::ALL {
+            let parsed: FamilyKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("btree".parse::<FamilyKind>(), Ok(FamilyKind::BalancedTree));
+        assert!("kagome-lattice".parse::<FamilyKind>().is_err());
+        for kind in FamilyKind::ALL {
+            let g = kind.build(7, 3);
+            assert!(radio_graph::algo::is_connected(&g), "{kind}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_aggregates_every_run_exactly_once() {
+        let spec = tiny_spec();
+        let total = spec.total_runs();
+        let mut runner = CampaignRunner::new(spec, 5);
+        let mut seen = 0usize;
+        while let Some(report) = runner.run_next_shard(2) {
+            seen += report.runs;
+        }
+        assert_eq!(seen, total);
+        let folded: u64 = runner.aggregates().map(|(_, a)| a.runs).sum();
+        assert_eq!(folded as usize, total);
+        for (_, agg) in runner.aggregates() {
+            assert_eq!(agg.runs, 2, "reps per cell");
+        }
+        assert!(runner.is_done());
+        assert!(runner.run_next_shard(2).is_none());
+    }
+
+    #[test]
+    fn shard_geometry_does_not_change_results() {
+        // Rows are deterministic up to the wall-clock summary (the only
+        // measured, non-derived field): strip it before comparing.
+        let rows_with = |shards: usize, threads: usize| -> Vec<String> {
+            let mut runner = CampaignRunner::new(tiny_spec(), shards);
+            runner.run_to_completion(threads);
+            runner
+                .jsonl_rows()
+                .into_iter()
+                .map(|row| row.split(",\"wall_ns\"").next().unwrap().to_string())
+                .collect()
+        };
+        let one = rows_with(1, 1);
+        assert_eq!(one, rows_with(4, 2), "sharding must not perturb rows");
+        assert_eq!(one, rows_with(100, 3), "even empty shards");
+    }
+
+    #[test]
+    fn resume_reproduces_the_remaining_shards() {
+        // Process A runs shards 0..2 then dies; process B skips to shard 2
+        // and finishes. B's aggregates must equal a full run minus A's
+        // shards — checked cell-wise via the run counters and by
+        // re-merging row counts.
+        let spec = tiny_spec();
+        let mut full = CampaignRunner::new(spec.clone(), 4);
+        full.run_to_completion(2);
+
+        let mut a = CampaignRunner::new(spec.clone(), 4);
+        a.run_next_shard(2);
+        a.run_next_shard(2);
+        assert_eq!(a.cursor(), 2);
+
+        let mut b = CampaignRunner::new(spec, 4);
+        b.skip_to(a.cursor());
+        b.run_to_completion(2);
+
+        for (((_, f), (_, ra)), (_, rb)) in
+            full.aggregates().zip(a.aggregates()).zip(b.aggregates())
+        {
+            assert_eq!(f.runs, ra.runs + rb.runs);
+            assert_eq!(f.feasible, ra.feasible + rb.feasible);
+            assert_eq!(f.elected, ra.elected + rb.elected);
+        }
+    }
+
+    #[test]
+    fn jsonl_rows_have_stable_shape() {
+        let mut runner = CampaignRunner::new(tiny_spec(), 2);
+        runner.run_to_completion(2);
+        let rows = runner.jsonl_rows();
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            assert!(row.starts_with('{') && row.ends_with('}'));
+            assert!(row.contains("\"family\":\""));
+            assert!(row.contains("\"runs\":2"));
+            assert!(row.contains("\"wall_ns\":{\"count\":2"));
+        }
+        // the paper's model on a feasible-leaning grid elects leaders
+        let elected: u64 = runner
+            .aggregates()
+            .filter(|(c, _)| c.model == ModelKind::NoCollisionDetection)
+            .map(|(_, a)| a.elected)
+            .sum();
+        assert!(elected > 0, "default-model cells must elect");
+    }
+
+    #[test]
+    fn aborted_runs_are_counted_but_not_folded_into_shape_stats() {
+        // A feasible configuration with a round limit far below its
+        // election time: the run aborts, and its zeroed metrics must not
+        // contaminate the cell's rounds/transmissions statistics.
+        let config = radio_graph::families::h_m(9); // needs well over 2 rounds
+        let mut ws = SimWorkspace::new();
+        let m = election_metrics(
+            &mut ws,
+            &config,
+            ModelKind::NoCollisionDetection,
+            radio_sim::RunOpts::with_max_rounds(2),
+        );
+        assert!(m.feasible && m.aborted && !m.elected);
+        let mut agg = CellAggregate::default();
+        agg.fold(&m);
+        assert_eq!((agg.runs, agg.feasible, agg.aborted), (1, 1, 1));
+        assert!(agg.rounds.is_empty(), "no zero sample folded");
+        // a completed run folds normally alongside it
+        let ok = election_metrics(
+            &mut ws,
+            &config,
+            ModelKind::NoCollisionDetection,
+            radio_sim::RunOpts::default(),
+        );
+        agg.fold(&ok);
+        assert_eq!(agg.rounds.count(), 1);
+        assert!(agg.rounds.min().unwrap() > 2.0);
+    }
+
+    #[test]
+    fn election_metrics_reports_infeasible_draws() {
+        // A uniform-tag cycle is maximally symmetric: infeasible.
+        let config =
+            Configuration::with_uniform_tags(radio_graph::generators::cycle(4), 0).unwrap();
+        let mut ws = SimWorkspace::new();
+        let m = election_metrics(
+            &mut ws,
+            &config,
+            ModelKind::NoCollisionDetection,
+            RunOpts::default(),
+        );
+        assert!(!m.feasible);
+        assert!(!m.elected);
+        assert_eq!(m.rounds, 0);
+    }
+}

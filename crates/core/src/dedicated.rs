@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use radio_graph::{Configuration, NodeId};
-use radio_sim::{run_election_under, LeaderAlgorithm, ModelKind, RunOpts, SimError};
+use radio_sim::{run_election_in, LeaderAlgorithm, ModelKind, RunOpts, SimError, SimWorkspace};
 
 use crate::api::{ElectError, ElectionReport, Infeasible};
 use crate::canonical::CanonicalFactory;
@@ -99,6 +99,18 @@ impl DedicatedElection {
     /// report's `rounds_stepped` / `rounds_leapt` break this down; pass
     /// `opts.no_leap()` to force round-by-round execution.
     pub fn run_under(&self, model: ModelKind, opts: RunOpts) -> Result<ElectionReport, ElectError> {
+        self.run_in(&mut SimWorkspace::new(), model, opts)
+    }
+
+    /// [`DedicatedElection::run_under`] through a caller-provided
+    /// [`SimWorkspace`] — the campaign runner's per-worker path, which
+    /// recycles all engine state across back-to-back elections.
+    pub fn run_in(
+        &self,
+        workspace: &mut SimWorkspace,
+        model: ModelKind,
+        opts: RunOpts,
+    ) -> Result<ElectionReport, ElectError> {
         let factory = self.factory();
         let decision = self.decision();
         let decide = move |h: &radio_sim::History| decision.is_leader(h);
@@ -106,7 +118,7 @@ impl DedicatedElection {
             drip: &factory,
             decide: &decide,
         };
-        let outcome = run_election_under(model, &self.config, &algorithm, opts)
+        let outcome = run_election_in(workspace, model, &self.config, &algorithm, opts)
             .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
         let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
             leaders: outcome.leaders.clone(),
@@ -145,6 +157,18 @@ impl DedicatedElection {
     ) -> Result<radio_sim::Execution, SimError> {
         let factory = self.factory();
         model.run(&self.config, &factory, opts)
+    }
+
+    /// [`DedicatedElection::execute_under`] through a caller-provided
+    /// [`SimWorkspace`].
+    pub fn execute_in(
+        &self,
+        workspace: &mut SimWorkspace,
+        model: ModelKind,
+        opts: RunOpts,
+    ) -> Result<radio_sim::Execution, SimError> {
+        let factory = self.factory();
+        workspace.run_kind(model, &self.config, &factory, opts)
     }
 }
 

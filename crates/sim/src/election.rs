@@ -69,7 +69,27 @@ pub fn run_election_under(
     algorithm: &LeaderAlgorithm<'_>,
     opts: RunOpts,
 ) -> Result<ElectionOutcome, SimError> {
-    let execution = model.run(config, algorithm.drip, opts)?;
+    run_election_in(
+        &mut crate::workspace::SimWorkspace::new(),
+        model,
+        config,
+        algorithm,
+        opts,
+    )
+}
+
+/// [`run_election_under`] through a caller-provided
+/// [`SimWorkspace`](crate::SimWorkspace) — the batch layers run thousands
+/// of elections per worker thread through one workspace, so the engine
+/// state is recycled instead of reallocated per election.
+pub fn run_election_in(
+    workspace: &mut crate::workspace::SimWorkspace,
+    model: crate::model::ModelKind,
+    config: &Configuration,
+    algorithm: &LeaderAlgorithm<'_>,
+    opts: RunOpts,
+) -> Result<ElectionOutcome, SimError> {
+    let execution = workspace.run_kind(model, config, algorithm.drip, opts)?;
     let leaders = (0..config.size() as NodeId)
         .filter(|&v| (algorithm.decide)(execution.history(v)))
         .collect();

@@ -49,7 +49,7 @@
 //!   do, no transmissions (hence no deliveries, forced wake-ups, or
 //!   terminations) can occur before the earliest of {min horizon, next
 //!   tag}: jump there, appending the skipped `(∅)` observations in bulk
-//!   ([`ObsArena::push_silence_n`]).
+//!   (the arena's `push_silence_n`).
 //!
 //! Leaping is a pure wall-clock optimization: the resulting [`Execution`]
 //! (histories, wake/done rounds, stats, trace round numbers) is
@@ -62,21 +62,31 @@
 //! # Hot-loop memory layout
 //!
 //! All per-node engine state is struct-of-arrays, and all observations
-//! live in one shared [`ObsArena`]: per node an `(offset, len, capacity)`
-//! segment into a single flat `Vec<Obs>`, relocated with geometric growth
-//! when full. Steady-state rounds therefore allocate nothing — no
-//! per-node `Vec<Obs>` ever exists during the run — and a node's history
-//! reaches its DRIP as a borrowed [`HistoryView`](crate::HistoryView)
-//! straight into the arena. Owned [`History`] values are materialized once,
-//! when the [`Execution`] is assembled.
+//! live in one shared observation arena: per node an
+//! `(offset, len, capacity)` segment into a single flat `Vec<Obs>`,
+//! relocated with geometric growth when full. Steady-state rounds
+//! therefore allocate nothing — no per-node `Vec<Obs>` ever exists during
+//! the run — and a node's history reaches its DRIP as a borrowed
+//! [`HistoryView`](crate::HistoryView) straight into the arena. Owned
+//! [`History`] values are materialized once, when the [`Execution`] is
+//! assembled.
+//!
+//! # Batch execution
+//!
+//! The run loop itself lives in [`SimWorkspace`](crate::SimWorkspace),
+//! which owns all of the state above and recycles it across runs;
+//! [`Executor`] is the stateless one-shot façade (a fresh workspace per
+//! call). Batch workloads — [`crate::parallel`], the campaign layer —
+//! keep one long-lived workspace per worker thread instead.
 
 use radio_graph::{Configuration, NodeId};
 
 use crate::drip::DripFactory;
-use crate::history::{History, HistoryView};
-use crate::model::{record_listener_obs, NoCollisionDetection, RadioModel};
-use crate::msg::{Action, Msg, Obs};
-use crate::trace::{RoundEvent, Trace};
+use crate::history::History;
+use crate::model::{NoCollisionDetection, RadioModel};
+use crate::msg::Obs;
+use crate::trace::Trace;
+use crate::workspace::SimWorkspace;
 
 /// Execution limits and instrumentation switches.
 #[derive(Debug, Clone, Copy)]
@@ -226,19 +236,23 @@ impl Execution {
 
     /// Nodes grouped by identical history — the partition the whole theory
     /// revolves around. Groups are in first-seen order.
+    ///
+    /// Grouping is a single pass through an [`radio_util::FxHashMap`] keyed
+    /// on the history contents (one hash of each node's observation
+    /// segment), not a linear scan over existing groups per node.
     pub fn history_classes(&self) -> Vec<Vec<NodeId>> {
-        let mut groups: Vec<(u64, Vec<NodeId>)> = Vec::new();
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
         let mut index: radio_util::FxHashMap<&History, usize> = radio_util::FxHashMap::default();
         for (v, h) in self.histories.iter().enumerate() {
             match index.get(h) {
-                Some(&g) => groups[g].1.push(v as NodeId),
+                Some(&g) => groups[g].push(v as NodeId),
                 None => {
                     index.insert(h, groups.len());
-                    groups.push((0, vec![v as NodeId]));
+                    groups.push(vec![v as NodeId]);
                 }
             }
         }
-        groups.into_iter().map(|(_, g)| g).collect()
+        groups
     }
 
     /// Nodes whose history is unique in the execution.
@@ -251,104 +265,12 @@ impl Execution {
     }
 }
 
-/// One shared observation arena: every node's history is an
-/// `(offset, len, capacity)` segment of a single flat `Vec<Obs>`.
-///
-/// Appending into a full segment relocates it to the end of the arena with
-/// doubled capacity (amortized O(1), total memory ≤ ~2× the live
-/// observations); the backing vector itself grows geometrically, so
-/// steady-state rounds perform no allocation at all.
-#[derive(Debug)]
-struct ObsArena {
-    data: Vec<Obs>,
-    off: Vec<usize>,
-    len: Vec<u32>,
-    cap: Vec<u32>,
-}
-
-impl ObsArena {
-    /// Initial per-node segment capacity (allocated on first push).
-    const FIRST_CAP: u32 = 8;
-
-    fn new(n: usize) -> ObsArena {
-        ObsArena {
-            data: Vec::new(),
-            off: vec![0; n],
-            len: vec![0; n],
-            cap: vec![0; n],
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, v: usize, obs: Obs) {
-        if self.len[v] == self.cap[v] {
-            self.grow(v, self.len[v] as usize + 1);
-        }
-        self.data[self.off[v] + self.len[v] as usize] = obs;
-        self.len[v] += 1;
-    }
-
-    /// Appends `k` `(∅)` entries to segment `v` in one go — how the
-    /// time-leap scheduler materializes a skipped silent stretch.
-    ///
-    /// O(1) past capacity checks: a segment's unused tail `[len..cap)`
-    /// still holds the `Obs::Silence` the backing vector was resized with
-    /// (pushes only ever write at `len`), so appending silence is just a
-    /// length bump.
-    fn push_silence_n(&mut self, v: usize, k: usize) {
-        let need = self.len[v] as usize + k;
-        if need > self.cap[v] as usize {
-            self.grow(v, need);
-        }
-        self.len[v] += k as u32;
-    }
-
-    #[cold]
-    fn grow(&mut self, v: usize, need: usize) {
-        // At least double (amortization), but satisfy big jumps — a
-        // time-leap can demand millions of slots at once — exactly, so a
-        // huge silent run is not over-allocated (and over-filled) by up
-        // to 2×.
-        let new_cap = (self.cap[v] as usize * 2)
-            .max(Self::FIRST_CAP as usize)
-            .max(need);
-        let new_off = self.data.len();
-        let old_off = self.off[v];
-        let live = self.len[v] as usize;
-        // Relocate by appending: the live prefix is copied once (not
-        // silence-filled first and then overwritten), only the fresh tail
-        // is filled — establishing the all-`Silence`-beyond-`len`
-        // invariant `push_silence_n` relies on.
-        self.data.extend_from_within(old_off..old_off + live);
-        self.data.resize(new_off + new_cap, Obs::Silence);
-        self.off[v] = new_off;
-        self.cap[v] = u32::try_from(new_cap).expect("history exceeds u32 capacity");
-    }
-
-    #[inline]
-    fn slice(&self, v: usize) -> &[Obs] {
-        &self.data[self.off[v]..self.off[v] + self.len[v] as usize]
-    }
-
-    #[inline]
-    fn view(&self, v: usize) -> HistoryView<'_> {
-        HistoryView::new(self.slice(v))
-    }
-
-    /// Materializes all segments as owned histories.
-    fn into_histories(self) -> Vec<History> {
-        (0..self.off.len())
-            .map(|v| History::from_entries(self.slice(v).to_vec()))
-            .collect()
-    }
-}
-
 /// The simulator. Stateless; [`Executor::run`] may be called freely from
-/// multiple threads.
+/// multiple threads. Each call builds a fresh [`SimWorkspace`] — callers
+/// running many simulations back to back should hold a workspace of their
+/// own and call [`SimWorkspace::run`] instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Executor;
-
-const ASLEEP: u64 = u64::MAX;
 
 impl Executor {
     /// Runs `factory`'s DRIP on `config` under the paper's channel model
@@ -368,249 +290,7 @@ impl Executor {
         factory: &dyn DripFactory,
         opts: RunOpts,
     ) -> Result<Execution, SimError> {
-        let n = config.size();
-        let csr = config.csr();
-
-        let mut nodes: Vec<Box<dyn crate::drip::DripNode>> =
-            (0..n).map(|_| factory.spawn()).collect();
-        let mut arena = ObsArena::new(n);
-        let mut wake: Vec<u64> = vec![ASLEEP; n];
-        let mut done: Vec<u64> = vec![ASLEEP; n];
-        let mut done_count = 0usize;
-
-        // Nodes sorted by tag for the spontaneous wake-up sweep.
-        let mut by_tag: Vec<NodeId> = (0..n as NodeId).collect();
-        by_tag.sort_by_key(|&v| config.tag(v));
-        let mut tag_ptr = 0usize;
-
-        // Active = awake and not terminated.
-        let mut active: Vec<NodeId> = Vec::with_capacity(n);
-        // Reused per-round buffers.
-        let mut actions: Vec<(NodeId, Action)> = Vec::with_capacity(n);
-        let mut transmitters: Vec<(NodeId, Msg)> = Vec::with_capacity(n);
-        let mut touched: Vec<NodeId> = Vec::with_capacity(n);
-        // Round-stamped neighbour-transmission counters.
-        let mut cnt: Vec<u32> = vec![0; n];
-        let mut cnt_stamp: Vec<u64> = vec![u64::MAX; n];
-        let mut heard_msg: Vec<Msg> = vec![Msg(0); n];
-        // Cached quiescence horizons: node `v` has committed to listening
-        // in every global round `< quiet_horizon[v]` (valid only while it
-        // observes silence; invalidated on any other delivery).
-        let mut quiet_horizon: Vec<u64> = vec![0; n];
-
-        let mut stats = ExecStats::default();
-        let mut trace = if opts.record_trace {
-            Some(Trace::default())
-        } else {
-            None
-        };
-        let mut rounds_executed = 0u64;
-        let mut rounds_stepped = 0u64;
-        let mut rounds_leapt = 0u64;
-
-        let mut r: u64 = 0;
-        while done_count < n {
-            if r >= opts.max_rounds {
-                return Err(SimError::RoundLimit {
-                    max_rounds: opts.max_rounds,
-                    still_running: n - done_count,
-                });
-            }
-
-            // Time-leap scheduler: fast-forward over provably quiet
-            // stretches. Sound because every active node at this point
-            // woke in an earlier round (this round's wake-ups have not
-            // happened yet), so all of them decide in every skipped round
-            // — and all have committed those decisions to `Listen`, which
-            // means no transmissions, hence no deliveries other than
-            // `(∅)`, no forced wake-ups, and no cache invalidations
-            // during the skipped stretch.
-            if opts.leap {
-                if active.is_empty() {
-                    // Nothing is awake: the next possible event is the
-                    // next spontaneous wake-up (the loop condition
-                    // guarantees one exists).
-                    let next_tag = config.tag(by_tag[tag_ptr]).min(opts.max_rounds);
-                    if next_tag > r {
-                        rounds_leapt += next_tag - r;
-                        r = next_tag;
-                        continue;
-                    }
-                } else {
-                    let mut target = u64::MAX;
-                    let mut all_quiet = true;
-                    for &v in &active {
-                        let vi = v as usize;
-                        if quiet_horizon[vi] <= r {
-                            match nodes[vi].quiet_until(arena.view(vi)) {
-                                Some(q) => quiet_horizon[vi] = wake[vi].saturating_add(q),
-                                None => {
-                                    all_quiet = false;
-                                    break;
-                                }
-                            }
-                            if quiet_horizon[vi] <= r {
-                                all_quiet = false;
-                                break;
-                            }
-                        }
-                        target = target.min(quiet_horizon[vi]);
-                    }
-                    if tag_ptr < n {
-                        target = target.min(config.tag(by_tag[tag_ptr]));
-                    }
-                    target = target.min(opts.max_rounds);
-                    if all_quiet && target > r {
-                        // Every active node would have decided (and
-                        // listened) in each skipped round: deliver the
-                        // silent observations in bulk.
-                        let skipped = (target - r) as usize;
-                        for &v in &active {
-                            arena.push_silence_n(v as usize, skipped);
-                        }
-                        rounds_leapt += skipped as u64;
-                        r = target;
-                        continue;
-                    }
-                }
-            }
-
-            let mut event = RoundEvent {
-                round: r,
-                ..Default::default()
-            };
-
-            // 1. Decide.
-            actions.clear();
-            for &v in &active {
-                if wake[v as usize] < r {
-                    let action = nodes[v as usize].decide(arena.view(v as usize));
-                    actions.push((v, action));
-                }
-            }
-
-            // 2. Collect transmitters and stamp neighbour counters.
-            transmitters.clear();
-            touched.clear();
-            for &(v, action) in &actions {
-                if let Action::Transmit(m) = action {
-                    transmitters.push((v, m));
-                }
-            }
-            for &(u, m) in &transmitters {
-                for &w in csr.neighbors(u) {
-                    let wi = w as usize;
-                    if cnt_stamp[wi] != r {
-                        cnt_stamp[wi] = r;
-                        cnt[wi] = 0;
-                        touched.push(w);
-                    }
-                    cnt[wi] += 1;
-                    heard_msg[wi] = m;
-                }
-            }
-            stats.transmissions += transmitters.len() as u64;
-
-            // 3. Deliver to acting nodes.
-            let mut retired = false;
-            for &(v, action) in &actions {
-                let vi = v as usize;
-                match action {
-                    Action::Transmit(_) => {
-                        // A transmitter hears nothing: (∅). It was no
-                        // committed listener, whatever it once claimed.
-                        quiet_horizon[vi] = 0;
-                        arena.push(vi, Obs::Silence);
-                    }
-                    Action::Listen => {
-                        let heard = if cnt_stamp[vi] == r { cnt[vi] } else { 0 };
-                        let msg = if heard == 1 { heard_msg[vi] } else { Msg(0) };
-                        let obs = M::listener_obs(heard, msg);
-                        record_listener_obs(obs, &mut stats);
-                        if !matches!(obs, Obs::Silence) {
-                            // Quiet claims hold only while the channel
-                            // stays silent for the node: re-ask later.
-                            quiet_horizon[vi] = 0;
-                        }
-                        if trace.is_some() {
-                            match obs {
-                                Obs::Heard(m) => event.received.push((v, m)),
-                                Obs::Collision | Obs::Noise => event.collisions.push(v),
-                                Obs::Silence => {}
-                            }
-                        }
-                        arena.push(vi, obs);
-                    }
-                    Action::Terminate => {
-                        done[vi] = r;
-                        done_count += 1;
-                        retired = true;
-                        if trace.is_some() {
-                            event.terminated.push(v);
-                        }
-                    }
-                }
-            }
-            if retired {
-                active.retain(|&v| done[v as usize] == ASLEEP);
-            }
-
-            // 4. Forced wake-ups: sleeping neighbours of transmitters, as
-            //    the model dictates. Under the default model a collision
-            //    leaves them asleep; other models may wake them with (~).
-            for &w in &touched {
-                let wi = w as usize;
-                if wake[wi] == ASLEEP {
-                    let msg = if cnt[wi] == 1 { heard_msg[wi] } else { Msg(0) };
-                    if let Some(obs) = M::wake_obs(cnt[wi], msg) {
-                        wake[wi] = r;
-                        arena.push(wi, obs);
-                        active.push(w);
-                        stats.forced_wakeups += 1;
-                        if trace.is_some() {
-                            event.woke.push((w, obs));
-                        }
-                    }
-                }
-            }
-
-            // 5. Spontaneous wake-ups at tag == r.
-            while tag_ptr < n && config.tag(by_tag[tag_ptr]) == r {
-                let w = by_tag[tag_ptr];
-                tag_ptr += 1;
-                let wi = w as usize;
-                if wake[wi] == ASLEEP {
-                    wake[wi] = r;
-                    arena.push(wi, Obs::Silence);
-                    active.push(w);
-                    if trace.is_some() {
-                        event.woke.push((w, Obs::Silence));
-                    }
-                }
-            }
-
-            if let Some(t) = trace.as_mut() {
-                event.transmitters = transmitters.clone();
-                if !event.is_quiet() {
-                    t.events.push(event);
-                }
-            }
-
-            rounds_executed = r + 1;
-            rounds_stepped += 1;
-            r += 1;
-        }
-
-        Ok(Execution {
-            wake_round: wake,
-            done_round: done,
-            histories: arena.into_histories(),
-            rounds: rounds_executed,
-            rounds_stepped,
-            rounds_leapt,
-            stats,
-            trace,
-        })
+        SimWorkspace::new().run_model::<M>(config, factory, opts)
     }
 }
 
@@ -1002,45 +682,5 @@ mod tests {
         // everyone transmits simultaneously → nobody ever hears anything
         assert_eq!(ex.stats.messages_received, 0);
         assert_eq!(ex.rounds, 4);
-    }
-
-    #[test]
-    fn arena_segments_grow_and_relocate_correctly() {
-        // Long histories force many segment relocations; the final owned
-        // histories must be exactly the per-round observations.
-        let mut arena = ObsArena::new(3);
-        for i in 0..100u64 {
-            arena.push(0, Obs::Heard(Msg(i)));
-            if i % 2 == 0 {
-                arena.push(1, Obs::Silence);
-            }
-            if i % 3 == 0 {
-                arena.push(2, Obs::Collision);
-            }
-        }
-        assert_eq!(arena.view(0).len(), 100);
-        assert_eq!(arena.view(0).message_at(73), Some(Msg(73)));
-        let hs = arena.into_histories();
-        assert_eq!(hs[0].len(), 100);
-        assert_eq!(hs[1].len(), 50);
-        assert_eq!(hs[2].len(), 34);
-        assert!(hs[1].all_silent());
-        assert!((0..100).all(|i| hs[0].message_at(i) == Some(Msg(i as u64))));
-    }
-
-    #[test]
-    fn arena_push_silence_n_appends_bulk_silence() {
-        let mut arena = ObsArena::new(2);
-        arena.push(0, Obs::Heard(Msg(1)));
-        arena.push_silence_n(0, 1000);
-        arena.push(0, Obs::Heard(Msg(2)));
-        arena.push_silence_n(1, 3);
-        let hs = arena.into_histories();
-        assert_eq!(hs[0].len(), 1002);
-        assert_eq!(hs[0].message_at(0), Some(Msg(1)));
-        assert!(hs[0].as_slice()[1..1001].iter().all(|o| o.is_silence()));
-        assert_eq!(hs[0].message_at(1001), Some(Msg(2)));
-        assert_eq!(hs[1].len(), 3);
-        assert!(hs[1].all_silent());
     }
 }

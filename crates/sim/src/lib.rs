@@ -53,7 +53,10 @@
 //! * [`election`] — leader-election runner (DRIP + decision function).
 //! * [`patient`] — the patient-DRIP transform of Lemma 3.12.
 //! * [`trace`] — optional round-by-round event recording.
-//! * [`parallel`] — scoped-thread parallel batch execution.
+//! * [`workspace`] — reusable per-run engine state ([`SimWorkspace`]);
+//!   the run loop itself lives here, recycled across back-to-back runs.
+//! * [`parallel`] — scoped-thread parallel batch execution with
+//!   worker-scoped state (one long-lived workspace per worker).
 //!
 //! # Example
 //!
@@ -89,13 +92,16 @@ pub mod msg;
 pub mod parallel;
 pub mod patient;
 pub mod trace;
+pub mod workspace;
 
 pub use drip::{DripFactory, DripNode, PureDrip, PureFactory};
 pub use election::{
-    run_election, run_election_model, run_election_under, ElectionOutcome, LeaderAlgorithm,
+    run_election, run_election_in, run_election_model, run_election_under, ElectionOutcome,
+    LeaderAlgorithm,
 };
 pub use engine::{ExecStats, Execution, Executor, RunOpts, SimError};
 pub use history::{History, HistoryView};
 pub use model::{Beeping, CollisionDetection, ModelKind, NoCollisionDetection, RadioModel};
 pub use msg::{Action, Msg, Obs};
 pub use patient::PatientFactory;
+pub use workspace::SimWorkspace;

@@ -1,23 +1,39 @@
-//! Parallel batch execution over `std::thread::scope`.
+//! Parallel batch execution over `std::thread::scope`, with worker-scoped
+//! state.
 //!
-//! The sweeps in `radio-bench` run thousands of independent simulations;
-//! [`par_map`] distributes them over the machine's cores with dynamic
-//! work-stealing (a shared atomic cursor), which handles the highly skewed
-//! per-item costs of configuration sweeps (an `H_4096` run is ~1000× an
-//! `H_4` run) far better than static chunking.
+//! The sweeps in `radio-bench` run thousands — campaigns, millions — of
+//! independent simulations. [`par_map_init`] distributes them over the
+//! machine's cores with dynamic work-stealing, which handles the highly
+//! skewed per-item costs of configuration sweeps (an `H_4096` run is
+//! ~1000× an `H_4` run) far better than static chunking, and gives every
+//! worker thread one long-lived piece of state built by an `init` closure
+//! — in the batch layers that state is a [`SimWorkspace`], so back-to-back
+//! runs on a worker recycle all engine buffers instead of reallocating
+//! them per item.
+//!
+//! Results are written without contention: the output buffer is pre-split
+//! into fixed-size chunks, the shared atomic cursor hands out *chunks*
+//! (not items), and the worker that claims a chunk takes its mutex exactly
+//! once and writes every slot directly. No lock is ever contended (each
+//! chunk has exactly one owner), unlike the original per-item
+//! `Mutex<Option<R>>` slots, which paid a lock round-trip per item
+//! ([`par_map_mutex_baseline`] preserves that implementation as the
+//! regression baseline for the batch Criterion bench).
 //!
 //! `std::thread::scope` + `std::sync::Mutex` keep this dependency-free and
-//! data-race-free: items are handed out by index, results are written into
-//! pre-allocated slots, and the scope guarantees all borrows end before
-//! `par_map` returns.
+//! data-race-free; the scope guarantees all borrows end before the
+//! function returns, and panics in workers propagate.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::workspace::SimWorkspace;
+
 /// Applies `f` to every item, in parallel, preserving order of results.
 ///
 /// `f` runs on `min(available_parallelism, items.len())` worker threads.
-/// Panics in `f` propagate (the scope unwinds).
+/// Panics in `f` propagate (the scope unwinds). A shim over
+/// [`par_map_init`] with unit worker state.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -28,8 +44,90 @@ where
 }
 
 /// [`par_map`] with an explicit worker count (≥ 1). Used by the scaling
-/// experiment (E10) to measure speedup curves.
+/// experiment (E10) to measure speedup curves. A shim over
+/// [`par_map_init`] with unit worker state.
 pub fn par_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_init(items, threads, || (), move |_, item| f(item))
+}
+
+/// Worker-scoped parallel map: every worker thread builds one `state` via
+/// `init()` and reuses it for all items it processes.
+///
+/// Items are handed out dynamically in contiguous chunks via a shared
+/// atomic cursor; each chunk's result slots are written directly by its
+/// single owner (one uncontended lock per chunk). Order of results is
+/// preserved. The worker count is clamped to `min(threads, items.len())`
+/// (never more threads than items — and no threads at all for an empty
+/// slice, which returns immediately).
+///
+/// This is the substrate of the campaign runner: `init` builds a
+/// [`SimWorkspace`] per worker, so a shard of ten thousand elections
+/// allocates engine state once per *worker*, not once per run.
+pub fn par_map_init<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    // Chunks small enough that skewed item costs still balance (several
+    // chunks per worker), large enough that the cursor and the per-chunk
+    // lock amortize over many items.
+    let chunk = (n / (threads * 8)).clamp(1, 1024);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots: Vec<Mutex<&mut [Option<R>]>> = out.chunks_mut(chunk).map(Mutex::new).collect();
+    let n_chunks = slots.len();
+    let workers = threads.min(n_chunks);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let base = c * chunk;
+                    // Exactly one worker ever claims chunk `c`: the lock is
+                    // taken once and never contended.
+                    let mut guard = slots[c].lock().expect("no poisoned chunk");
+                    for (j, slot) in guard.iter_mut().enumerate() {
+                        *slot = Some(f(&mut state, &items[base + j]));
+                    }
+                }
+            });
+        }
+    });
+
+    drop(slots);
+    out.into_iter()
+        .map(|slot| slot.expect("every slot filled"))
+        .collect()
+}
+
+/// The pre-refactor implementation — dynamic per-item cursor with one
+/// `Mutex<Option<R>>` slot per item — retained verbatim as the baseline
+/// the batch Criterion bench (`benches/batch.rs`) compares the
+/// chunked lock-free path against. Not for new code.
+pub fn par_map_mutex_baseline<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -80,14 +178,20 @@ pub fn default_threads() -> usize {
 
 /// Runs one DRIP over a batch of configurations in parallel, under the
 /// given channel model — the entry point sweep harnesses use to cross a
-/// workload axis with a [`ModelKind`](crate::ModelKind) axis.
+/// workload axis with a [`ModelKind`](crate::ModelKind) axis. Each worker
+/// thread owns one long-lived [`SimWorkspace`], recycled across its runs.
 pub fn run_batch(
     configs: &[radio_graph::Configuration],
     factory: &(dyn crate::drip::DripFactory + Sync),
     model: crate::model::ModelKind,
     opts: crate::engine::RunOpts,
 ) -> Vec<Result<crate::engine::Execution, crate::engine::SimError>> {
-    par_map(configs, |config| model.run(config, factory, opts))
+    par_map_init(
+        configs,
+        default_threads(),
+        SimWorkspace::new,
+        |ws, config| ws.run_kind(model, config, factory, opts),
+    )
 }
 
 #[cfg(test)]
@@ -100,6 +204,8 @@ mod tests {
         let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
         let parallel = par_map(&items, |x| x * x + 1);
         assert_eq!(parallel, serial);
+        let baseline = par_map_mutex_baseline(&items, 4, |x| x * x + 1);
+        assert_eq!(baseline, serial);
     }
 
     #[test]
@@ -122,6 +228,8 @@ mod tests {
     fn empty_input() {
         let out: Vec<u8> = par_map(&[] as &[u8], |x| *x);
         assert!(out.is_empty());
+        let out: Vec<u8> = par_map_init(&[] as &[u8], 8, || (), |_, x| *x);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -139,6 +247,78 @@ mod tests {
         let expect: Vec<u32> = items.iter().map(|x| x + 7).collect();
         for threads in [1, 2, 3, 8, 200] {
             assert_eq!(par_map_with_threads(&items, threads, |x| x + 7), expect);
+        }
+    }
+
+    #[test]
+    fn worker_clamp_never_exceeds_items() {
+        // n = 1, n = threads − 1, and thread counts far above n: the clamp
+        // must keep results correct (and the scoped spawn path bounded by
+        // the item count) in every case.
+        let threads = 8usize;
+        for n in [1usize, threads - 1, threads, threads + 1, 3] {
+            let items: Vec<usize> = (0..n).collect();
+            let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(
+                par_map_with_threads(&items, threads, |x| x * 3),
+                expect,
+                "n={n} threads={threads}"
+            );
+            assert_eq!(
+                par_map_init(&items, threads, || (), |_, x| x * 3),
+                expect,
+                "init path n={n} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn init_builds_one_state_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..200).collect();
+        let threads = 4usize;
+        let out = par_map_init(
+            &items,
+            threads,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64 // per-worker accumulator: state is genuinely mutable
+            },
+            |acc, &x| {
+                *acc += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=200).collect::<Vec<u64>>());
+        let built = inits.load(Ordering::Relaxed);
+        assert!(
+            built <= threads,
+            "at most one state per worker (got {built})"
+        );
+        assert!(built >= 1);
+    }
+
+    #[test]
+    fn workspace_state_reuses_across_items() {
+        use crate::drip::SilentFactory;
+        use radio_graph::{generators, Configuration};
+        let configs: Vec<Configuration> = (2..10)
+            .map(|n| Configuration::new(generators::path(n), (0..n as u64).collect()).unwrap())
+            .collect();
+        let factory = SilentFactory { lifetime: 4 };
+        let results = run_batch(
+            &configs,
+            &factory,
+            crate::model::ModelKind::default(),
+            crate::engine::RunOpts::default(),
+        );
+        for (config, result) in configs.iter().zip(&results) {
+            let fresh =
+                crate::Executor::run(config, &factory, crate::engine::RunOpts::default()).unwrap();
+            let batched = result.as_ref().unwrap();
+            assert_eq!(batched.histories, fresh.histories);
+            assert_eq!(batched.rounds, fresh.rounds);
         }
     }
 

@@ -1,0 +1,644 @@
+//! Reusable per-run engine state — the batch-execution substrate.
+//!
+//! A single election allocates a dozen vectors (arena segments, wake/done
+//! rounds, active lists, round-stamped counters, quiescence horizons).
+//! That is irrelevant for one run and dominant for a campaign of millions:
+//! the batch layers (`parallel`, `radio_bench::campaign`) therefore run
+//! every simulation through a long-lived [`SimWorkspace`], which owns all
+//! of that state and recycles it run after run.
+//!
+//! [`SimWorkspace::reset_for`] re-dimensions the buffers for the next
+//! configuration *without freeing them*: once a workspace has warmed up to
+//! the largest configuration in a batch, back-to-back runs allocate
+//! nothing in the hot loop (the only steady-state allocations left are the
+//! per-node DRIP boxes the factory spawns and the owned histories of the
+//! returned [`Execution`] — both part of the run's inputs/outputs, not the
+//! engine).
+//!
+//! The one-shot entry points ([`Executor::run`](crate::Executor::run),
+//! [`ModelKind::run`](crate::ModelKind::run)) are thin wrappers that build
+//! a fresh workspace per call, so single-run callers see no API change —
+//! and the differential suite (`tests/workspace_reuse.rs`) pins that a
+//! workspace reused across a shuffled mix of configurations, channel
+//! models, and leap modes produces bit-identical executions to fresh runs.
+
+use radio_graph::{Configuration, NodeId};
+
+use crate::drip::DripFactory;
+use crate::engine::{ExecStats, Execution, RunOpts, SimError};
+use crate::history::{History, HistoryView};
+use crate::model::{
+    record_listener_obs, Beeping, CollisionDetection, ModelKind, NoCollisionDetection, RadioModel,
+};
+use crate::msg::{Action, Msg, Obs};
+use crate::trace::{RoundEvent, Trace};
+
+/// One shared observation arena: every node's history is an
+/// `(offset, len, capacity)` segment of a single flat `Vec<Obs>`.
+///
+/// Appending into a full segment relocates it to the end of the arena with
+/// doubled capacity (amortized O(1), total memory ≤ ~2× the live
+/// observations); the backing vector itself grows geometrically, so
+/// steady-state rounds perform no allocation at all. [`ObsArena::reset`]
+/// clears the segments while keeping the backing vector's capacity — how a
+/// [`SimWorkspace`] carries its warmed-up arena from run to run.
+#[derive(Debug, Default)]
+pub(crate) struct ObsArena {
+    data: Vec<Obs>,
+    off: Vec<usize>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+}
+
+impl ObsArena {
+    /// Initial per-node segment capacity (allocated on first push).
+    const FIRST_CAP: u32 = 8;
+
+    #[cfg(test)]
+    fn new(n: usize) -> ObsArena {
+        let mut arena = ObsArena::default();
+        arena.reset(n);
+        arena
+    }
+
+    /// Re-dimensions for `n` empty segments, retaining all buffer capacity.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.data.clear();
+        self.off.clear();
+        self.off.resize(n, 0);
+        self.len.clear();
+        self.len.resize(n, 0);
+        self.cap.clear();
+        self.cap.resize(n, 0);
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: usize, obs: Obs) {
+        if self.len[v] == self.cap[v] {
+            self.grow(v, self.len[v] as usize + 1);
+        }
+        self.data[self.off[v] + self.len[v] as usize] = obs;
+        self.len[v] += 1;
+    }
+
+    /// Appends `k` `(∅)` entries to segment `v` in one go — how the
+    /// time-leap scheduler materializes a skipped silent stretch.
+    ///
+    /// O(1) past capacity checks: a segment's unused tail `[len..cap)`
+    /// still holds the `Obs::Silence` the backing vector was resized with
+    /// (pushes only ever write at `len`), so appending silence is just a
+    /// length bump.
+    pub(crate) fn push_silence_n(&mut self, v: usize, k: usize) {
+        let need = self.len[v] as usize + k;
+        if need > self.cap[v] as usize {
+            self.grow(v, need);
+        }
+        self.len[v] += k as u32;
+    }
+
+    #[cold]
+    fn grow(&mut self, v: usize, need: usize) {
+        // At least double (amortization), but satisfy big jumps — a
+        // time-leap can demand millions of slots at once — exactly, so a
+        // huge silent run is not over-allocated (and over-filled) by up
+        // to 2×.
+        let new_cap = (self.cap[v] as usize * 2)
+            .max(Self::FIRST_CAP as usize)
+            .max(need);
+        let new_off = self.data.len();
+        let old_off = self.off[v];
+        let live = self.len[v] as usize;
+        // Relocate by appending: the live prefix is copied once (not
+        // silence-filled first and then overwritten), only the fresh tail
+        // is filled — establishing the all-`Silence`-beyond-`len`
+        // invariant `push_silence_n` relies on.
+        self.data.extend_from_within(old_off..old_off + live);
+        self.data.resize(new_off + new_cap, Obs::Silence);
+        self.off[v] = new_off;
+        self.cap[v] = u32::try_from(new_cap).expect("history exceeds u32 capacity");
+    }
+
+    #[inline]
+    pub(crate) fn slice(&self, v: usize) -> &[Obs] {
+        &self.data[self.off[v]..self.off[v] + self.len[v] as usize]
+    }
+
+    #[inline]
+    pub(crate) fn view(&self, v: usize) -> HistoryView<'_> {
+        HistoryView::new(self.slice(v))
+    }
+
+    /// Materializes all segments as owned histories, leaving the arena
+    /// intact for the next run.
+    pub(crate) fn histories(&self) -> Vec<History> {
+        (0..self.off.len())
+            .map(|v| History::from_entries(self.slice(v).to_vec()))
+            .collect()
+    }
+}
+
+const ASLEEP: u64 = u64::MAX;
+
+/// Reusable engine state for back-to-back simulations.
+///
+/// Create one per worker thread, then call [`SimWorkspace::run`] /
+/// [`SimWorkspace::run_model`] / [`SimWorkspace::run_kind`] as many times
+/// as needed — each call resets and recycles every internal buffer, so a
+/// warmed-up workspace executes runs without engine-side allocation. The
+/// produced [`Execution`]s are bit-identical to one-shot
+/// [`Executor`](crate::Executor) runs.
+#[derive(Default)]
+pub struct SimWorkspace {
+    nodes: Vec<Box<dyn crate::drip::DripNode>>,
+    arena: ObsArena,
+    wake: Vec<u64>,
+    done: Vec<u64>,
+    by_tag: Vec<NodeId>,
+    active: Vec<NodeId>,
+    actions: Vec<(NodeId, Action)>,
+    transmitters: Vec<(NodeId, Msg)>,
+    touched: Vec<NodeId>,
+    cnt: Vec<u32>,
+    cnt_stamp: Vec<u64>,
+    heard_msg: Vec<Msg>,
+    quiet_horizon: Vec<u64>,
+}
+
+impl std::fmt::Debug for SimWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorkspace")
+            .field("nodes", &self.nodes.len())
+            .field("arena_obs", &self.arena.data.len())
+            .finish()
+    }
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are dimensioned lazily by the first run.
+    pub fn new() -> SimWorkspace {
+        SimWorkspace::default()
+    }
+
+    /// Re-dimensions every buffer for `config` without freeing capacity:
+    /// the per-run state (arena segments, wake/done/counter/horizon
+    /// vectors, active lists) is cleared in place. Called automatically at
+    /// the start of every run.
+    pub fn reset_for(&mut self, config: &Configuration) {
+        let n = config.size();
+        self.nodes.clear();
+        self.arena.reset(n);
+        self.wake.clear();
+        self.wake.resize(n, ASLEEP);
+        self.done.clear();
+        self.done.resize(n, ASLEEP);
+        self.by_tag.clear();
+        self.by_tag.extend(0..n as NodeId);
+        self.by_tag.sort_by_key(|&v| config.tag(v));
+        self.active.clear();
+        self.actions.clear();
+        self.transmitters.clear();
+        self.touched.clear();
+        self.cnt.clear();
+        self.cnt.resize(n, 0);
+        // Stamps compare against round numbers that restart at 0 each run,
+        // so stale stamps must be cleared or a new run's round `r` could
+        // collide with an old one's.
+        self.cnt_stamp.clear();
+        self.cnt_stamp.resize(n, u64::MAX);
+        self.heard_msg.clear();
+        self.heard_msg.resize(n, Msg(0));
+        self.quiet_horizon.clear();
+        self.quiet_horizon.resize(n, 0);
+    }
+
+    /// Runs `factory`'s DRIP on `config` under the paper's channel model
+    /// ([`NoCollisionDetection`]), recycling this workspace's buffers.
+    pub fn run(
+        &mut self,
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<Execution, SimError> {
+        self.run_model::<NoCollisionDetection>(config, factory, opts)
+    }
+
+    /// [`SimWorkspace::run`] under a runtime-selected channel model.
+    pub fn run_kind(
+        &mut self,
+        model: ModelKind,
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<Execution, SimError> {
+        match model {
+            ModelKind::NoCollisionDetection => {
+                self.run_model::<NoCollisionDetection>(config, factory, opts)
+            }
+            ModelKind::CollisionDetection => {
+                self.run_model::<CollisionDetection>(config, factory, opts)
+            }
+            ModelKind::Beeping => self.run_model::<Beeping>(config, factory, opts),
+        }
+    }
+
+    /// [`SimWorkspace::run`] under an explicit channel model `M`.
+    pub fn run_model<M: RadioModel>(
+        &mut self,
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<Execution, SimError> {
+        self.reset_for(config);
+        let n = config.size();
+        let csr = config.csr();
+        self.nodes.extend((0..n).map(|_| factory.spawn()));
+
+        let mut tag_ptr = 0usize;
+        let mut done_count = 0usize;
+        let mut stats = ExecStats::default();
+        let mut trace = if opts.record_trace {
+            Some(Trace::default())
+        } else {
+            None
+        };
+        let mut rounds_executed = 0u64;
+        let mut rounds_stepped = 0u64;
+        let mut rounds_leapt = 0u64;
+
+        let mut r: u64 = 0;
+        while done_count < n {
+            if r >= opts.max_rounds {
+                return Err(SimError::RoundLimit {
+                    max_rounds: opts.max_rounds,
+                    still_running: n - done_count,
+                });
+            }
+
+            // Time-leap scheduler: fast-forward over provably quiet
+            // stretches. Sound because every active node at this point
+            // woke in an earlier round (this round's wake-ups have not
+            // happened yet), so all of them decide in every skipped round
+            // — and all have committed those decisions to `Listen`, which
+            // means no transmissions, hence no deliveries other than
+            // `(∅)`, no forced wake-ups, and no cache invalidations
+            // during the skipped stretch.
+            if opts.leap {
+                if self.active.is_empty() {
+                    // Nothing is awake: the next possible event is the
+                    // next spontaneous wake-up (the loop condition
+                    // guarantees one exists).
+                    let next_tag = config.tag(self.by_tag[tag_ptr]).min(opts.max_rounds);
+                    if next_tag > r {
+                        rounds_leapt += next_tag - r;
+                        r = next_tag;
+                        continue;
+                    }
+                } else {
+                    let mut target = u64::MAX;
+                    let mut all_quiet = true;
+                    for &v in &self.active {
+                        let vi = v as usize;
+                        if self.quiet_horizon[vi] <= r {
+                            match self.nodes[vi].quiet_until(self.arena.view(vi)) {
+                                Some(q) => self.quiet_horizon[vi] = self.wake[vi].saturating_add(q),
+                                None => {
+                                    all_quiet = false;
+                                    break;
+                                }
+                            }
+                            if self.quiet_horizon[vi] <= r {
+                                all_quiet = false;
+                                break;
+                            }
+                        }
+                        target = target.min(self.quiet_horizon[vi]);
+                    }
+                    if tag_ptr < n {
+                        target = target.min(config.tag(self.by_tag[tag_ptr]));
+                    }
+                    target = target.min(opts.max_rounds);
+                    if all_quiet && target > r {
+                        // Every active node would have decided (and
+                        // listened) in each skipped round: deliver the
+                        // silent observations in bulk.
+                        let skipped = (target - r) as usize;
+                        for &v in &self.active {
+                            self.arena.push_silence_n(v as usize, skipped);
+                        }
+                        rounds_leapt += skipped as u64;
+                        r = target;
+                        continue;
+                    }
+                }
+            }
+
+            let mut event = RoundEvent {
+                round: r,
+                ..Default::default()
+            };
+
+            // 1. Decide.
+            self.actions.clear();
+            for &v in &self.active {
+                if self.wake[v as usize] < r {
+                    let action = self.nodes[v as usize].decide(self.arena.view(v as usize));
+                    self.actions.push((v, action));
+                }
+            }
+
+            // 2. Collect transmitters and stamp neighbour counters.
+            self.transmitters.clear();
+            self.touched.clear();
+            for &(v, action) in &self.actions {
+                if let Action::Transmit(m) = action {
+                    self.transmitters.push((v, m));
+                }
+            }
+            for &(u, m) in &self.transmitters {
+                for &w in csr.neighbors(u) {
+                    let wi = w as usize;
+                    if self.cnt_stamp[wi] != r {
+                        self.cnt_stamp[wi] = r;
+                        self.cnt[wi] = 0;
+                        self.touched.push(w);
+                    }
+                    self.cnt[wi] += 1;
+                    self.heard_msg[wi] = m;
+                }
+            }
+            stats.transmissions += self.transmitters.len() as u64;
+
+            // 3. Deliver to acting nodes.
+            let mut retired = false;
+            for &(v, action) in &self.actions {
+                let vi = v as usize;
+                match action {
+                    Action::Transmit(_) => {
+                        // A transmitter hears nothing: (∅). It was no
+                        // committed listener, whatever it once claimed.
+                        self.quiet_horizon[vi] = 0;
+                        self.arena.push(vi, Obs::Silence);
+                    }
+                    Action::Listen => {
+                        let heard = if self.cnt_stamp[vi] == r {
+                            self.cnt[vi]
+                        } else {
+                            0
+                        };
+                        let msg = if heard == 1 {
+                            self.heard_msg[vi]
+                        } else {
+                            Msg(0)
+                        };
+                        let obs = M::listener_obs(heard, msg);
+                        record_listener_obs(obs, &mut stats);
+                        if !matches!(obs, Obs::Silence) {
+                            // Quiet claims hold only while the channel
+                            // stays silent for the node: re-ask later.
+                            self.quiet_horizon[vi] = 0;
+                        }
+                        if trace.is_some() {
+                            match obs {
+                                Obs::Heard(m) => event.received.push((v, m)),
+                                Obs::Collision | Obs::Noise => event.collisions.push(v),
+                                Obs::Silence => {}
+                            }
+                        }
+                        self.arena.push(vi, obs);
+                    }
+                    Action::Terminate => {
+                        self.done[vi] = r;
+                        done_count += 1;
+                        retired = true;
+                        if trace.is_some() {
+                            event.terminated.push(v);
+                        }
+                    }
+                }
+            }
+            if retired {
+                let done = &self.done;
+                self.active.retain(|&v| done[v as usize] == ASLEEP);
+            }
+
+            // 4. Forced wake-ups: sleeping neighbours of transmitters, as
+            //    the model dictates. Under the default model a collision
+            //    leaves them asleep; other models may wake them with (~).
+            for &w in &self.touched {
+                let wi = w as usize;
+                if self.wake[wi] == ASLEEP {
+                    let msg = if self.cnt[wi] == 1 {
+                        self.heard_msg[wi]
+                    } else {
+                        Msg(0)
+                    };
+                    if let Some(obs) = M::wake_obs(self.cnt[wi], msg) {
+                        self.wake[wi] = r;
+                        self.arena.push(wi, obs);
+                        self.active.push(w);
+                        stats.forced_wakeups += 1;
+                        if trace.is_some() {
+                            event.woke.push((w, obs));
+                        }
+                    }
+                }
+            }
+
+            // 5. Spontaneous wake-ups at tag == r.
+            while tag_ptr < n && config.tag(self.by_tag[tag_ptr]) == r {
+                let w = self.by_tag[tag_ptr];
+                tag_ptr += 1;
+                let wi = w as usize;
+                if self.wake[wi] == ASLEEP {
+                    self.wake[wi] = r;
+                    self.arena.push(wi, Obs::Silence);
+                    self.active.push(w);
+                    if trace.is_some() {
+                        event.woke.push((w, Obs::Silence));
+                    }
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                // An eventful round hands its transmitter buffer to the
+                // trace outright (no clone); the next round starts from
+                // the empty vector the take leaves behind. A quiet round
+                // has nothing to hand over.
+                if !self.transmitters.is_empty() || !event.is_quiet() {
+                    event.transmitters = std::mem::take(&mut self.transmitters);
+                    t.events.push(event);
+                }
+            }
+
+            rounds_executed = r + 1;
+            rounds_stepped += 1;
+            r += 1;
+        }
+
+        Ok(Execution {
+            wake_round: std::mem::take(&mut self.wake),
+            done_round: std::mem::take(&mut self.done),
+            histories: self.arena.histories(),
+            rounds: rounds_executed,
+            rounds_stepped,
+            rounds_leapt,
+            stats,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_segments_grow_and_relocate_correctly() {
+        // Long histories force many segment relocations; the final owned
+        // histories must be exactly the per-round observations.
+        let mut arena = ObsArena::new(3);
+        for i in 0..100u64 {
+            arena.push(0, Obs::Heard(Msg(i)));
+            if i % 2 == 0 {
+                arena.push(1, Obs::Silence);
+            }
+            if i % 3 == 0 {
+                arena.push(2, Obs::Collision);
+            }
+        }
+        assert_eq!(arena.view(0).len(), 100);
+        assert_eq!(arena.view(0).message_at(73), Some(Msg(73)));
+        let hs = arena.histories();
+        assert_eq!(hs[0].len(), 100);
+        assert_eq!(hs[1].len(), 50);
+        assert_eq!(hs[2].len(), 34);
+        assert!(hs[1].all_silent());
+        assert!((0..100).all(|i| hs[0].message_at(i) == Some(Msg(i as u64))));
+    }
+
+    #[test]
+    fn arena_push_silence_n_appends_bulk_silence() {
+        let mut arena = ObsArena::new(2);
+        arena.push(0, Obs::Heard(Msg(1)));
+        arena.push_silence_n(0, 1000);
+        arena.push(0, Obs::Heard(Msg(2)));
+        arena.push_silence_n(1, 3);
+        let hs = arena.histories();
+        assert_eq!(hs[0].len(), 1002);
+        assert_eq!(hs[0].message_at(0), Some(Msg(1)));
+        assert!(hs[0].as_slice()[1..1001].iter().all(|o| o.is_silence()));
+        assert_eq!(hs[0].message_at(1001), Some(Msg(2)));
+        assert_eq!(hs[1].len(), 3);
+        assert!(hs[1].all_silent());
+    }
+
+    #[test]
+    fn arena_reset_clears_segments_but_keeps_capacity() {
+        let mut arena = ObsArena::new(2);
+        for i in 0..500u64 {
+            arena.push(0, Obs::Heard(Msg(i)));
+            arena.push(1, Obs::Silence);
+        }
+        let warm = arena.data.capacity();
+        assert!(warm >= 1000);
+        arena.reset(3);
+        assert_eq!(arena.data.len(), 0);
+        assert_eq!(arena.data.capacity(), warm, "backing capacity survives");
+        assert_eq!(arena.view(0).len(), 0);
+        // segments work as new after the reset, and the silence-tail
+        // invariant holds for the recycled buffer
+        arena.push(2, Obs::Heard(Msg(9)));
+        arena.push_silence_n(2, 20);
+        let hs = arena.histories();
+        assert!(hs[0].is_empty() && hs[1].is_empty());
+        assert_eq!(hs[2].len(), 21);
+        assert_eq!(hs[2].message_at(0), Some(Msg(9)));
+        assert!(hs[2].as_slice()[1..].iter().all(|o| o.is_silence()));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs_across_sizes() {
+        use crate::drip::{SilentFactory, WaitThenTransmitFactory};
+        use radio_graph::{generators, Configuration};
+
+        let small = Configuration::new(generators::path(3), vec![0, 1, 2]).unwrap();
+        let large = Configuration::new(generators::star(8), vec![0, 1, 1, 1, 2, 3, 4, 9]).unwrap();
+        let wtt = WaitThenTransmitFactory {
+            wait: 1,
+            msg: Msg(7),
+            lifetime: 12,
+        };
+        let silent = SilentFactory { lifetime: 5 };
+
+        let mut ws = SimWorkspace::new();
+        // grow, shrink, grow again — every run must equal its fresh twin
+        for (config, factory) in [
+            (&large, &wtt as &dyn DripFactory),
+            (&small, &silent as &dyn DripFactory),
+            (&large, &wtt as &dyn DripFactory),
+        ] {
+            let reused = ws.run(config, factory, RunOpts::default()).unwrap();
+            let fresh = crate::Executor::run(config, factory, RunOpts::default()).unwrap();
+            assert_eq!(reused.histories, fresh.histories);
+            assert_eq!(reused.wake_round, fresh.wake_round);
+            assert_eq!(reused.done_round, fresh.done_round);
+            assert_eq!(reused.rounds, fresh.rounds);
+            assert_eq!(reused.stats, fresh.stats);
+        }
+    }
+
+    #[test]
+    fn workspace_survives_a_round_limit_error() {
+        use crate::drip::SilentFactory;
+        use radio_graph::{generators, Configuration};
+
+        let config = Configuration::new(generators::path(2), vec![0, 0]).unwrap();
+        let mut ws = SimWorkspace::new();
+        let err = ws
+            .run(
+                &config,
+                &SilentFactory { lifetime: 100 },
+                RunOpts::with_max_rounds(10),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::RoundLimit { .. }));
+        // the aborted run must not poison the next one
+        let ok = ws
+            .run(&config, &SilentFactory { lifetime: 4 }, RunOpts::default())
+            .unwrap();
+        let fresh =
+            crate::Executor::run(&config, &SilentFactory { lifetime: 4 }, RunOpts::default())
+                .unwrap();
+        assert_eq!(ok.histories, fresh.histories);
+        assert_eq!(ok.rounds, fresh.rounds);
+    }
+
+    #[test]
+    fn traced_run_hands_transmitter_buffers_to_the_trace() {
+        use crate::drip::WaitThenTransmitFactory;
+        use radio_graph::{generators, Configuration};
+
+        let config = Configuration::new(generators::path(3), vec![0, 9, 9]).unwrap();
+        let factory = WaitThenTransmitFactory {
+            wait: 0,
+            msg: Msg(5),
+            lifetime: 8,
+        };
+        let mut ws = SimWorkspace::new();
+        let reused = ws
+            .run(&config, &factory, RunOpts::default().traced())
+            .unwrap();
+        let fresh = crate::Executor::run(&config, &factory, RunOpts::default().traced()).unwrap();
+        assert_eq!(
+            reused.trace.as_ref().unwrap().events,
+            fresh.trace.as_ref().unwrap().events
+        );
+        // the transmission rounds made it into the trace with their payload
+        assert!(reused
+            .trace
+            .unwrap()
+            .events
+            .iter()
+            .any(|e| !e.transmitters.is_empty()));
+    }
+}

@@ -119,6 +119,165 @@ pub fn loglog_slope(x: &[f64], y: &[f64]) -> Option<LineFit> {
     linear_fit(&lx, &ly)
 }
 
+/// Constant-memory streaming summary: count/mean/std-dev via Welford's
+/// recurrence, exact min/max, and approximate quantiles from a
+/// deterministic reservoir sample.
+///
+/// The campaign runner folds millions of per-run metrics into one of these
+/// per grid cell, so nothing here may grow with the number of samples: the
+/// reservoir holds at most [`StreamingStats::RESERVOIR`] values (quantiles
+/// are exact while `count` fits the reservoir, Algorithm-R approximations
+/// beyond). Replacement indices come from [`crate::rng::splitmix64`] of the
+/// running count, so the same push sequence always yields the same summary
+/// — campaign outputs stay bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    reservoir: Vec<f64>,
+}
+
+impl Default for StreamingStats {
+    fn default() -> StreamingStats {
+        StreamingStats::new()
+    }
+}
+
+impl StreamingStats {
+    /// Number of samples retained for quantile estimation.
+    pub const RESERVOIR: usize = 256;
+
+    /// An empty summary.
+    pub fn new() -> StreamingStats {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            reservoir: Vec::new(),
+        }
+    }
+
+    /// Folds one sample into the summary.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if self.reservoir.len() < Self::RESERVOIR {
+            self.reservoir.push(x);
+        } else {
+            // Algorithm R with a deterministic index stream: sample i
+            // (0-based) replaces a reservoir slot with probability R/(i+1).
+            let i = self.count - 1;
+            let j = (crate::rng::splitmix64(i) % self.count) as usize;
+            if j < Self::RESERVOIR {
+                self.reservoir[j] = x;
+            }
+        }
+    }
+
+    /// Number of samples folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no sample has been folded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population standard deviation (`None` when empty).
+    pub fn std_dev(&self) -> Option<f64> {
+        (self.count > 0).then_some((self.m2 / self.count as f64).sqrt())
+    }
+
+    /// The `q`-quantile estimate from the reservoir (nearest rank). Exact
+    /// while `count ≤ RESERVOIR`; an unbiased sample estimate beyond.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.reservoir.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Folds another summary into this one — how a resumed campaign's
+    /// per-shard halves combine into whole-campaign aggregates.
+    ///
+    /// Count, mean, variance (Chan's parallel recurrence), min, and max
+    /// merge exactly. The quantile reservoirs merge approximately: when
+    /// the combined samples exceed the capacity, each side contributes a
+    /// count-proportional share drawn as an *evenly strided* subsample of
+    /// its reservoir (not a prefix — while a side is under capacity its
+    /// reservoir is in arrival order, and a prefix would bias the merged
+    /// quantiles toward its earliest samples). Deterministic.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / (na + nb);
+        self.m2 += other.m2 + delta * delta * na * nb / (na + nb);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.reservoir.len() + other.reservoir.len() <= Self::RESERVOIR {
+            self.reservoir.extend_from_slice(&other.reservoir);
+        } else {
+            fn strided(xs: &[f64], k: usize) -> Vec<f64> {
+                (0..k).map(|i| xs[i * xs.len() / k]).collect()
+            }
+            let total = self.count + other.count;
+            let keep_a = ((Self::RESERVOIR as u64 * self.count) / total) as usize;
+            let keep_a = keep_a
+                .min(self.reservoir.len())
+                .max(Self::RESERVOIR.saturating_sub(other.reservoir.len()));
+            let mut merged = strided(&self.reservoir, keep_a);
+            merged.extend(strided(&other.reservoir, Self::RESERVOIR - keep_a));
+            self.reservoir = merged;
+        }
+        self.count += other.count;
+    }
+
+    /// Median estimate (see [`StreamingStats::quantile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile estimate (see [`StreamingStats::quantile`]).
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+}
+
 /// Maximum of `y[i] / bound[i]`; the experiments use this to report how much
 /// headroom a measured quantity keeps under a theoretical budget.
 ///
@@ -207,6 +366,139 @@ mod tests {
         let y = [7.0, 2.0, 4.0, 8.0]; // usable points follow y = 2x
         let f = loglog_slope(&x, &y).unwrap();
         assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_matches_batch_summary_on_small_samples() {
+        let xs = [4.0, 1.0, 9.0, 2.5, 7.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let batch = Summary::of(&xs).unwrap();
+        assert_eq!(s.count(), 5);
+        assert!(close(s.mean().unwrap(), batch.mean));
+        assert!(close(s.min().unwrap(), batch.min));
+        assert!(close(s.max().unwrap(), batch.max));
+        assert!(close(s.std_dev().unwrap(), batch.std_dev));
+        // count ≤ reservoir: quantiles are exact nearest-rank
+        assert!(close(s.p50().unwrap(), quantile(&xs, 0.5).unwrap()));
+        assert!(close(s.p95().unwrap(), quantile(&xs, 0.95).unwrap()));
+    }
+
+    #[test]
+    fn streaming_empty_is_none_everywhere() {
+        let s = StreamingStats::new();
+        assert!(s.is_empty());
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.std_dev().is_none());
+        assert!(s.p50().is_none());
+        assert!(s.quantile(1.5).is_none());
+    }
+
+    #[test]
+    fn streaming_is_deterministic_and_bounded_past_reservoir() {
+        let push_all = || {
+            let mut s = StreamingStats::new();
+            for i in 0..10_000u64 {
+                s.push((i % 1000) as f64);
+            }
+            s
+        };
+        let a = push_all();
+        let b = push_all();
+        assert_eq!(a, b, "same sequence, same summary");
+        assert_eq!(a.count(), 10_000);
+        assert!(close(a.min().unwrap(), 0.0));
+        assert!(close(a.max().unwrap(), 999.0));
+        // mean of a uniform 0..999 cycle
+        assert!((a.mean().unwrap() - 499.5).abs() < 1e-9);
+        // quantile estimates stay within the sample range and roughly in
+        // place (reservoir of 256 over a uniform distribution)
+        let p50 = a.p50().unwrap();
+        assert!((300.0..700.0).contains(&p50), "p50 {p50}");
+        let p95 = a.p95().unwrap();
+        assert!((850.0..=999.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential_folding() {
+        // Split a sample arbitrarily: merging the halves must reproduce
+        // the sequential moments exactly (quantiles are estimates, but
+        // with both halves under capacity the reservoir is the full
+        // sample, so they match too).
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        for split in [0usize, 1, 57, 199, 200] {
+            let (mut a, mut b) = (StreamingStats::new(), StreamingStats::new());
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count(), "split={split}");
+            assert!(close(a.mean().unwrap(), whole.mean().unwrap()));
+            assert!((a.std_dev().unwrap() - whole.std_dev().unwrap()).abs() < 1e-9);
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+            assert!(
+                close(a.p50().unwrap(), whole.p50().unwrap()),
+                "split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_merge_subsamples_evenly_not_by_prefix() {
+        // Side A arrives in ascending order and sits exactly at reservoir
+        // capacity, so its reservoir IS the ordered stream; a prefix-keep
+        // would contribute only A's smallest values. The strided subsample
+        // must span A's whole range.
+        let mut a = StreamingStats::new();
+        for i in 0..256 {
+            a.push(i as f64);
+        }
+        let mut b = StreamingStats::new();
+        for _ in 0..256 {
+            b.push(1000.0);
+        }
+        a.merge(&b);
+        // A keeps 128 of 256 slots; its 25th-percentile entry of the
+        // merged reservoir must come from deep in A's range (~128), not
+        // from a 0..128 prefix (which would put ~64 there).
+        let q25 = a.quantile(0.25).unwrap();
+        assert!(q25 > 100.0, "strided subsample spans the range (q25={q25})");
+        assert!(close(a.max().unwrap(), 1000.0));
+        assert!(close(a.min().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn streaming_merge_bounds_the_reservoir_past_capacity() {
+        let fill = |n: u64, offset: f64| {
+            let mut s = StreamingStats::new();
+            for i in 0..n {
+                s.push(offset + i as f64);
+            }
+            s
+        };
+        let mut a = fill(1000, 0.0);
+        let b = fill(3000, 1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4000);
+        assert!(close(a.min().unwrap(), 0.0));
+        assert!(close(a.max().unwrap(), 3999.0));
+        assert!(close(a.mean().unwrap(), 3999.0 / 2.0));
+        // p50 of uniform 0..4000 ≈ 2000; the merged reservoir (¼ from the
+        // small side, ¾ from the large, by count) must keep it in range
+        let p50 = a.p50().unwrap();
+        assert!((1200.0..2800.0).contains(&p50), "p50 {p50}");
     }
 
     #[test]

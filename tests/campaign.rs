@@ -1,0 +1,132 @@
+//! Integration tests of the campaign layer: grid enumeration, positional
+//! seeding, shard-geometry invariance, resume semantics, and JSONL shape
+//! — the same contract the CI smoke run asserts on the CLI.
+
+use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind};
+use radio_sim::{ModelKind, RunOpts};
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec {
+        families: vec![FamilyKind::Path, FamilyKind::Star],
+        sizes: vec![6],
+        spans: vec![2, 4],
+        models: ModelKind::ALL.to_vec(),
+        reps: 2,
+        seed: 7,
+        opts: RunOpts::default(),
+    }
+}
+
+/// Strips the measured wall-clock summary, leaving only derived fields.
+fn stable(rows: Vec<String>) -> Vec<String> {
+    rows.into_iter()
+        .map(|row| row.split(",\"wall_ns\"").next().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn tiny_grid_produces_one_row_per_cell_with_stable_aggregates() {
+    // The CI smoke grid: 2 families × 2 spans × 3 models, --shards 4.
+    let mut runner = CampaignRunner::new(smoke_spec(), 4);
+    runner.run_to_completion(2);
+    let rows = runner.jsonl_rows();
+    assert_eq!(rows.len(), 12, "one JSONL row per grid cell");
+    for row in &rows {
+        assert!(row.contains("\"runs\":2"), "stable aggregate field: {row}");
+    }
+    // the paper's model elects on every feasible draw of this grid
+    for (cell, agg) in runner.aggregates() {
+        if cell.model == ModelKind::NoCollisionDetection {
+            assert_eq!(agg.elected, agg.feasible, "{cell}");
+        }
+    }
+}
+
+#[test]
+fn shard_and_thread_geometry_are_invisible_in_the_rows() {
+    let run = |shards: usize, threads: usize| {
+        let mut runner = CampaignRunner::new(smoke_spec(), shards);
+        runner.run_to_completion(threads);
+        stable(runner.jsonl_rows())
+    };
+    let reference = run(1, 1);
+    for (shards, threads) in [(4, 2), (3, 4), (24, 2), (50, 1)] {
+        assert_eq!(
+            reference,
+            run(shards, threads),
+            "shards={shards} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn resumed_campaign_completes_the_interrupted_one() {
+    // Simulate an interruption: process A reports shards 0..2, dies;
+    // process B (fresh runner, same spec) resumes at the persisted cursor
+    // and reports shards 2..4. A's rows folded with B's must equal an
+    // uninterrupted campaign cell for cell — seeds are positional, so the
+    // split point cannot leak into any run.
+    let mut full = CampaignRunner::new(smoke_spec(), 4);
+    full.run_to_completion(2);
+
+    let mut a = CampaignRunner::new(smoke_spec(), 4);
+    a.run_next_shard(2).expect("shard 0");
+    a.run_next_shard(2).expect("shard 1");
+    let cursor = a.cursor();
+    assert_eq!(cursor, 2);
+    assert!(!a.is_done());
+
+    let mut b = CampaignRunner::new(smoke_spec(), 4);
+    b.skip_to(cursor);
+    b.run_to_completion(2);
+    assert!(b.is_done());
+
+    for (((cell, f), (_, ra)), (_, rb)) in full.aggregates().zip(a.aggregates()).zip(b.aggregates())
+    {
+        // merging the two halves recovers the uninterrupted campaign:
+        // counters and moments exactly, quantiles at reservoir precision
+        // (exact here — every sample fits the reservoir)
+        let mut merged = ra.clone();
+        merged.merge(rb);
+        assert_eq!(f.runs, merged.runs, "{cell}: runs");
+        assert_eq!(f.feasible, merged.feasible, "{cell}: feasible");
+        assert_eq!(f.elected, merged.elected, "{cell}: elected");
+        assert_eq!(f.rounds.count(), merged.rounds.count(), "{cell}: count");
+        assert_eq!(f.rounds.min(), merged.rounds.min(), "{cell}: min");
+        assert_eq!(f.rounds.max(), merged.rounds.max(), "{cell}: max");
+        if let (Some(fm), Some(mm)) = (f.rounds.mean(), merged.rounds.mean()) {
+            assert!((fm - mm).abs() < 1e-9, "{cell}: mean {fm} vs {mm}");
+        }
+        assert_eq!(f.rounds.p50(), merged.rounds.p50(), "{cell}: p50");
+    }
+}
+
+#[test]
+fn leap_mode_changes_the_split_but_not_the_executions() {
+    let mut leap_spec = smoke_spec();
+    leap_spec.models = vec![ModelKind::NoCollisionDetection];
+    leap_spec.spans = vec![64];
+    let mut step_spec = leap_spec.clone();
+    step_spec.opts = RunOpts::default().no_leap();
+
+    let mut leap = CampaignRunner::new(leap_spec, 2);
+    leap.run_to_completion(2);
+    let mut step = CampaignRunner::new(step_spec, 2);
+    step.run_to_completion(2);
+
+    for ((cell, l), (_, s)) in leap.aggregates().zip(step.aggregates()) {
+        assert_eq!(l.rounds.min(), s.rounds.min(), "{cell}");
+        assert_eq!(l.rounds.max(), s.rounds.max(), "{cell}");
+        assert_eq!(
+            l.transmissions.mean(),
+            s.transmissions.mean(),
+            "{cell}: same executions"
+        );
+        // the no-leap campaign stepped every round; the leaping one must
+        // have skipped some on a span-64 grid
+        assert_eq!(s.leapt.max(), Some(0.0), "{cell}: step never leaps");
+        if l.feasible > 0 {
+            assert!(l.leapt.max().unwrap_or(0.0) > 0.0, "{cell}: leap leaps");
+        }
+    }
+}
