@@ -1,0 +1,60 @@
+//! Criterion: repeated-classification throughput — per-run fresh state
+//! versus a recycled `ClassifierWorkspace` (the acceptance gate for the
+//! workspace refactor: ≥ 1.5× on a campaign-style batch at n ≥ 512).
+//!
+//! `fresh` is the pre-workspace path a campaign would have paid per run:
+//! the eager `classify` call, which allocates refine state, a heap
+//! `Label` per node per iteration, and materialized partition records.
+//! `reuse` is the campaign worker's path: one long-lived workspace,
+//! record-free summaries, interned labels, incremental worklist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_bench::workloads::with_random_tags;
+use radio_classifier::{classify, ClassifierWorkspace};
+use radio_graph::{generators, Configuration};
+
+/// A campaign-style batch: a family mix at one size, distinct tag draws.
+fn batch(n: usize) -> Vec<Configuration> {
+    (0..9u64)
+        .map(|i| {
+            let graph = match i % 3 {
+                0 => generators::path(n),
+                1 => generators::balanced_tree(n, 2),
+                _ => generators::star(n),
+            };
+            with_random_tags(graph, 8, 42 ^ n as u64 ^ (i << 16))
+        })
+        .collect()
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_campaign");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2000));
+    for n in [512usize, 1024] {
+        let configs = batch(n);
+        group.throughput(Throughput::Elements(configs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("fresh", n), &configs, |b, configs| {
+            b.iter(|| {
+                configs
+                    .iter()
+                    .filter(|config| classify(config).feasible)
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reuse", n), &configs, |b, configs| {
+            let mut ws = ClassifierWorkspace::new();
+            b.iter(|| {
+                configs
+                    .iter()
+                    .filter(|config| ws.summarize_in(config).feasible)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -9,8 +9,8 @@
 //! grid).
 
 pub use anon_radio::campaign::{
-    election_metrics, CampaignRunner, CampaignSpec, CellAggregate, CellKey, FamilyKind, RunMetrics,
-    ShardReport,
+    classify_metrics, election_metrics, CampaignRunner, CampaignSpec, CampaignWorkspace,
+    CellAggregate, CellKey, FamilyKind, Phase, RunMetrics, ShardReport,
 };
 
 use radio_sim::{ModelKind, RunOpts};
@@ -27,6 +27,7 @@ pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
         Effort::Full => (vec![8, 16, 32], 25),
     };
     CampaignSpec {
+        phase: Phase::Elect,
         families: vec![FamilyKind::Path, FamilyKind::Star, FamilyKind::RandomTree],
         sizes,
         spans: vec![2, 8],
@@ -35,6 +36,56 @@ pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
         seed,
         opts: RunOpts::default(),
     }
+}
+
+/// The classify-phase campaign spec the harness uses: a wider grid than
+/// the election one (no simulation per run, so classification throughput
+/// is the only cost), sweeping the decision phase across families, sizes
+/// and spans.
+pub fn classify_spec(effort: Effort, seed: u64) -> CampaignSpec {
+    let (sizes, reps) = match effort {
+        Effort::Quick => (vec![16, 64], 8),
+        Effort::Full => (vec![16, 64, 256], 50),
+    };
+    CampaignSpec {
+        phase: Phase::Classify,
+        families: vec![FamilyKind::Path, FamilyKind::Star, FamilyKind::Gnp],
+        sizes,
+        spans: vec![0, 4, 32],
+        models: vec![ModelKind::NoCollisionDetection],
+        reps,
+        seed,
+        opts: RunOpts::default(),
+    }
+}
+
+/// Renders a classify-phase runner's aggregates: feasibility rate plus
+/// iteration/class/relabel summaries per cell.
+pub fn classify_table(title: impl Into<String>, runner: &CampaignRunner) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "cell",
+            "runs",
+            "feasible",
+            "iters p50",
+            "classes p95",
+            "relabels mean",
+            "wall µs p50",
+        ],
+    );
+    for (cell, agg) in runner.aggregates() {
+        table.push_row(vec![
+            format!("{}/n{}/σ{}", cell.family, cell.n, cell.span),
+            agg.runs.to_string(),
+            agg.feasible.to_string(),
+            fmt_f64(agg.iterations.p50().unwrap_or(0.0), 0),
+            fmt_f64(agg.classes.p95().unwrap_or(0.0), 0),
+            fmt_f64(agg.relabels.mean().unwrap_or(0.0), 0),
+            fmt_f64(agg.wall_ns.p50().unwrap_or(0.0) / 1e3, 1),
+        ]);
+    }
+    table
 }
 
 /// Renders a runner's per-cell aggregates as an experiment table:
@@ -81,6 +132,7 @@ mod tests {
     #[test]
     fn aggregate_table_has_one_row_per_cell() {
         let spec = CampaignSpec {
+            phase: Phase::Elect,
             families: vec![FamilyKind::Path],
             sizes: vec![5],
             spans: vec![2],

@@ -181,6 +181,7 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
         Effort::Full => vec![10_000, 100_000],
     };
     let spec = CampaignSpec {
+        phase: crate::campaign::Phase::Elect,
         families: vec![FamilyKind::Path],
         sizes: vec![4],
         spans: campaign_spans,

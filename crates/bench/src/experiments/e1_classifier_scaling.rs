@@ -7,11 +7,22 @@
 //! log–log slope of steps vs `n` per family (which must stay below 3 on
 //! fixed-degree families — in practice far below, since the `⌈n/2⌉`
 //! iteration worst case is rarely realized).
+//!
+//! The throughput side (open problem #1's practical face) is measured on
+//! the worker-scoped API: a batch of repeated classifications through the
+//! per-run fresh eager path versus per-worker recycled
+//! [`ClassifierWorkspace`]s (E1b), plus the same sweep expressed as a
+//! declarative `--phase classify` campaign (E1c).
 
-use radio_classifier::{classify_with, Engine};
+use std::time::Instant;
+
+use radio_classifier::{classify_with, ClassifierWorkspace, Engine};
+use radio_graph::Configuration;
+use radio_sim::parallel::{default_threads, par_map_init};
 use radio_util::stats::loglog_slope;
 use radio_util::table::{fmt_f64, Table};
 
+use crate::campaign::{classify_spec, classify_table, CampaignRunner};
 use crate::workloads::{scaling_families, with_random_tags};
 use crate::Effort;
 
@@ -100,7 +111,82 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
         ]);
     }
 
-    vec![detail, adversarial, slopes]
+    // E1b: repeated classification on the worker-scoped API — per-run
+    // fresh state (the eager `classify` path: fresh refine buffers, a
+    // `Vec<Label>` and two partition clones per iteration) versus one
+    // recycled ClassifierWorkspace per worker (interned labels,
+    // incremental worklist, record-free). Same batch, same threads.
+    let batch_n = match effort {
+        Effort::Quick => 128usize,
+        Effort::Full => 512,
+    };
+    let batch: Vec<Configuration> = scaling_families()
+        .into_iter()
+        .flat_map(|family| {
+            (0..4u64).map(move |i| {
+                let graph = (family.make)(batch_n, seed ^ i);
+                with_random_tags(graph, 8, seed ^ (i << 8) ^ batch_n as u64)
+            })
+        })
+        .collect();
+    let threads = default_threads();
+    let timed_fresh = {
+        let start = Instant::now();
+        let verdicts = par_map_init(
+            &batch,
+            threads,
+            || (),
+            |_, config| radio_classifier::classify(config).feasible,
+        );
+        std::hint::black_box(verdicts.len());
+        start.elapsed().as_secs_f64()
+    };
+    let timed_reuse = {
+        let start = Instant::now();
+        let verdicts = par_map_init(&batch, threads, ClassifierWorkspace::new, |ws, config| {
+            ws.summarize_in(config).feasible
+        });
+        std::hint::black_box(verdicts.len());
+        start.elapsed().as_secs_f64()
+    };
+    let mut reuse = Table::new(
+        format!(
+            "E1b: repeated classification of {} configs (n = {batch_n}) — fresh eager state \
+             per run vs per-worker recycled ClassifierWorkspace ({threads} threads)",
+            batch.len()
+        ),
+        &["path", "wall ms", "runs/s", "speedup"],
+    );
+    for (label, wall) in [
+        ("fresh+records", timed_fresh),
+        ("workspace+summary", timed_reuse),
+    ] {
+        reuse.push_row(vec![
+            label.to_string(),
+            fmt_f64(wall * 1e3, 2),
+            fmt_f64(batch.len() as f64 / wall.max(1e-9), 0),
+            fmt_f64(timed_fresh / wall.max(1e-9), 2),
+        ]);
+    }
+
+    // E1c: the classify-phase campaign — the same decision workload as a
+    // declarative family × n × span grid with streaming per-cell
+    // aggregates (feasible rate, iterations, classes, relabel work).
+    let mut runner = CampaignRunner::new(classify_spec(effort, seed), 4);
+    let start = Instant::now();
+    runner.run_to_completion(threads);
+    let wall = start.elapsed().as_secs_f64();
+    let campaign = classify_table(
+        format!(
+            "E1c: classify-phase campaign of {} runs over {} shards ({:.0} runs/s)",
+            runner.spec().total_runs(),
+            runner.shard_count(),
+            runner.spec().total_runs() as f64 / wall.max(1e-9),
+        ),
+        &runner,
+    );
+
+    vec![detail, adversarial, slopes, reuse, campaign]
 }
 
 #[cfg(test)]
@@ -142,5 +228,22 @@ mod tests {
             let ratio: f64 = adv.cell(row, 4).unwrap().parse().unwrap();
             assert!(ratio <= 8.0, "row {row}: ratio {ratio}");
         }
+    }
+
+    #[test]
+    fn throughput_tables_have_expected_shape() {
+        let tables = run(Effort::Quick, 3);
+        assert_eq!(tables.len(), 5);
+        let reuse = &tables[3];
+        assert_eq!(reuse.len(), 2, "fresh vs reuse");
+        // wall times are positive; no speedup assertion here (CI timing is
+        // noisy — benches/classify.rs is the measured claim)
+        for row in 0..reuse.len() {
+            let wall: f64 = reuse.cell(row, 1).unwrap().parse().unwrap();
+            assert!(wall > 0.0);
+        }
+        let campaign = &tables[4];
+        let spec = classify_spec(Effort::Quick, 3);
+        assert_eq!(campaign.len(), spec.cells().len());
     }
 }

@@ -8,32 +8,62 @@
 //! fixed order, the resulting class *numbering* (not just the partition)
 //! matches the reference exactly, so the canonical lists compiled from
 //! either engine are identical. The property suite asserts this.
+//!
+//! The pass is allocation-conscious: old/new class vectors are
+//! double-buffered inside [`RefState`] (one `mem::swap`, no clone), and
+//! [`refine_fast_by`] is generic over the per-node key so the
+//! [`ClassifierWorkspace`](crate::workspace::ClassifierWorkspace) can
+//! refine on interned `u32` label ids through a *persistent* hash table —
+//! a warm pass performs zero heap allocation.
+
+use std::hash::Hash;
 
 use radio_util::FxHashMap;
 
 use crate::reference::RefState;
+#[cfg(test)]
 use crate::triple::Label;
 
 /// One hash-based `Refine` pass, semantically identical to
-/// [`crate::reference`]'s.
+/// [`crate::reference`]'s. Keys borrow the labels slice — hashing a key
+/// costs a walk over at most Δ triples but never a clone or allocation.
+/// Production code refines through [`refine_fast_by`] on interned ids;
+/// this label-keyed form is the differential harness pinning the hash
+/// refine against the paper-literal one.
+#[cfg(test)]
 pub(crate) fn refine_fast(state: &mut RefState, labels: &[Label]) {
-    let n = state.classes.len();
-    let old: Vec<u32> = state.classes.clone();
-
-    // Keys borrow the labels slice — hashing a key costs a walk over at
-    // most Δ triples but never a clone or allocation. Everything inserted
-    // (representatives up front, fresh class representatives below) is a
-    // reference into `labels`, which outlives the table.
     let mut table: FxHashMap<(u32, &Label), u32> = FxHashMap::default();
+    refine_fast_by(state, |v| &labels[v], &mut table);
+}
+
+/// The generic core of the hash refine: one pass keyed on
+/// `(old class, key_of(v))`, reusing `table`'s capacity across calls
+/// (callers clear-by-contract here, so a persistent table never
+/// reallocates once warmed).
+///
+/// Semantics pinned to [`crate::reference::refine_reference`]: the table
+/// is seeded with the surviving representatives (class ids stay stable)
+/// and nodes are processed in ascending order, so fresh classes are
+/// numbered exactly as the paper's mid-loop representatives would number
+/// them.
+pub(crate) fn refine_fast_by<K: Hash + Eq>(
+    state: &mut RefState,
+    key_of: impl Fn(usize) -> K,
+    table: &mut FxHashMap<(u32, K), u32>,
+) {
+    state.begin_pass();
+    let n = state.prev.len();
+
+    table.clear();
     table.reserve(state.num_classes as usize + 8);
     for k in 1..=state.num_classes {
         let rep = state.reps[(k - 1) as usize] as usize;
-        let prev = table.insert((old[rep], &labels[rep]), k);
+        let prev = table.insert((state.prev[rep], key_of(rep)), k);
         debug_assert!(prev.is_none(), "representatives must have distinct keys");
     }
 
     for v in 0..n {
-        match table.entry((old[v], &labels[v])) {
+        match table.entry((state.prev[v], key_of(v))) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 state.classes[v] = *e.get();
             }
@@ -96,5 +126,33 @@ mod tests {
                 assert_eq!(a.reps, b.reps);
             }
         }
+    }
+
+    #[test]
+    fn double_buffer_preserves_previous_partition() {
+        // After a pass, `prev` must hold exactly the pre-pass classes (the
+        // canonical-list sinks read old classes from it).
+        let mut st = RefState::initial(4);
+        let l1 = vec![lbl(1, 1), lbl(1, 2), lbl(1, 1), lbl(1, 2)];
+        refine_fast(&mut st, &l1);
+        assert_eq!(st.prev, vec![1, 1, 1, 1]);
+        assert_eq!(st.classes, vec![1, 2, 1, 2]);
+        let l2 = vec![lbl(1, 1), lbl(1, 2), lbl(9, 9), lbl(1, 2)];
+        refine_fast(&mut st, &l2);
+        assert_eq!(st.prev, vec![1, 2, 1, 2]);
+        assert_eq!(st.classes, vec![1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn reset_recycles_state_to_initial() {
+        let mut st = RefState::initial(5);
+        let labels = vec![lbl(1, 1), lbl(1, 2), lbl(1, 3), lbl(1, 4), lbl(1, 5)];
+        refine_fast(&mut st, &labels);
+        assert_eq!(st.num_classes, 5);
+        st.reset(3);
+        assert_eq!(st.classes, vec![1, 1, 1]);
+        assert_eq!(st.prev, vec![1, 1, 1]);
+        assert_eq!(st.num_classes, 1);
+        assert_eq!(st.reps, vec![0]);
     }
 }

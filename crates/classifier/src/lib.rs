@@ -63,8 +63,13 @@ pub mod reference;
 pub mod trace;
 pub mod triple;
 pub mod wl;
+pub mod workspace;
 
 pub use lists::{CanonicalLists, Level, ListEntry};
 pub use outcome::{classify, classify_with, Cost, Engine, IterationRecord, Outcome};
 pub use partition::Partition;
 pub use triple::{Label, Multi, Triple};
+pub use workspace::{
+    summarize, ClassifierWorkspace, ClassifySummary, FinalOnly, FullRecords, IterationView,
+    ListsSink, RecordSink,
+};

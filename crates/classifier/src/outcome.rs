@@ -1,19 +1,28 @@
-//! The `Classifier` main loop (Algorithm 4) and its outcome.
+//! The `Classifier` outcome types and the classic eager entry points.
 //!
 //! `Classifier` alternates label computation ([`crate::partitioner`]) and
 //! partition refinement ([`crate::reference`] / [`crate::fast`]) until a
 //! singleton class appears (**feasible**) or an iteration leaves the
 //! partition unchanged (**infeasible**). Per Lemma 3.4 this happens within
-//! `⌈n/2⌉` iterations; the loop enforces that bound and treats overrun as a
-//! broken invariant.
+//! `⌈n/2⌉` iterations; the loop enforces that bound and treats overrun as
+//! a broken invariant.
+//!
+//! The loop itself lives in [`crate::workspace`] — one implementation
+//! drives both engines and streams each iteration to a
+//! [`RecordSink`](crate::workspace::RecordSink). The functions here are
+//! the eager wrappers: a fresh
+//! [`ClassifierWorkspace`](crate::workspace::ClassifierWorkspace) with a
+//! [`FullRecords`](crate::workspace::FullRecords) sink, packaged as the
+//! classic [`Outcome`]. Batch callers hold a workspace and use
+//! [`ClassifierWorkspace::classify_in`](crate::workspace::ClassifierWorkspace::classify_in)
+//! / [`summarize_in`](crate::workspace::ClassifierWorkspace::summarize_in)
+//! instead.
 
 use radio_graph::Configuration;
 
-use crate::fast::refine_fast;
 use crate::partition::Partition;
-use crate::partitioner::{labels_fast, labels_reference};
-use crate::reference::{refine_reference, RefState};
 use crate::triple::Label;
+use crate::workspace::ClassifierWorkspace;
 
 /// Which refinement engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,65 +107,10 @@ pub fn classify(config: &Configuration) -> Outcome {
     classify_with(config, Engine::Fast)
 }
 
-/// Runs `Classifier` with the chosen engine.
+/// Runs `Classifier` with the chosen engine (a fresh workspace per call —
+/// hold a [`ClassifierWorkspace`] for repeated classification).
 pub fn classify_with(config: &Configuration, engine: Engine) -> Outcome {
-    let n = config.size();
-    let mut state = RefState::initial(n);
-    let mut records: Vec<IterationRecord> = Vec::new();
-    let mut cost = Cost::default();
-    let max_iterations = n.div_ceil(2);
-
-    for iteration in 1..=max_iterations {
-        let old_count = state.num_classes;
-
-        let labels = match engine {
-            Engine::Reference => {
-                let partition = current_partition(&state);
-                let (labels, steps) = labels_reference(config, &partition);
-                cost.label_steps += steps;
-                labels
-            }
-            Engine::Fast => {
-                let partition = current_partition(&state);
-                labels_fast(config, &partition)
-            }
-        };
-
-        match engine {
-            Engine::Reference => cost.refine_steps += refine_reference(&mut state, &labels),
-            Engine::Fast => refine_fast(&mut state, &labels),
-        }
-
-        let partition = current_partition(&state);
-        let has_singleton = partition.has_singleton();
-        records.push(IterationRecord { labels, partition });
-
-        if has_singleton {
-            return Outcome {
-                feasible: true,
-                iterations: iteration,
-                records,
-                cost,
-                engine,
-            };
-        }
-        if state.num_classes == old_count {
-            return Outcome {
-                feasible: false,
-                iterations: iteration,
-                records,
-                cost,
-                engine,
-            };
-        }
-    }
-    unreachable!(
-        "Lemma 3.4: Classifier must exit within ⌈n/2⌉ = {max_iterations} iterations (n = {n})"
-    )
-}
-
-fn current_partition(state: &RefState) -> Partition {
-    Partition::from_parts(state.classes.clone(), state.num_classes, state.reps.clone())
+    ClassifierWorkspace::new().classify_in(config, engine)
 }
 
 #[cfg(test)]

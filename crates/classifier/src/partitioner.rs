@@ -31,6 +31,13 @@ fn block_round(sigma: u64, tw: u64, tv: u64) -> u64 {
 /// elementary steps taken (neighbour visits + triple comparisons), the
 /// quantity the `O(n∆²)` bound of Lemma 3.5 counts.
 pub fn labels_reference(config: &Configuration, partition: &Partition) -> (Vec<Label>, u64) {
+    labels_reference_in(config, partition.classes())
+}
+
+/// [`labels_reference`] over a raw class vector — the
+/// [`ClassifierWorkspace`](crate::workspace::ClassifierWorkspace) path,
+/// which never materializes a [`Partition`] per iteration.
+pub(crate) fn labels_reference_in(config: &Configuration, classes: &[u32]) -> (Vec<Label>, u64) {
     let csr = config.csr();
     let sigma = config.span();
     let n = config.size();
@@ -39,13 +46,13 @@ pub fn labels_reference(config: &Configuration, partition: &Partition) -> (Vec<L
 
     for v in 0..n as NodeId {
         let tv = config.tag(v);
-        let v_class = partition.class_of(v);
+        let v_class = classes[v as usize];
         // The paper's N_v: triples in insertion order, scanned linearly for
         // duplicates (lines 5–15).
         let mut nv: Vec<Triple> = Vec::new();
         for &w in csr.neighbors(v) {
             steps += 1;
-            let w_class = partition.class_of(w);
+            let w_class = classes[w as usize];
             let tw = config.tag(w);
             if w_class != v_class || tw != tv {
                 let a = w_class;
@@ -71,42 +78,71 @@ pub fn labels_reference(config: &Configuration, partition: &Partition) -> (Vec<L
 
 /// Sort-merge label computation: identical output, `O(Δ log Δ)` per node.
 pub fn labels_fast(config: &Configuration, partition: &Partition) -> Vec<Label> {
-    let csr = config.csr();
-    let sigma = config.span();
     let n = config.size();
+    let sigma = config.span();
     let mut labels = Vec::with_capacity(n);
     let mut pairs: Vec<(u32, u64)> = Vec::new();
+    let mut scratch: Vec<Triple> = Vec::new();
 
     for v in 0..n as NodeId {
-        let tv = config.tag(v);
-        let v_class = partition.class_of(v);
-        pairs.clear();
-        for &w in csr.neighbors(v) {
-            let w_class = partition.class_of(w);
-            let tw = config.tag(w);
-            if w_class != v_class || tw != tv {
-                pairs.push((w_class, block_round(sigma, tw, tv)));
-            }
-        }
-        pairs.sort_unstable();
-        let mut triples: Vec<Triple> = Vec::with_capacity(pairs.len());
-        let mut i = 0;
-        while i < pairs.len() {
-            let (a, b) = pairs[i];
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j] == (a, b) {
-                j += 1;
-            }
-            triples.push(Triple::new(
-                a,
-                b,
-                if j - i == 1 { Multi::One } else { Multi::Star },
-            ));
-            i = j;
-        }
-        labels.push(Label::from_triples(triples));
+        node_triples_into(
+            config,
+            sigma,
+            partition.classes(),
+            v,
+            &mut pairs,
+            &mut scratch,
+        );
+        labels.push(Label::from_triples(scratch.clone()));
     }
     labels
+}
+
+/// Computes node `v`'s label triples (sorted by `≺_hist`, duplicates
+/// merged into `∗`) into the recycled `out` buffer, using `pairs` as the
+/// sort scratch — the allocation-free kernel shared by [`labels_fast`]
+/// and the incremental
+/// [`ClassifierWorkspace`](crate::workspace::ClassifierWorkspace), which
+/// calls it only for nodes whose neighbourhood changed class last pass.
+///
+/// `sigma` is the configuration's span, hoisted out because
+/// [`Configuration::span`] rescans the tag vector — an `O(n)` call that
+/// must stay out of the per-node kernel.
+pub(crate) fn node_triples_into(
+    config: &Configuration,
+    sigma: u64,
+    classes: &[u32],
+    v: NodeId,
+    pairs: &mut Vec<(u32, u64)>,
+    out: &mut Vec<Triple>,
+) {
+    let csr = config.csr();
+    let tv = config.tag(v);
+    let v_class = classes[v as usize];
+    pairs.clear();
+    out.clear();
+    for &w in csr.neighbors(v) {
+        let w_class = classes[w as usize];
+        let tw = config.tag(w);
+        if w_class != v_class || tw != tv {
+            pairs.push((w_class, block_round(sigma, tw, tv)));
+        }
+    }
+    pairs.sort_unstable();
+    let mut i = 0;
+    while i < pairs.len() {
+        let (a, b) = pairs[i];
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j] == (a, b) {
+            j += 1;
+        }
+        out.push(Triple::new(
+            a,
+            b,
+            if j - i == 1 { Multi::One } else { Multi::Star },
+        ));
+        i = j;
+    }
 }
 
 #[cfg(test)]

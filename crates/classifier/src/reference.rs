@@ -11,10 +11,20 @@ use radio_graph::NodeId;
 use crate::triple::Label;
 
 /// Mutable classifier state shared by both engines.
-#[derive(Debug, Clone)]
+///
+/// The class vector is double-buffered: a `Refine` pass begins by swapping
+/// `classes` into `prev` ([`RefState::begin_pass`]) and then writes every
+/// node's new class into `classes` while reading old classes from `prev` —
+/// no per-pass clone, so a warm pass (recycled by
+/// [`crate::workspace::ClassifierWorkspace`]) performs zero heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct RefState {
-    /// 1-based class per node.
+    /// 1-based class per node (the current partition).
     pub classes: Vec<u32>,
+    /// The partition before the most recent `Refine` pass (the double
+    /// buffer; valid after [`RefState::begin_pass`]).
+    pub prev: Vec<u32>,
     /// Number of classes.
     pub num_classes: u32,
     /// `reps[k-1]` = representative of class `k`.
@@ -22,12 +32,34 @@ pub(crate) struct RefState {
 }
 
 impl RefState {
+    #[cfg(test)]
     pub fn initial(n: usize) -> RefState {
-        RefState {
-            classes: vec![1; n],
+        let mut state = RefState {
+            classes: Vec::new(),
+            prev: Vec::new(),
             num_classes: 1,
-            reps: vec![0],
-        }
+            reps: Vec::new(),
+        };
+        state.reset(n);
+        state
+    }
+
+    /// Re-dimensions for `n` nodes in the initial all-ones partition,
+    /// retaining buffer capacity (the workspace-recycling path).
+    pub fn reset(&mut self, n: usize) {
+        self.classes.clear();
+        self.classes.resize(n, 1);
+        self.prev.clear();
+        self.prev.resize(n, 1);
+        self.num_classes = 1;
+        self.reps.clear();
+        self.reps.push(0);
+    }
+
+    /// Starts a `Refine` pass: the current classes become `prev` (one
+    /// `mem::swap`, no copy — the pass overwrites every `classes` slot).
+    pub fn begin_pass(&mut self) {
+        std::mem::swap(&mut self.classes, &mut self.prev);
     }
 }
 
@@ -35,8 +67,8 @@ impl RefState {
 /// (label-triple comparisons plus bookkeeping), the quantity Lemma 3.5
 /// bounds by `O(n²Δ)` per iteration.
 pub(crate) fn refine_reference(state: &mut RefState, labels: &[Label]) -> u64 {
-    let n = state.classes.len();
-    let old: Vec<u32> = state.classes.clone();
+    state.begin_pass();
+    let n = state.prev.len();
     let mut steps = 0u64;
 
     for v in 0..n {
@@ -47,7 +79,7 @@ pub(crate) fn refine_reference(state: &mut RefState, labels: &[Label]) -> u64 {
             // Comparing two sorted labels costs at most min(len)+1 triple
             // comparisons; count the class check as one more step.
             steps += 1 + labels[v].len().min(labels[rep].len()) as u64 + 1;
-            if old[v] == old[rep] && labels[v] == labels[rep] {
+            if state.prev[v] == state.prev[rep] && labels[v] == labels[rep] {
                 debug_assert!(
                     matched.is_none(),
                     "two representatives matched node {v}: classes {} and {k}",
@@ -96,6 +128,7 @@ mod tests {
         // them apart).
         let mut st = RefState {
             classes: vec![1, 1, 2, 2],
+            prev: vec![0; 4],
             num_classes: 2,
             reps: vec![0, 2],
         };

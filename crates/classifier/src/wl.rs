@@ -47,6 +47,13 @@ impl WlOutcome {
 
 /// Runs 1-WL colour refinement on `(graph, tags)` until the partition
 /// stabilizes.
+///
+/// The per-round colour keys `(own colour, sorted neighbour colours)` are
+/// built in one flat scratch arena reused across rounds — each node's
+/// neighbour colours occupy a segment of `nbr` delimited by `off`, sorted
+/// in place — instead of allocating a fresh `(u32, Vec<u32>)` per node per
+/// round. Slice keys compare exactly like the vectors they replace, so
+/// the output partition (numbering included) is unchanged.
 pub fn refine(config: &Configuration) -> WlOutcome {
     let n = config.size();
     let csr = config.csr();
@@ -55,29 +62,34 @@ pub fn refine(config: &Configuration) -> WlOutcome {
     let mut colours: Vec<u32> = vec![0; n];
     let mut next = renumber_by_key((0..n).map(|v| config.tag(v as NodeId)), &mut colours);
 
+    // Scratch reused across rounds: the flat neighbour-colour arena, its
+    // per-node offsets, and the double-buffered colour vector.
+    let mut nbr: Vec<u32> = Vec::with_capacity(csr.edge_count() * 2);
+    let mut off: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut new_colours = vec![0u32; n];
+
     let mut iterations = 0usize;
     loop {
-        // New colour key: (own colour, sorted neighbour colours).
-        let keys: Vec<(u32, Vec<u32>)> = (0..n as NodeId)
-            .map(|v| {
-                let mut ns: Vec<u32> = csr
-                    .neighbors(v)
-                    .iter()
-                    .map(|&w| colours[w as usize])
-                    .collect();
-                ns.sort_unstable();
-                (colours[v as usize], ns)
-            })
-            .collect();
-        let mut new_colours = vec![0u32; n];
-        let classes = renumber_by_key(keys.into_iter(), &mut new_colours);
+        // New colour key: (own colour, sorted neighbour colours) — each
+        // node's colour multiset is a sorted segment of the arena.
+        nbr.clear();
+        off.clear();
+        off.push(0);
+        for v in 0..n as NodeId {
+            let start = nbr.len();
+            nbr.extend(csr.neighbors(v).iter().map(|&w| colours[w as usize]));
+            nbr[start..].sort_unstable();
+            off.push(nbr.len());
+        }
+        let keys = (0..n).map(|v| (colours[v], &nbr[off[v]..off[v + 1]]));
+        let classes = renumber_by_key(keys, &mut new_colours);
         if classes == next {
             // `renumber_by_key` numbers by first appearance, and the new
             // key embeds the old colour, so an equal class count means an
             // identical partition: stable.
             break;
         }
-        colours = new_colours;
+        std::mem::swap(&mut colours, &mut new_colours);
         next = classes;
         iterations += 1;
     }

@@ -93,8 +93,24 @@ pub struct ElectionReport {
 }
 
 /// Decides feasibility of leader election on `config` (Theorem 3.17).
+///
+/// Routed through the record-free classifier path: nothing but the
+/// verdict is materialized. For repeated decisions hold a
+/// [`ClassifierWorkspace`](radio_classifier::ClassifierWorkspace) and use
+/// [`is_feasible_in`].
 pub fn is_feasible(config: &Configuration) -> bool {
-    radio_classifier::classify(config).feasible
+    radio_classifier::summarize(config).feasible
+}
+
+/// [`is_feasible`] through a caller-provided
+/// [`ClassifierWorkspace`](radio_classifier::ClassifierWorkspace) — the
+/// batch path: one workspace per worker thread makes back-to-back
+/// feasibility decisions allocation-free.
+pub fn is_feasible_in(
+    workspace: &mut radio_classifier::ClassifierWorkspace,
+    config: &Configuration,
+) -> bool {
+    workspace.summarize_in(config).feasible
 }
 
 /// Compiles the dedicated leader-election algorithm `(D_G, f_G)` for a
@@ -157,6 +173,9 @@ mod tests {
     fn feasibility_shortcuts() {
         assert!(is_feasible(&families::h_m(2)));
         assert!(!is_feasible(&families::s_m(2)));
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        assert!(is_feasible_in(&mut ws, &families::h_m(2)));
+        assert!(!is_feasible_in(&mut ws, &families::s_m(2)));
     }
 
     #[test]

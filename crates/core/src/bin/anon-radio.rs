@@ -59,18 +59,20 @@ fn main() {
     };
     let code = match args.first().map(String::as_str) {
         Some("check") => with_config(&args, |config| {
-            let outcome = radio_classifier::classify(config);
+            // Pure decision: the record-free classifier path — nothing but
+            // the summary is materialized.
+            let summary = radio_classifier::summarize(config);
             println!("{config}");
-            if outcome.feasible {
+            if summary.feasible {
                 println!(
                     "FEASIBLE — leader class {} after {} iteration(s)",
-                    outcome.leader_class().expect("feasible"),
-                    outcome.iterations
+                    summary.leader_class.expect("feasible"),
+                    summary.iterations
                 );
             } else {
                 println!(
                     "INFEASIBLE — partition stabilized after {} iteration(s)",
-                    outcome.iterations
+                    summary.iterations
                 );
             }
             0
@@ -179,7 +181,7 @@ fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
 /// `anon-radio campaign` — execute a declarative election campaign grid
 /// shard by shard and emit one JSONL aggregate row per cell.
 fn campaign_command(args: &[String]) -> i32 {
-    use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind};
+    use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind, Phase};
 
     fn parse_list<T: std::str::FromStr>(value: &str, what: &str) -> Result<Vec<T>, String>
     where
@@ -189,10 +191,11 @@ fn campaign_command(args: &[String]) -> i32 {
         items.map_err(|e| format!("bad {what} list `{value}`: {e}"))
     }
 
+    let mut phase = Phase::Elect;
     let mut families: Vec<FamilyKind> = vec![FamilyKind::Path, FamilyKind::Star];
     let mut sizes: Vec<usize> = vec![8];
     let mut spans: Vec<u64> = vec![4];
-    let mut models: Vec<ModelKind> = ModelKind::ALL.to_vec();
+    let mut models: Option<Vec<ModelKind>> = None;
     let mut reps = 3usize;
     let mut shards = 8usize;
     let mut threads = radio_sim::parallel::default_threads();
@@ -210,10 +213,11 @@ fn campaign_command(args: &[String]) -> i32 {
                     .ok_or_else(|| format!("{flag} needs a value"))
             };
             match arg.as_str() {
+                "--phase" => phase = value("--phase")?.parse()?,
                 "--families" => families = parse_list(&value("--families")?, "family")?,
                 "--sizes" => sizes = parse_list(&value("--sizes")?, "size")?,
                 "--spans" => spans = parse_list(&value("--spans")?, "span")?,
-                "--models" => models = parse_list(&value("--models")?, "model")?,
+                "--models" => models = Some(parse_list(&value("--models")?, "model")?),
                 "--reps" => {
                     reps = value("--reps")?
                         .parse()
@@ -250,6 +254,19 @@ fn campaign_command(args: &[String]) -> i32 {
         eprintln!("error: {msg}");
         return 2;
     }
+    // The classify phase runs no simulation: its grid is family × n ×
+    // span, and a model axis would silently multiply identical rows.
+    let models = match (phase, models) {
+        (Phase::Classify, Some(_)) => {
+            eprintln!(
+                "error: --models does not apply to --phase classify (no simulation runs; \
+                 the grid is family × n × span)"
+            );
+            return 2;
+        }
+        (Phase::Classify, None) => vec![ModelKind::NoCollisionDetection],
+        (Phase::Elect, models) => models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
+    };
     if families.is_empty() || sizes.is_empty() || spans.is_empty() || models.is_empty() || reps == 0
     {
         eprintln!("error: every grid axis (--families/--sizes/--spans/--models/--reps) needs at least one value");
@@ -286,6 +303,7 @@ fn campaign_command(args: &[String]) -> i32 {
         radio_sim::RunOpts::default()
     };
     let spec = CampaignSpec {
+        phase,
         families,
         sizes,
         spans,
@@ -298,7 +316,8 @@ fn campaign_command(args: &[String]) -> i32 {
     let mut runner = CampaignRunner::new(spec, shards);
     runner.skip_to(resume_from);
     eprintln!(
-        "campaign: {} cells × {reps} rep(s) = {total} runs over {} shard(s), {threads} thread(s)",
+        "campaign ({phase} phase): {} cells × {reps} rep(s) = {total} runs over {} shard(s), \
+         {threads} thread(s)",
         total / reps,
         runner.shard_count()
     );
@@ -439,8 +458,10 @@ fn usage() -> i32 {
          \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
          \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\
          \u{20}  anon-radio family g|h|s <m>    print a paper family configuration\n\
-         \u{20}  anon-radio campaign [flags]    run an election campaign grid, one JSONL\n\
-         \u{20}                                 aggregate row per cell\n\
+         \u{20}  anon-radio campaign [flags]    run a campaign grid, one JSONL aggregate\n\
+         \u{20}                                 row per cell\n\
+         \u{20}      --phase elect|classify (elect = full election pipeline per run;\n\
+         \u{20}                              classify = decision phase only, no simulation)\n\
          \u{20}      --families a,b  --sizes n,…  --spans s,…  --models m,…  --reps k\n\
          \u{20}      --shards K --threads T --seed N --resume-from S --no-leap --out FILE\n\
          \n\

@@ -36,6 +36,7 @@
 
 use std::time::Instant;
 
+use radio_classifier::ClassifierWorkspace;
 use radio_graph::{generators, tags, Configuration, Graph};
 use radio_sim::parallel::par_map_init;
 use radio_sim::{ModelKind, RunOpts, SimWorkspace};
@@ -43,6 +44,77 @@ use radio_util::rng::{derive, derive_index, rng_from};
 use radio_util::stats::StreamingStats;
 
 use crate::dedicated::DedicatedElection;
+
+/// Which pipeline stage a campaign sweeps.
+///
+/// * [`Phase::Elect`] — the full election pipeline per run: classify,
+///   compile, simulate, validate. The original campaign workload.
+/// * [`Phase::Classify`] — the decision phase alone, through the
+///   worker's recycled
+///   [`ClassifierWorkspace`](radio_classifier::ClassifierWorkspace): per
+///   run only the classifier's verdict and shape metrics (iterations,
+///   final class count, incremental relabel work) are folded. This is the
+///   phase the paper's open problem #1 is about, and the one the
+///   simulation-side campaigns could not sweep at scale before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Classify → compile → simulate → validate.
+    #[default]
+    Elect,
+    /// Classify only (record-free, workspace-recycled).
+    Classify,
+}
+
+impl Phase {
+    /// Canonical name (JSONL rows, CLI values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Elect => "elect",
+            Phase::Classify => "classify",
+        }
+    }
+}
+
+impl std::str::FromStr for Phase {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Phase, String> {
+        match s {
+            "elect" => Ok(Phase::Elect),
+            "classify" => Ok(Phase::Classify),
+            other => Err(format!(
+                "unknown campaign phase `{other}` (expected elect or classify)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The per-worker state of a campaign: one simulation workspace *and* one
+/// classifier workspace, both long-lived for the worker's whole share of
+/// a shard. The elect phase uses both (classification feeds compilation,
+/// simulation recycles the engine buffers); the classify phase touches
+/// only the classifier side.
+#[derive(Debug, Default)]
+pub struct CampaignWorkspace {
+    /// Recycled engine state for simulations.
+    pub sim: SimWorkspace,
+    /// Recycled classifier state (label interner, refine buffers,
+    /// worklist).
+    pub classifier: ClassifierWorkspace,
+}
+
+impl CampaignWorkspace {
+    /// An empty pair of workspaces; buffers warm up over the first runs.
+    pub fn new() -> CampaignWorkspace {
+        CampaignWorkspace::default()
+    }
+}
 
 /// A named graph family usable as a campaign grid axis.
 ///
@@ -143,6 +215,8 @@ impl std::fmt::Display for FamilyKind {
 /// runs per cell, deterministic per-run seeds derived from `seed`.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
+    /// Which pipeline stage each run executes.
+    pub phase: Phase,
     /// Graph families to cross.
     pub families: Vec<FamilyKind>,
     /// Node counts to cross.
@@ -151,7 +225,8 @@ pub struct CampaignSpec {
     pub spans: Vec<u64>,
     /// Channel models to cross. The same `(family, n, span, rep)`
     /// configuration is used for every model, so model columns are
-    /// directly comparable.
+    /// directly comparable. The classify phase runs no simulation — give
+    /// it a single (ignored) model so the grid is `family × n × span`.
     pub models: Vec<ModelKind>,
     /// Runs per grid cell.
     pub reps: usize,
@@ -162,7 +237,8 @@ pub struct CampaignSpec {
 }
 
 impl CampaignSpec {
-    /// A spec with every model, `reps` = 1, default engine options.
+    /// A spec with every model, `reps` = 1, default engine options, elect
+    /// phase.
     pub fn new(
         families: Vec<FamilyKind>,
         sizes: Vec<usize>,
@@ -170,6 +246,7 @@ impl CampaignSpec {
         seed: u64,
     ) -> CampaignSpec {
         CampaignSpec {
+            phase: Phase::Elect,
             families,
             sizes,
             spans,
@@ -263,6 +340,10 @@ pub struct RunMetrics {
     /// The simulation aborted (round limit) — its zeroed shape metrics
     /// must not be folded into the per-cell statistics.
     pub aborted: bool,
+    /// A simulation ran to completion — only then are the simulation
+    /// shape metrics below meaningful (classify-phase runs never
+    /// simulate, so their zeros must not be folded either).
+    pub simulated: bool,
     /// Global rounds simulated (0 when infeasible/aborted).
     pub rounds: u64,
     /// Total transmissions.
@@ -271,6 +352,19 @@ pub struct RunMetrics {
     pub rounds_stepped: u64,
     /// Rounds skipped by the time-leap scheduler.
     pub rounds_leapt: u64,
+    /// The run recorded the classifier's shape (classify-phase runs) —
+    /// only then are the three classifier metrics below folded, the
+    /// decision-side analogue of `simulated`.
+    pub classified: bool,
+    /// Classifier iterations until the verdict (classify phase; 0 for
+    /// election runs, whose shape lives in the simulation metrics).
+    pub iterations: u64,
+    /// Classes in the final partition (classify phase).
+    pub classes: u64,
+    /// Label computations the incremental worklist performed (classify
+    /// phase) — the work the `O(n³Δ)` open problem counts, as the fast
+    /// engine actually spends it.
+    pub relabels: u64,
     /// Wall-clock nanoseconds for the whole run (classify + compile +
     /// simulate for the election workload).
     pub wall_ns: u64,
@@ -299,6 +393,13 @@ pub struct CellAggregate {
     pub stepped: StreamingStats,
     /// Leapt-round counts of completed feasible runs.
     pub leapt: StreamingStats,
+    /// Classifier iteration counts (classify-phase runs; feasible and
+    /// infeasible draws both classify, so both fold here).
+    pub iterations: StreamingStats,
+    /// Final class counts (classify-phase runs).
+    pub classes: StreamingStats,
+    /// Incremental relabel work (classify-phase runs).
+    pub relabels: StreamingStats,
     /// Wall-clock nanoseconds of all runs.
     pub wall_ns: StreamingStats,
 }
@@ -319,6 +420,9 @@ impl CellAggregate {
         self.transmissions.merge(&other.transmissions);
         self.stepped.merge(&other.stepped);
         self.leapt.merge(&other.leapt);
+        self.iterations.merge(&other.iterations);
+        self.classes.merge(&other.classes);
+        self.relabels.merge(&other.relabels);
         self.wall_ns.merge(&other.wall_ns);
     }
 
@@ -332,7 +436,7 @@ impl CellAggregate {
                 // A round-limit abort carries no shape metrics; folding
                 // its zeros would drag min/mean/p50 down invisibly.
                 self.aborted += 1;
-            } else {
+            } else if m.simulated {
                 self.rounds.push(m.rounds as f64);
                 self.transmissions.push(m.transmissions as f64);
                 self.stepped.push(m.rounds_stepped as f64);
@@ -342,11 +446,17 @@ impl CellAggregate {
         if m.elected {
             self.elected += 1;
         }
+        if m.classified {
+            self.iterations.push(m.iterations as f64);
+            self.classes.push(m.classes as f64);
+            self.relabels.push(m.relabels as f64);
+        }
     }
 }
 
-/// The default per-run workload: the full election pipeline on the drawn
-/// configuration — classify, compile, simulate through the worker's
+/// The elect-phase per-run workload: the full election pipeline on the
+/// drawn configuration — classify through the worker's recycled
+/// [`ClassifierWorkspace`], compile, simulate through its
 /// [`SimWorkspace`], validate the exactly-one-leader contract against the
 /// classifier's prediction.
 ///
@@ -355,26 +465,27 @@ impl CellAggregate {
 /// that break the election contract still contribute their execution
 /// shape, with `elected = false`.
 pub fn election_metrics(
-    workspace: &mut SimWorkspace,
+    workspace: &mut CampaignWorkspace,
     config: &Configuration,
     model: ModelKind,
     opts: RunOpts,
 ) -> RunMetrics {
     let start = Instant::now();
     let mut metrics = RunMetrics::default();
-    let Ok(dedicated) = DedicatedElection::solve(config) else {
+    let Ok(dedicated) = DedicatedElection::solve_in(&mut workspace.classifier, config) else {
         metrics.wall_ns = start.elapsed().as_nanos() as u64;
         return metrics;
     };
     metrics.feasible = true;
     let factory = dedicated.factory();
-    match workspace.run_kind(model, config, &factory, opts) {
+    match workspace.sim.run_kind(model, config, &factory, opts) {
         Ok(execution) => {
             let decision = dedicated.decision();
             let leaders: Vec<_> = (0..config.size() as radio_graph::NodeId)
                 .filter(|&v| decision.is_leader(execution.history(v)))
                 .collect();
             metrics.elected = leaders == [dedicated.predicted_leader()];
+            metrics.simulated = true;
             metrics.rounds = execution.rounds;
             metrics.transmissions = execution.stats.transmissions;
             metrics.rounds_stepped = execution.rounds_stepped;
@@ -384,6 +495,30 @@ pub fn election_metrics(
     }
     metrics.wall_ns = start.elapsed().as_nanos() as u64;
     metrics
+}
+
+/// The classify-phase per-run workload: the decision alone, record-free,
+/// through the worker's recycled [`ClassifierWorkspace`]. No compilation,
+/// no simulation — the folded shape is the classifier's: iterations until
+/// the verdict, final class count, and the incremental worklist's actual
+/// relabel work.
+pub fn classify_metrics(
+    workspace: &mut CampaignWorkspace,
+    config: &Configuration,
+    _model: ModelKind,
+    _opts: RunOpts,
+) -> RunMetrics {
+    let start = Instant::now();
+    let summary = workspace.classifier.summarize_in(config);
+    RunMetrics {
+        feasible: summary.feasible,
+        classified: true,
+        iterations: summary.iterations as u64,
+        classes: summary.num_classes as u64,
+        relabels: summary.relabels,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        ..RunMetrics::default()
+    }
 }
 
 /// Summary of one executed shard.
@@ -463,21 +598,26 @@ impl CampaignRunner {
         (start, ((k + 1) * per).min(total))
     }
 
-    /// Executes the next shard over `threads` workers with the default
-    /// election workload. Returns `None` when the campaign is complete.
+    /// Executes the next shard over `threads` workers with the spec's
+    /// phase workload ([`election_metrics`] / [`classify_metrics`]).
+    /// Returns `None` when the campaign is complete.
     pub fn run_next_shard(&mut self, threads: usize) -> Option<ShardReport> {
-        self.run_next_shard_with(threads, &election_metrics)
+        match self.spec.phase {
+            Phase::Elect => self.run_next_shard_with(threads, &election_metrics),
+            Phase::Classify => self.run_next_shard_with(threads, &classify_metrics),
+        }
     }
 
     /// [`CampaignRunner::run_next_shard`] with a custom per-run workload
     /// (the bench harness passes engine-comparison runners).
     ///
-    /// Each worker thread owns one [`SimWorkspace`] for the whole shard;
-    /// only the shard's `RunMetrics` are materialized, never its
-    /// executions.
+    /// Each worker thread owns one [`CampaignWorkspace`] — a simulation
+    /// workspace *and* a classifier workspace — for the whole shard; only
+    /// the shard's `RunMetrics` are materialized, never its executions or
+    /// records.
     pub fn run_next_shard_with<F>(&mut self, threads: usize, run: &F) -> Option<ShardReport>
     where
-        F: Fn(&mut SimWorkspace, &Configuration, ModelKind, RunOpts) -> RunMetrics + Sync,
+        F: Fn(&mut CampaignWorkspace, &Configuration, ModelKind, RunOpts) -> RunMetrics + Sync,
     {
         if self.is_done() {
             return None;
@@ -490,7 +630,7 @@ impl CampaignRunner {
         let spec = &self.spec;
         let cells = &self.cells;
         let metrics: Vec<(usize, RunMetrics)> =
-            par_map_init(&indices, threads, SimWorkspace::new, |ws, &idx| {
+            par_map_init(&indices, threads, CampaignWorkspace::new, |ws, &idx| {
                 let cell_idx = idx / spec.reps;
                 let rep = idx % spec.reps;
                 let cell = &cells[cell_idx];
@@ -522,13 +662,19 @@ impl CampaignRunner {
     }
 
     /// One JSON object per grid cell — the campaign's machine-readable
-    /// output. Fields: the cell key, the counters, and per-metric
-    /// `{count, mean, min, max, p50, p95}` summaries.
+    /// output. Fields: the phase, the cell key, the counters, and
+    /// per-metric `{count, mean, min, max, p50, p95}` summaries. Elect
+    /// rows carry the simulation shape (rounds/transmissions/stepped/
+    /// leapt); classify rows carry the classifier shape (iterations/
+    /// classes/relabels) and omit the model axis, which the phase never
+    /// consults. `wall_ns` is last in both shapes (consumers strip the
+    /// only measured field by splitting on it).
     pub fn jsonl_rows(&self) -> Vec<String> {
         self.aggregates()
-            .map(|(cell, agg)| {
-                format!(
-                    "{{\"family\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
+            .map(|(cell, agg)| match self.spec.phase {
+                Phase::Elect => format!(
+                    "{{\"phase\":\"elect\",\
+                     \"family\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
                      \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{},\
                      \"rounds\":{},\"transmissions\":{},\"stepped\":{},\"leapt\":{},\
                      \"wall_ns\":{}}}",
@@ -545,7 +691,23 @@ impl CampaignRunner {
                     stats_json(&agg.stepped),
                     stats_json(&agg.leapt),
                     stats_json(&agg.wall_ns),
-                )
+                ),
+                Phase::Classify => format!(
+                    "{{\"phase\":\"classify\",\
+                     \"family\":\"{}\",\"n\":{},\"span\":{},\
+                     \"runs\":{},\"feasible\":{},\
+                     \"iterations\":{},\"classes\":{},\"relabels\":{},\
+                     \"wall_ns\":{}}}",
+                    cell.family,
+                    cell.n,
+                    cell.span,
+                    agg.runs,
+                    agg.feasible,
+                    stats_json(&agg.iterations),
+                    stats_json(&agg.classes),
+                    stats_json(&agg.relabels),
+                    stats_json(&agg.wall_ns),
+                ),
             })
             .collect()
     }
@@ -584,11 +746,25 @@ mod tests {
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {
+            phase: Phase::Elect,
             families: vec![FamilyKind::Path, FamilyKind::Star],
             sizes: vec![5],
             spans: vec![2, 4],
             models: ModelKind::ALL.to_vec(),
             reps: 2,
+            seed: 11,
+            opts: RunOpts::default(),
+        }
+    }
+
+    fn tiny_classify_spec() -> CampaignSpec {
+        CampaignSpec {
+            phase: Phase::Classify,
+            families: vec![FamilyKind::Path, FamilyKind::Star],
+            sizes: vec![5, 9],
+            spans: vec![0, 4],
+            models: vec![ModelKind::NoCollisionDetection],
+            reps: 3,
             seed: 11,
             opts: RunOpts::default(),
         }
@@ -728,7 +904,7 @@ mod tests {
         // election time: the run aborts, and its zeroed metrics must not
         // contaminate the cell's rounds/transmissions statistics.
         let config = radio_graph::families::h_m(9); // needs well over 2 rounds
-        let mut ws = SimWorkspace::new();
+        let mut ws = CampaignWorkspace::new();
         let m = election_metrics(
             &mut ws,
             &config,
@@ -757,7 +933,7 @@ mod tests {
         // A uniform-tag cycle is maximally symmetric: infeasible.
         let config =
             Configuration::with_uniform_tags(radio_graph::generators::cycle(4), 0).unwrap();
-        let mut ws = SimWorkspace::new();
+        let mut ws = CampaignWorkspace::new();
         let m = election_metrics(
             &mut ws,
             &config,
@@ -767,5 +943,90 @@ mod tests {
         assert!(!m.feasible);
         assert!(!m.elected);
         assert_eq!(m.rounds, 0);
+    }
+
+    #[test]
+    fn classify_metrics_reports_the_classifier_shape() {
+        let mut ws = CampaignWorkspace::new();
+        let feasible = radio_graph::families::h_m(3);
+        let m = classify_metrics(
+            &mut ws,
+            &feasible,
+            ModelKind::NoCollisionDetection,
+            RunOpts::default(),
+        );
+        assert!(m.feasible);
+        assert_eq!(m.iterations, 1);
+        assert_eq!(m.classes, 4);
+        assert!(m.relabels >= 4, "iteration 1 relabels everyone");
+        assert_eq!((m.rounds, m.transmissions, m.elected as u64), (0, 0, 0));
+
+        let infeasible = radio_graph::families::s_m(2);
+        let m = classify_metrics(
+            &mut ws,
+            &infeasible,
+            ModelKind::NoCollisionDetection,
+            RunOpts::default(),
+        );
+        assert!(!m.feasible);
+        assert_eq!(m.iterations, 2);
+        assert_eq!(m.classes, 2);
+    }
+
+    #[test]
+    fn classify_campaign_folds_classifier_stats_per_cell() {
+        let spec = tiny_classify_spec();
+        let cells = spec.cells().len();
+        assert_eq!(cells, 8, "2 families × 2 sizes × 2 spans × 1 model");
+        let mut runner = CampaignRunner::new(spec, 3);
+        runner.run_to_completion(2);
+        for (cell, agg) in runner.aggregates() {
+            assert_eq!(agg.runs, 3, "{cell}");
+            // every classify run folds the classifier shape
+            assert_eq!(agg.iterations.count(), 3, "{cell}");
+            assert_eq!(agg.classes.count(), 3, "{cell}");
+            assert_eq!(agg.relabels.count(), 3, "{cell}");
+            assert!(agg.iterations.min().unwrap() >= 1.0, "{cell}");
+            // span-0 draws are uniform-tag: never feasible
+            if cell.span == 0 {
+                assert_eq!(agg.feasible, 0, "{cell}");
+            }
+            // no simulation shape in a classify campaign
+            assert!(agg.rounds.is_empty(), "{cell}");
+            assert_eq!(agg.aborted, 0, "{cell}");
+        }
+    }
+
+    #[test]
+    fn classify_rows_have_the_classify_shape() {
+        let mut runner = CampaignRunner::new(tiny_classify_spec(), 2);
+        runner.run_to_completion(2);
+        let rows = runner.jsonl_rows();
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.starts_with("{\"phase\":\"classify\""), "{row}");
+            assert!(row.contains("\"iterations\":{\"count\":3"), "{row}");
+            assert!(row.contains("\"classes\":{"), "{row}");
+            assert!(row.contains("\"relabels\":{"), "{row}");
+            assert!(!row.contains("\"model\""), "{row}");
+            assert!(!row.contains("\"rounds\""), "{row}");
+            assert!(row.contains(",\"wall_ns\":{"), "{row}");
+        }
+    }
+
+    #[test]
+    fn classify_campaign_is_shard_and_thread_invariant() {
+        let rows_with = |shards: usize, threads: usize| -> Vec<String> {
+            let mut runner = CampaignRunner::new(tiny_classify_spec(), shards);
+            runner.run_to_completion(threads);
+            runner
+                .jsonl_rows()
+                .into_iter()
+                .map(|row| row.split(",\"wall_ns\"").next().unwrap().to_string())
+                .collect()
+        };
+        let one = rows_with(1, 1);
+        assert_eq!(one, rows_with(4, 3));
+        assert_eq!(one, rows_with(16, 2));
     }
 }

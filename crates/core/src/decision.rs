@@ -107,6 +107,33 @@ mod tests {
     }
 
     #[test]
+    fn decision_from_streamed_schedule_matches_eager_build() {
+        // The decision function compiled via the workspace/ListsSink path
+        // must classify every canonical history exactly like the one from
+        // the eager records path.
+        let c = families::g_m(2);
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        let (_, streamed) = CanonicalSchedule::build_in(&mut ws, &c);
+        let (_, eager) = CanonicalSchedule::build(&c);
+        let f_streamed = LeaderDecision::new(Arc::new(streamed));
+        let f_eager = LeaderDecision::new(Arc::new(eager));
+        let factory = CanonicalFactory::new(Arc::new(CanonicalSchedule::build(&c).1));
+        let ex = Executor::run(&c, &factory, RunOpts::default()).unwrap();
+        for v in 0..c.size() as u32 {
+            assert_eq!(
+                f_streamed.final_class(ex.history(v)),
+                f_eager.final_class(ex.history(v)),
+                "node {v}"
+            );
+            assert_eq!(
+                f_streamed.is_leader(ex.history(v)),
+                f_eager.is_leader(ex.history(v)),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
     fn nobody_leads_on_infeasible_configs() {
         let c = families::s_m(3);
         let (ex, f, leader_class) = setup(&c);

@@ -10,15 +10,22 @@ use crate::api::{ElectError, ElectionReport, Infeasible};
 use crate::canonical::CanonicalFactory;
 use crate::decision::LeaderDecision;
 use crate::schedule::{CanonicalSchedule, SharedSchedule};
-use radio_classifier::Outcome;
+use radio_classifier::{ClassifierWorkspace, ClassifySummary};
 
 /// The dedicated leader-election algorithm compiled for one feasible
 /// configuration: the canonical DRIP `D_G` plus the decision function
 /// `f_G` (Theorem 3.15).
+///
+/// The classifier's by-products are kept in compiled form only — the
+/// canonical lists inside the schedule plus the lean [`ClassifySummary`]
+/// — never as eager per-iteration records; compiling through
+/// [`DedicatedElection::solve_in`] recycles a caller-held
+/// [`ClassifierWorkspace`], which is how the campaign layers amortize
+/// repeated classification.
 #[derive(Debug)]
 pub struct DedicatedElection {
     config: Configuration,
-    outcome: Outcome,
+    summary: ClassifySummary,
     schedule: SharedSchedule,
 }
 
@@ -26,22 +33,34 @@ impl DedicatedElection {
     /// Runs `Classifier` on `config`; returns the dedicated algorithm when
     /// feasible, [`Infeasible`] otherwise.
     pub fn solve(config: &Configuration) -> Result<DedicatedElection, Infeasible> {
-        let (outcome, schedule) = CanonicalSchedule::build(config);
-        if !outcome.feasible {
+        DedicatedElection::solve_in(&mut ClassifierWorkspace::new(), config)
+    }
+
+    /// [`DedicatedElection::solve`] through a caller-provided
+    /// [`ClassifierWorkspace`] — classification runs incrementally on
+    /// recycled buffers and the canonical lists stream out of the run
+    /// (see [`CanonicalSchedule::build_in`]).
+    pub fn solve_in(
+        workspace: &mut ClassifierWorkspace,
+        config: &Configuration,
+    ) -> Result<DedicatedElection, Infeasible> {
+        let (summary, schedule) = CanonicalSchedule::build_in(workspace, config);
+        if !summary.feasible {
             return Err(Infeasible {
-                iterations: outcome.iterations,
+                iterations: summary.iterations,
             });
         }
         Ok(DedicatedElection {
             config: config.clone(),
-            outcome,
+            summary,
             schedule: Arc::new(schedule),
         })
     }
 
-    /// The classifier outcome backing this algorithm.
-    pub fn outcome(&self) -> &Outcome {
-        &self.outcome
+    /// The classifier summary backing this algorithm (feasibility,
+    /// iterations, class count, leader class).
+    pub fn summary(&self) -> ClassifySummary {
+        self.summary
     }
 
     /// The compiled schedule (σ, lists, phase geometry).
@@ -62,9 +81,7 @@ impl DedicatedElection {
     /// The leader `Classifier` predicts: the representative of the
     /// singleton leader class. The simulation must elect exactly this node.
     pub fn predicted_leader(&self) -> NodeId {
-        let p = self.outcome.final_partition();
-        let m_hat = p.smallest_singleton().expect("feasible ⇒ singleton class");
-        p.rep(m_hat)
+        self.summary.leader.expect("feasible ⇒ leader class rep")
     }
 
     /// The number of local rounds until every node terminates
@@ -226,6 +243,25 @@ mod tests {
                 report.rounds_local
             );
         }
+    }
+
+    #[test]
+    fn solve_in_matches_solve_across_reuse() {
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        for config in [families::h_m(3), families::g_m(3), families::h_m(1)] {
+            let fresh = DedicatedElection::solve(&config).unwrap();
+            let reused = DedicatedElection::solve_in(&mut ws, &config).unwrap();
+            assert_eq!(reused.summary(), fresh.summary());
+            assert_eq!(reused.predicted_leader(), fresh.predicted_leader());
+            assert_eq!(reused.schedule().lists, fresh.schedule().lists);
+            assert_eq!(reused.schedule().phase_end, fresh.schedule().phase_end);
+            let a = reused.run().unwrap();
+            let b = fresh.run().unwrap();
+            assert_eq!(a, b);
+        }
+        // infeasible through the workspace too
+        let err = DedicatedElection::solve_in(&mut ws, &families::s_m(2)).unwrap_err();
+        assert_eq!(err.iterations, 2);
     }
 
     #[test]

@@ -16,10 +16,30 @@
 //!   certificate — history equivalence is coarser than orbit equivalence —
 //!   so the certificate is optional by design.
 
+use radio_classifier::{
+    ClassifierWorkspace, Engine, FinalOnly, IterationView, ListsSink, RecordSink,
+};
 use radio_graph::{Configuration, NodeId};
 use radio_sim::{Executor, RunOpts};
 
 use crate::schedule::CanonicalSchedule;
+
+/// The explainer's composite sink: streams the canonical-list entries
+/// (for the verifying simulation's schedule) *and* keeps the final stable
+/// partition (the twin classes) — one classifier run, no per-node
+/// iteration records.
+#[derive(Default)]
+struct ListsAndFinal {
+    lists: ListsSink,
+    finale: FinalOnly,
+}
+
+impl RecordSink for ListsAndFinal {
+    fn record(&mut self, iteration: usize, view: IterationView<'_>) {
+        self.lists.record(iteration, view);
+        self.finale.record(iteration, view);
+    }
+}
 
 /// Evidence for one non-singleton class of the stable partition.
 #[derive(Debug, Clone)]
@@ -119,19 +139,26 @@ impl std::error::Error for ExplainError {}
 /// (skipped above, where the factorial search would not terminate in
 /// reasonable time).
 pub fn explain_infeasibility(config: &Configuration) -> Result<InfeasibilityReport, ExplainError> {
-    let (outcome, schedule) = CanonicalSchedule::build(config);
-    if outcome.feasible {
-        let partition = outcome.final_partition();
-        let leader = partition.rep(partition.smallest_singleton().expect("feasible"));
-        return Err(ExplainError::Feasible { leader });
+    let mut workspace = ClassifierWorkspace::new();
+    let mut sink = ListsAndFinal::default();
+    let summary = workspace.classify_with_sink(config, Engine::Fast, &mut sink);
+    if summary.feasible {
+        return Err(ExplainError::Feasible {
+            leader: summary.leader.expect("feasible ⇒ leader"),
+        });
     }
+    let schedule =
+        CanonicalSchedule::from_lists(sink.lists.into_lists(config.span(), summary.leader_class));
+    let partition = sink
+        .finale
+        .into_partition()
+        .expect("at least one iteration ran");
 
     // Verify witness histories by actually running the canonical DRIP.
     let factory = crate::canonical::CanonicalFactory::new(std::sync::Arc::new(schedule));
     let execution =
         Executor::run(config, &factory, RunOpts::default()).expect("canonical DRIP terminates");
 
-    let partition = outcome.final_partition();
     let mut twins = Vec::new();
     for class in 1..=partition.num_classes() {
         let members = partition.members(class);
@@ -159,7 +186,7 @@ pub fn explain_infeasibility(config: &Configuration) -> Result<InfeasibilityRepo
     }
 
     Ok(InfeasibilityReport {
-        iterations: outcome.iterations,
+        iterations: summary.iterations,
         classes: partition.num_classes(),
         twins,
     })

@@ -52,10 +52,10 @@ pub mod universal;
 pub mod verify;
 
 pub use api::{
-    elect_leader, elect_leader_in, elect_leader_under, elect_leader_with, is_feasible, solve,
-    ElectError, ElectionReport, Infeasible,
+    elect_leader, elect_leader_in, elect_leader_under, elect_leader_with, is_feasible,
+    is_feasible_in, solve, ElectError, ElectionReport, Infeasible,
 };
-pub use campaign::{CampaignRunner, CampaignSpec, CellKey, FamilyKind};
+pub use campaign::{CampaignRunner, CampaignSpec, CampaignWorkspace, CellKey, FamilyKind, Phase};
 pub use canonical::CanonicalFactory;
 pub use dedicated::DedicatedElection;
 pub use schedule::CanonicalSchedule;

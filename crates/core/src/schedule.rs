@@ -21,7 +21,10 @@
 
 use std::sync::Arc;
 
-use radio_classifier::{CanonicalLists, Label, ListEntry, Multi, Outcome, Triple};
+use radio_classifier::{
+    CanonicalLists, ClassifierWorkspace, ClassifySummary, Engine, Label, ListEntry, ListsSink,
+    Multi, Outcome, Triple,
+};
 use radio_graph::Configuration;
 
 /// The complete dedicated knowledge of the canonical DRIP for one
@@ -40,15 +43,43 @@ impl CanonicalSchedule {
     /// Runs `Classifier` (fast engine) and compiles the schedule. Works for
     /// infeasible configurations too — the canonical DRIP is well-defined
     /// there; only the leader class is absent.
+    ///
+    /// This eager form materializes the full [`Outcome`] (every
+    /// iteration's labels and partition). Callers that only need the
+    /// compiled algorithm — the election pipeline, batch sweeps — use
+    /// [`CanonicalSchedule::build_in`], which streams the list entries
+    /// straight out of a recycled classifier workspace instead.
     pub fn build(config: &Configuration) -> (Outcome, CanonicalSchedule) {
         let outcome = radio_classifier::classify(config);
         let schedule = CanonicalSchedule::from_outcome(config, &outcome);
         (outcome, schedule)
     }
 
+    /// [`CanonicalSchedule::build`] through a caller-provided
+    /// [`ClassifierWorkspace`]: the classifier runs incrementally on
+    /// recycled buffers and the canonical lists are compiled *while it
+    /// iterates* (via [`ListsSink`]) — per-representative entries only,
+    /// never per-node records. Returns the lean [`ClassifySummary`] in
+    /// place of the eager outcome. The compiled schedule is identical to
+    /// [`CanonicalSchedule::build`]'s.
+    pub fn build_in(
+        workspace: &mut ClassifierWorkspace,
+        config: &Configuration,
+    ) -> (ClassifySummary, CanonicalSchedule) {
+        let mut sink = ListsSink::default();
+        let summary = workspace.classify_with_sink(config, Engine::Fast, &mut sink);
+        let lists = sink.into_lists(config.span(), summary.leader_class);
+        (summary, CanonicalSchedule::from_lists(lists))
+    }
+
     /// Compiles the schedule from an existing classifier outcome.
     pub fn from_outcome(config: &Configuration, outcome: &Outcome) -> CanonicalSchedule {
-        let lists = CanonicalLists::from_outcome(config, outcome);
+        CanonicalSchedule::from_lists(CanonicalLists::from_outcome(config, outcome))
+    }
+
+    /// Derives the phase geometry from compiled lists — the single home of
+    /// the `r_j = r_{j-1} + numClasses_j·(2σ+1) + σ` arithmetic.
+    pub fn from_lists(lists: CanonicalLists) -> CanonicalSchedule {
         let sigma = lists.sigma;
         let mut phase_end = Vec::with_capacity(lists.phases() + 1);
         phase_end.push(0u64);
@@ -391,6 +422,27 @@ mod tests {
         assert!(text.contains("transmit in local round 4"));
         assert!(text.contains("L_2: terminate"));
         assert!(text.contains("final class 1"));
+    }
+
+    #[test]
+    fn build_in_compiles_the_same_schedule_as_build() {
+        use radio_util::rng::rng_from;
+        let mut rng = rng_from(31);
+        let mut ws = ClassifierWorkspace::new();
+        let mut configs = vec![families::h_m(3), families::s_m(2), families::g_m(3)];
+        for _ in 0..8 {
+            let g = radio_graph::generators::gnp_connected(8, 0.35, &mut rng);
+            configs.push(radio_graph::tags::random_in_span(g, 4, &mut rng));
+        }
+        for config in configs {
+            let (outcome, eager) = CanonicalSchedule::build(&config);
+            let (summary, streamed) = CanonicalSchedule::build_in(&mut ws, &config);
+            assert_eq!(summary.feasible, outcome.feasible, "{config}");
+            assert_eq!(summary.iterations, outcome.iterations, "{config}");
+            assert_eq!(streamed.sigma, eager.sigma, "{config}");
+            assert_eq!(streamed.phase_end, eager.phase_end, "{config}");
+            assert_eq!(streamed.lists, eager.lists, "{config}");
+        }
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn refute_universal_model<M: RadioModel>(
     let m = t + 1;
     let config = families::h_m(m);
     debug_assert!(
-        radio_classifier::classify(&config).feasible,
+        radio_classifier::summarize(&config).feasible,
         "H_m is feasible (Lemma 4.2)"
     );
 

@@ -2,11 +2,12 @@
 //! seeding, shard-geometry invariance, resume semantics, and JSONL shape
 //! — the same contract the CI smoke run asserts on the CLI.
 
-use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind};
+use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind, Phase};
 use radio_sim::{ModelKind, RunOpts};
 
 fn smoke_spec() -> CampaignSpec {
     CampaignSpec {
+        phase: Phase::Elect,
         families: vec![FamilyKind::Path, FamilyKind::Star],
         sizes: vec![6],
         spans: vec![2, 4],
@@ -14,6 +15,15 @@ fn smoke_spec() -> CampaignSpec {
         reps: 2,
         seed: 7,
         opts: RunOpts::default(),
+    }
+}
+
+fn classify_smoke_spec() -> CampaignSpec {
+    CampaignSpec {
+        phase: Phase::Classify,
+        models: vec![ModelKind::NoCollisionDetection],
+        reps: 3,
+        ..smoke_spec()
     }
 }
 
@@ -98,6 +108,68 @@ fn resumed_campaign_completes_the_interrupted_one() {
             assert!((fm - mm).abs() < 1e-9, "{cell}: mean {fm} vs {mm}");
         }
         assert_eq!(f.rounds.p50(), merged.rounds.p50(), "{cell}: p50");
+    }
+}
+
+#[test]
+fn classify_campaign_rows_follow_the_classify_contract() {
+    // The CI classify smoke grid: 2 families × 1 size × 2 spans, 1 model.
+    let mut runner = CampaignRunner::new(classify_smoke_spec(), 4);
+    runner.run_to_completion(2);
+    let rows = runner.jsonl_rows();
+    assert_eq!(rows.len(), 4, "one JSONL row per classify cell");
+    for row in &rows {
+        assert!(row.starts_with("{\"phase\":\"classify\""), "{row}");
+        assert!(row.contains("\"runs\":3"), "{row}");
+        assert!(row.contains("\"iterations\":{\"count\":3"), "{row}");
+        assert!(
+            !row.contains("\"model\""),
+            "classify rows have no model axis: {row}"
+        );
+    }
+    // the classify phase decides exactly what the eager classifier decides
+    let spec = classify_smoke_spec();
+    for (cell, agg) in runner.aggregates() {
+        let feasible = (0..spec.reps)
+            .filter(|&rep| radio_classifier::classify(&spec.configuration(cell, rep)).feasible)
+            .count() as u64;
+        assert_eq!(agg.feasible, feasible, "{cell}");
+    }
+}
+
+#[test]
+fn classify_campaign_is_geometry_invariant_and_resumable() {
+    let run = |shards: usize, threads: usize| {
+        let mut runner = CampaignRunner::new(classify_smoke_spec(), shards);
+        runner.run_to_completion(threads);
+        stable(runner.jsonl_rows())
+    };
+    let reference = run(1, 1);
+    for (shards, threads) in [(4, 2), (3, 4), (24, 1)] {
+        assert_eq!(
+            reference,
+            run(shards, threads),
+            "shards={shards} threads={threads}"
+        );
+    }
+
+    // interrupted-and-resumed halves merge into the uninterrupted whole
+    let mut full = CampaignRunner::new(classify_smoke_spec(), 4);
+    full.run_to_completion(2);
+    let mut a = CampaignRunner::new(classify_smoke_spec(), 4);
+    a.run_next_shard(2).expect("shard 0");
+    let mut b = CampaignRunner::new(classify_smoke_spec(), 4);
+    b.skip_to(a.cursor());
+    b.run_to_completion(2);
+    for (((cell, f), (_, ra)), (_, rb)) in full.aggregates().zip(a.aggregates()).zip(b.aggregates())
+    {
+        let mut merged = ra.clone();
+        merged.merge(rb);
+        assert_eq!(f.runs, merged.runs, "{cell}");
+        assert_eq!(f.feasible, merged.feasible, "{cell}");
+        assert_eq!(f.iterations.count(), merged.iterations.count(), "{cell}");
+        assert_eq!(f.iterations.min(), merged.iterations.min(), "{cell}");
+        assert_eq!(f.relabels.max(), merged.relabels.max(), "{cell}");
     }
 }
 
