@@ -10,7 +10,7 @@
 
 pub use anon_radio::campaign::{
     classify_metrics, election_metrics, CampaignRunner, CampaignSpec, CampaignWorkspace,
-    CellAggregate, CellKey, FamilyKind, Phase, RunMetrics, ShardReport,
+    CellAggregate, CellKey, FamilyKind, FamilySpec, Phase, RunMetrics, ShardReport, TagStrategy,
 };
 
 use radio_sim::{ModelKind, RunOpts};
@@ -28,7 +28,8 @@ pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
     };
     CampaignSpec {
         phase: Phase::Elect,
-        families: vec![FamilyKind::Path, FamilyKind::Star, FamilyKind::RandomTree],
+        families: vec![FamilySpec::Path, FamilySpec::Star, FamilySpec::RandomTree],
+        tags: vec![TagStrategy::Uniform],
         sizes,
         spans: vec![2, 8],
         models: vec![ModelKind::NoCollisionDetection],
@@ -49,7 +50,12 @@ pub fn classify_spec(effort: Effort, seed: u64) -> CampaignSpec {
     };
     CampaignSpec {
         phase: Phase::Classify,
-        families: vec![FamilyKind::Path, FamilyKind::Star, FamilyKind::Gnp],
+        families: vec![
+            FamilySpec::Path,
+            FamilySpec::Star,
+            FamilySpec::Gnp { ppm: None },
+        ],
+        tags: vec![TagStrategy::Uniform],
         sizes,
         spans: vec![0, 4, 32],
         models: vec![ModelKind::NoCollisionDetection],
@@ -76,7 +82,7 @@ pub fn classify_table(title: impl Into<String>, runner: &CampaignRunner) -> Tabl
     );
     for (cell, agg) in runner.aggregates() {
         table.push_row(vec![
-            format!("{}/n{}/σ{}", cell.family, cell.n, cell.span),
+            format!("{}/{}/n{}/σ{}", cell.family, cell.tags, cell.n, cell.span),
             agg.runs.to_string(),
             agg.feasible.to_string(),
             fmt_f64(agg.iterations.p50().unwrap_or(0.0), 0),
@@ -133,7 +139,8 @@ mod tests {
     fn aggregate_table_has_one_row_per_cell() {
         let spec = CampaignSpec {
             phase: Phase::Elect,
-            families: vec![FamilyKind::Path],
+            families: vec![FamilySpec::Path],
+            tags: vec![TagStrategy::Uniform],
             sizes: vec![5],
             spans: vec![2],
             models: vec![ModelKind::NoCollisionDetection],

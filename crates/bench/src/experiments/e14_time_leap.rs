@@ -182,7 +182,8 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
     };
     let spec = CampaignSpec {
         phase: crate::campaign::Phase::Elect,
-        families: vec![FamilyKind::Path],
+        families: vec![FamilyKind::Path.spec()],
+        tags: vec![crate::campaign::TagStrategy::Uniform],
         sizes: vec![4],
         spans: campaign_spans,
         models: vec![radio_sim::ModelKind::NoCollisionDetection],

@@ -26,23 +26,26 @@ pub struct Family {
 /// what the `O(n³Δ)` bound needs exercised. One entry per
 /// [`FamilyKind`], in the campaign axis order.
 pub fn scaling_families() -> Vec<Family> {
+    // The scaling experiments sweep sizes ≥ 4, which every legacy family
+    // accepts; an unrealizable size is a programming error here, so the
+    // `FamilyError` surfaces as a panic with the spec's message.
     fn path(n: usize, s: u64) -> Graph {
-        FamilyKind::Path.build(n, s)
+        FamilyKind::Path.build(n, s).unwrap()
     }
     fn cycle(n: usize, s: u64) -> Graph {
-        FamilyKind::Cycle.build(n, s)
+        FamilyKind::Cycle.build(n, s).unwrap()
     }
     fn star(n: usize, s: u64) -> Graph {
-        FamilyKind::Star.build(n, s)
+        FamilyKind::Star.build(n, s).unwrap()
     }
     fn btree(n: usize, s: u64) -> Graph {
-        FamilyKind::BalancedTree.build(n, s)
+        FamilyKind::BalancedTree.build(n, s).unwrap()
     }
     fn rtree(n: usize, s: u64) -> Graph {
-        FamilyKind::RandomTree.build(n, s)
+        FamilyKind::RandomTree.build(n, s).unwrap()
     }
     fn gnp(n: usize, s: u64) -> Graph {
-        FamilyKind::Gnp.build(n, s)
+        FamilyKind::Gnp.build(n, s).unwrap()
     }
     vec![
         Family {

@@ -181,7 +181,7 @@ fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
 /// `anon-radio campaign` — execute a declarative election campaign grid
 /// shard by shard and emit one JSONL aggregate row per cell.
 fn campaign_command(args: &[String]) -> i32 {
-    use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilyKind, Phase};
+    use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy};
 
     fn parse_list<T: std::str::FromStr>(value: &str, what: &str) -> Result<Vec<T>, String>
     where
@@ -192,7 +192,8 @@ fn campaign_command(args: &[String]) -> i32 {
     }
 
     let mut phase = Phase::Elect;
-    let mut families: Vec<FamilyKind> = vec![FamilyKind::Path, FamilyKind::Star];
+    let mut families: Vec<FamilySpec> = vec![FamilySpec::Path, FamilySpec::Star];
+    let mut tag_strategies: Vec<TagStrategy> = vec![TagStrategy::Uniform];
     let mut sizes: Vec<usize> = vec![8];
     let mut spans: Vec<u64> = vec![4];
     let mut models: Option<Vec<ModelKind>> = None;
@@ -215,6 +216,7 @@ fn campaign_command(args: &[String]) -> i32 {
             match arg.as_str() {
                 "--phase" => phase = value("--phase")?.parse()?,
                 "--families" => families = parse_list(&value("--families")?, "family")?,
+                "--tags" => tag_strategies = parse_list(&value("--tags")?, "tag strategy")?,
                 "--sizes" => sizes = parse_list(&value("--sizes")?, "size")?,
                 "--spans" => spans = parse_list(&value("--spans")?, "span")?,
                 "--models" => models = Some(parse_list(&value("--models")?, "model")?),
@@ -267,22 +269,6 @@ fn campaign_command(args: &[String]) -> i32 {
         (Phase::Classify, None) => vec![ModelKind::NoCollisionDetection],
         (Phase::Elect, models) => models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
     };
-    if families.is_empty() || sizes.is_empty() || spans.is_empty() || models.is_empty() || reps == 0
-    {
-        eprintln!("error: every grid axis (--families/--sizes/--spans/--models/--reps) needs at least one value");
-        return 2;
-    }
-    if sizes.contains(&0) {
-        eprintln!("error: --sizes values must be ≥ 1 (a graph needs at least one node)");
-        return 2;
-    }
-    if families.contains(&FamilyKind::Cycle) && sizes.iter().any(|&n| n < 3) {
-        eprintln!(
-            "error: the cycle family needs --sizes values ≥ 3 (no smaller cycle exists; \
-             a clamped graph would not match its row's \"n\")"
-        );
-        return 2;
-    }
     if resume_from > 0 {
         if let Some(path) = &out {
             if std::path::Path::new(path).exists() {
@@ -305,6 +291,7 @@ fn campaign_command(args: &[String]) -> i32 {
     let spec = CampaignSpec {
         phase,
         families,
+        tags: tag_strategies,
         sizes,
         spans,
         models,
@@ -312,6 +299,14 @@ fn campaign_command(args: &[String]) -> i32 {
         seed,
         opts,
     };
+    // Whole-grid validation: every family × size cell must be realizable
+    // as-is — unrealizable combinations (cycle below 3 nodes, a pinned
+    // grid:16x4 crossed with a foreign size) are an error, never a clamp,
+    // so no row's "n" can disagree with its simulated graph.
+    if let Err(msg) = spec.validate() {
+        eprintln!("error: {msg}");
+        return 2;
+    }
     let total = spec.total_runs();
     let mut runner = CampaignRunner::new(spec, shards);
     runner.skip_to(resume_from);
@@ -462,7 +457,14 @@ fn usage() -> i32 {
          \u{20}                                 row per cell\n\
          \u{20}      --phase elect|classify (elect = full election pipeline per run;\n\
          \u{20}                              classify = decision phase only, no simulation)\n\
-         \u{20}      --families a,b  --sizes n,…  --spans s,…  --models m,…  --reps k\n\
+         \u{20}      --families a,b   scenario specs: path, cycle, star, complete, wheel,\n\
+         \u{20}                       ladder, binary-tree, tree:K, random-tree, gnp, gnp:P,\n\
+         \u{20}                       random-connected:E, grid:RxC, torus:RxC, hypercube:D,\n\
+         \u{20}                       caterpillar:SxL, random-caterpillar:S+L, spider:LxK,\n\
+         \u{20}                       barbell:K+B, lollipop:K+T, double-star:A+B,\n\
+         \u{20}                       bipartite:AxB (size-pinned specs override --sizes)\n\
+         \u{20}      --tags t,…       tag strategies: uniform, clustered, extremes, arith:K\n\
+         \u{20}      --sizes n,…  --spans s,…  --models m,…  --reps k\n\
          \u{20}      --shards K --threads T --seed N --resume-from S --no-leap --out FILE\n\
          \n\
          configuration file format: see `radio-graph::io` docs"

@@ -6,9 +6,10 @@
 //! feasibility landscapes) — are statements about *fleets* of executions,
 //! not single runs. This module makes such fleets a first-class workload:
 //!
-//! * [`CampaignSpec`] names the grid declaratively (families, sizes,
-//!   spans, models, repetitions per cell) plus a root seed and engine
-//!   options. Every run's configuration is derived deterministically from
+//! * [`CampaignSpec`] names the grid declaratively (families — any
+//!   [`FamilySpec`] the scenario grammar can express, from `path` to
+//!   `torus:8x8` — tag-placement strategies, sizes, spans, models,
+//!   repetitions per cell) plus a root seed and engine options. Every run's configuration is derived deterministically from
 //!   `(cell, repetition)` alone — independent of execution order, thread
 //!   count, and shard geometry — so a campaign is reproducible
 //!   bit-for-bit and resumable mid-way.
@@ -37,11 +38,14 @@
 use std::time::Instant;
 
 use radio_classifier::ClassifierWorkspace;
-use radio_graph::{generators, tags, Configuration, Graph};
+use radio_graph::{Configuration, Graph};
 use radio_sim::parallel::par_map_init;
 use radio_sim::{ModelKind, RunOpts, SimWorkspace};
 use radio_util::rng::{derive, derive_index, rng_from};
 use radio_util::stats::StreamingStats;
+
+pub use radio_graph::family::{FamilyError, FamilySpec};
+pub use radio_graph::tags::TagStrategy;
 
 use crate::dedicated::DedicatedElection;
 
@@ -116,17 +120,20 @@ impl CampaignWorkspace {
     }
 }
 
-/// A named graph family usable as a campaign grid axis.
+/// The six legacy grid families, kept as a thin alias layer over
+/// [`FamilySpec`] so pre-scenario-grammar JSONL rows,
+/// `radio_bench::workloads::scaling_families`, and the E-experiment
+/// tables keep their names, their seed-derivation streams, and therefore
+/// their exact draws.
 ///
-/// The constructors mirror `radio_bench::workloads::scaling_families`
-/// (which delegates here): degrees range from constant (path/cycle)
-/// through logarithmic (balanced tree) to `n − 1` (star), plus two
-/// seed-randomized families.
+/// New code should use [`FamilySpec`] directly — it reaches the whole
+/// generator zoo (`grid:16x4`, `torus:8x8`, `hypercube:6`, …), not just
+/// these six shapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FamilyKind {
     /// Path `P_n` (degree ≤ 2).
     Path,
-    /// Cycle `C_n` (`n` clamped to ≥ 3).
+    /// Cycle `C_n` (requires `n ≥ 3`).
     Cycle,
     /// Star `K_{1,n-1}` (centre degree `n − 1`).
     Star,
@@ -149,7 +156,8 @@ impl FamilyKind {
         FamilyKind::Gnp,
     ];
 
-    /// Canonical name (JSONL rows, CLI values, table labels).
+    /// Canonical name (JSONL rows, CLI values, table labels). Always
+    /// equal to `self.spec().to_string()`.
     pub fn name(self) -> &'static str {
         match self {
             FamilyKind::Path => "path",
@@ -161,28 +169,34 @@ impl FamilyKind {
         }
     }
 
-    /// Builds the family member on `n` nodes. Deterministic families
-    /// ignore the seed; the randomized ones derive their RNG from it with
-    /// the same stream labels the bench workloads use.
-    ///
-    /// `Cycle` clamps `n` to ≥ 3 (no smaller cycle exists) — campaign
-    /// grids crossing the cycle family should use sizes ≥ 3 so the cell
-    /// label matches the simulated graph; the `anon-radio campaign` CLI
-    /// rejects smaller sizes for it.
-    pub fn build(self, n: usize, seed: u64) -> Graph {
+    /// The [`FamilySpec`] this legacy name aliases.
+    pub fn spec(self) -> FamilySpec {
         match self {
-            FamilyKind::Path => generators::path(n),
-            FamilyKind::Cycle => generators::cycle(n.max(3)),
-            FamilyKind::Star => generators::star(n),
-            FamilyKind::BalancedTree => generators::balanced_tree(n, 2),
-            FamilyKind::RandomTree => {
-                generators::random_tree(n, &mut rng_from(derive(seed, "rtree")))
-            }
-            FamilyKind::Gnp => {
-                let p = (8.0 / n as f64).min(1.0);
-                generators::gnp_connected(n, p, &mut rng_from(derive(seed, "gnp")))
-            }
+            FamilyKind::Path => FamilySpec::Path,
+            FamilyKind::Cycle => FamilySpec::Cycle,
+            FamilyKind::Star => FamilySpec::Star,
+            FamilyKind::BalancedTree => FamilySpec::Tree { arity: 2 },
+            FamilyKind::RandomTree => FamilySpec::RandomTree,
+            FamilyKind::Gnp => FamilySpec::Gnp { ppm: None },
         }
+    }
+
+    /// Builds the family member on exactly `n` nodes, delegating to
+    /// [`FamilySpec::build`]. Deterministic families ignore the seed; the
+    /// randomized ones derive their RNG from it with the same stream
+    /// labels the bench workloads use.
+    ///
+    /// Unrealizable sizes are an `Err`, never a clamp: a `Cycle` at
+    /// `n < 3` used to be silently built on 3 nodes, which let library
+    /// callers label a cell `n=2` while simulating a triangle.
+    pub fn build(self, n: usize, seed: u64) -> Result<Graph, FamilyError> {
+        self.spec().build(n, seed)
+    }
+}
+
+impl From<FamilyKind> for FamilySpec {
+    fn from(kind: FamilyKind) -> FamilySpec {
+        kind.spec()
     }
 }
 
@@ -217,9 +231,15 @@ impl std::fmt::Display for FamilyKind {
 pub struct CampaignSpec {
     /// Which pipeline stage each run executes.
     pub phase: Phase,
-    /// Graph families to cross.
-    pub families: Vec<FamilyKind>,
-    /// Node counts to cross.
+    /// Graph families to cross — any [`FamilySpec`] the scenario grammar
+    /// can name (legacy [`FamilyKind`] values convert via
+    /// [`FamilyKind::spec`]).
+    pub families: Vec<FamilySpec>,
+    /// Tag-placement strategies to cross (see [`TagStrategy`]).
+    pub tags: Vec<TagStrategy>,
+    /// Node counts to cross. Size-pinned families (`grid:16x4`,
+    /// `hypercube:6`, …) ignore this axis and contribute exactly their
+    /// own node count (see [`FamilySpec::sizes_for`]).
     pub sizes: Vec<usize>,
     /// Tag spans to cross (tags are drawn uniformly from `0..=span`).
     pub spans: Vec<u64>,
@@ -237,10 +257,10 @@ pub struct CampaignSpec {
 }
 
 impl CampaignSpec {
-    /// A spec with every model, `reps` = 1, default engine options, elect
-    /// phase.
+    /// A spec with every model, uniform tagging, `reps` = 1, default
+    /// engine options, elect phase.
     pub fn new(
-        families: Vec<FamilyKind>,
+        families: Vec<FamilySpec>,
         sizes: Vec<usize>,
         spans: Vec<u64>,
         seed: u64,
@@ -248,6 +268,7 @@ impl CampaignSpec {
         CampaignSpec {
             phase: Phase::Elect,
             families,
+            tags: vec![TagStrategy::Uniform],
             sizes,
             spans,
             models: ModelKind::ALL.to_vec(),
@@ -257,19 +278,24 @@ impl CampaignSpec {
         }
     }
 
-    /// The grid cells, in row-major `family × n × span × model` order.
+    /// The grid cells, in row-major `family × tags × n × span × model`
+    /// order. Size-pinned families contribute one size (their own node
+    /// count) instead of the size axis.
     pub fn cells(&self) -> Vec<CellKey> {
         let mut cells = Vec::new();
         for &family in &self.families {
-            for &n in &self.sizes {
-                for &span in &self.spans {
-                    for &model in &self.models {
-                        cells.push(CellKey {
-                            family,
-                            n,
-                            span,
-                            model,
-                        });
+            for &tags in &self.tags {
+                for n in family.sizes_for(&self.sizes) {
+                    for &span in &self.spans {
+                        for &model in &self.models {
+                            cells.push(CellKey {
+                                family,
+                                tags,
+                                n,
+                                span,
+                                model,
+                            });
+                        }
                     }
                 }
             }
@@ -278,36 +304,102 @@ impl CampaignSpec {
     }
 
     /// Total number of runs (`cells × reps`) — computed from the axis
-    /// lengths, no grid enumeration.
+    /// lengths (pinned families contribute one size each), no grid
+    /// enumeration or allocation.
     pub fn total_runs(&self) -> usize {
-        self.families.len() * self.sizes.len() * self.spans.len() * self.models.len() * self.reps
+        let sizes: usize = self
+            .families
+            .iter()
+            .map(|f| {
+                if f.node_count().is_some() {
+                    1
+                } else {
+                    self.sizes.len()
+                }
+            })
+            .sum();
+        sizes * self.tags.len() * self.spans.len() * self.models.len() * self.reps
+    }
+
+    /// Checks that every cell of the grid is buildable — the validation
+    /// [`CampaignRunner::new`] and the CLI run up front, surfaced here so
+    /// library callers get an `Err` (not a panic deep inside a shard) for
+    /// unrealizable family/size combinations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.families.is_empty()
+            || self.tags.is_empty()
+            || self.sizes.is_empty()
+            || self.spans.is_empty()
+            || self.models.is_empty()
+            || self.reps == 0
+        {
+            return Err(
+                "every grid axis (families/tags/sizes/spans/models/reps) needs at least \
+                 one value"
+                    .to_string(),
+            );
+        }
+        // The classify phase runs no simulation: a second model would
+        // multiply identical rows (the model is outside the seed
+        // derivation) while the classify row shape omits the axis.
+        if self.phase == Phase::Classify && self.models.len() > 1 {
+            return Err(
+                "the classify phase takes a single (ignored) model — extra models would \
+                 reclassify identical draws into indistinguishable rows"
+                    .to_string(),
+            );
+        }
+        for &family in &self.families {
+            for n in family.sizes_for(&self.sizes) {
+                family.check_size(n).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
     }
 
     /// The configuration of repetition `rep` in `cell` — a pure function
-    /// of `(seed, family, n, span, rep)`. The channel model is *not* part
-    /// of the derivation, so the same drawn configuration appears once
-    /// per model and model columns compare like for like.
+    /// of `(seed, family, tags, n, span, rep)`. The channel model is
+    /// *not* part of the derivation, so the same drawn configuration
+    /// appears once per model and model columns compare like for like.
+    /// Uniform-tag cells keep the exact pre-strategy-axis derivation, so
+    /// legacy campaign rows stay reproducible.
+    ///
+    /// # Panics
+    /// Panics if the cell is unrealizable — [`CampaignSpec::validate`]
+    /// first ([`CampaignRunner::new`] and the CLI do, so runner-driven
+    /// campaigns fail fast on the constructing thread, never inside a
+    /// shard worker).
     pub fn configuration(&self, cell: &CellKey, rep: usize) -> Configuration {
         let base = derive_index(
-            derive_index(derive(self.seed, cell.family.name()), cell.n as u64),
+            derive_index(derive(self.seed, &cell.family.to_string()), cell.n as u64),
             cell.span,
         );
         let graph = cell
             .family
-            .build(cell.n, derive_index(derive(base, "graph"), rep as u64));
-        tags::random_in_span(
+            .build(cell.n, derive_index(derive(base, "graph"), rep as u64))
+            .expect("validated spec");
+        // The uniform stream label predates the strategy axis and must
+        // stay byte-identical; other strategies get their own streams.
+        let tag_stream = match cell.tags {
+            TagStrategy::Uniform => derive(base, "tags"),
+            other => derive(base, &format!("tags/{other}")),
+        };
+        cell.tags.configure(
             graph,
             cell.span,
-            &mut rng_from(derive_index(derive(base, "tags"), rep as u64)),
+            &mut rng_from(derive_index(tag_stream, rep as u64)),
         )
     }
 }
 
-/// One grid cell: a point on the `family × n × span × model` lattice.
+/// One grid cell: a point on the `family × tags × n × span × model`
+/// lattice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellKey {
     /// Graph family.
-    pub family: FamilyKind,
+    pub family: FamilySpec,
+    /// Tag-placement strategy.
+    pub tags: TagStrategy,
     /// Node count.
     pub n: usize,
     /// Tag span σ.
@@ -320,8 +412,8 @@ impl std::fmt::Display for CellKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/n{}/σ{}/{}",
-            self.family, self.n, self.span, self.model
+            "{}/{}/n{}/σ{}/{}",
+            self.family, self.tags, self.n, self.span, self.model
         )
     }
 }
@@ -546,7 +638,17 @@ pub struct CampaignRunner {
 impl CampaignRunner {
     /// Prepares a runner splitting the run sequence into `shards`
     /// contiguous shards (clamped to ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`CampaignSpec::validate`] — better here,
+    /// on the constructing thread with the validator's message, than as
+    /// an opaque unwrap inside a shard worker. Callers that need an
+    /// `Err` instead call [`CampaignSpec::validate`] themselves first
+    /// (the CLI does).
     pub fn new(spec: CampaignSpec, shards: usize) -> CampaignRunner {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid campaign spec: {msg}");
+        }
         let cells = spec.cells();
         let aggregates = vec![CellAggregate::default(); cells.len()];
         CampaignRunner {
@@ -674,11 +776,12 @@ impl CampaignRunner {
             .map(|(cell, agg)| match self.spec.phase {
                 Phase::Elect => format!(
                     "{{\"phase\":\"elect\",\
-                     \"family\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
+                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
                      \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{},\
                      \"rounds\":{},\"transmissions\":{},\"stepped\":{},\"leapt\":{},\
                      \"wall_ns\":{}}}",
                     cell.family,
+                    cell.tags,
                     cell.n,
                     cell.span,
                     cell.model,
@@ -694,11 +797,12 @@ impl CampaignRunner {
                 ),
                 Phase::Classify => format!(
                     "{{\"phase\":\"classify\",\
-                     \"family\":\"{}\",\"n\":{},\"span\":{},\
+                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\
                      \"runs\":{},\"feasible\":{},\
                      \"iterations\":{},\"classes\":{},\"relabels\":{},\
                      \"wall_ns\":{}}}",
                     cell.family,
+                    cell.tags,
                     cell.n,
                     cell.span,
                     agg.runs,
@@ -747,7 +851,8 @@ mod tests {
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {
             phase: Phase::Elect,
-            families: vec![FamilyKind::Path, FamilyKind::Star],
+            families: vec![FamilySpec::Path, FamilySpec::Star],
+            tags: vec![TagStrategy::Uniform],
             sizes: vec![5],
             spans: vec![2, 4],
             models: ModelKind::ALL.to_vec(),
@@ -760,7 +865,8 @@ mod tests {
     fn tiny_classify_spec() -> CampaignSpec {
         CampaignSpec {
             phase: Phase::Classify,
-            families: vec![FamilyKind::Path, FamilyKind::Star],
+            families: vec![FamilySpec::Path, FamilySpec::Star],
+            tags: vec![TagStrategy::Uniform],
             sizes: vec![5, 9],
             spans: vec![0, 4],
             models: vec![ModelKind::NoCollisionDetection],
@@ -779,8 +885,130 @@ mod tests {
         // row-major order: model varies fastest, family slowest
         assert_eq!(cells[0].model, ModelKind::NoCollisionDetection);
         assert_eq!(cells[1].model, ModelKind::CollisionDetection);
-        assert_eq!(cells[0].family, FamilyKind::Path);
-        assert_eq!(cells.last().unwrap().family, FamilyKind::Star);
+        assert_eq!(cells[0].family, FamilySpec::Path);
+        assert_eq!(cells.last().unwrap().family, FamilySpec::Star);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn tag_strategy_axis_multiplies_the_grid() {
+        let mut spec = tiny_spec();
+        spec.tags = vec![
+            TagStrategy::Uniform,
+            TagStrategy::Clustered,
+            TagStrategy::Extremes,
+            TagStrategy::Arith { stride: 2 },
+        ];
+        let cells = spec.cells();
+        assert_eq!(
+            cells.len(),
+            48,
+            "2 families × 4 strategies × 2 spans × 3 models"
+        );
+        // strategy varies outside sizes/spans/models, inside family
+        assert_eq!(cells[0].tags, TagStrategy::Uniform);
+        assert_eq!(cells[6].tags, TagStrategy::Clustered);
+        // the drawn configuration differs per strategy (same cell otherwise)
+        let uni = spec.configuration(&cells[0], 0);
+        let arith = spec.configuration(&cells[18], 0);
+        assert_eq!(cells[18].tags, TagStrategy::Arith { stride: 2 });
+        assert_eq!(uni.graph().edges(), arith.graph().edges(), "same graph");
+        assert_eq!(arith.tags(), &[0, 2, 1, 0, 2], "arith stride 2 mod σ+1");
+    }
+
+    #[test]
+    fn pinned_families_override_the_size_axis() {
+        let mut spec = tiny_spec();
+        spec.families = vec![
+            FamilySpec::Path,
+            "grid:3x2".parse().unwrap(),
+            "hypercube:3".parse().unwrap(),
+        ];
+        spec.models = vec![ModelKind::NoCollisionDetection];
+        spec.sizes = vec![5, 7];
+        assert!(spec.validate().is_ok());
+        let cells = spec.cells();
+        // path crosses both sizes; the pinned families contribute one each
+        assert_eq!(cells.len(), (2 + 1 + 1) * 2);
+        assert!(cells.iter().any(|c| c.n == 6), "grid:3x2 pins n=6");
+        assert!(cells.iter().any(|c| c.n == 8), "hypercube:3 pins n=8");
+        let grid_cell = cells.iter().find(|c| c.n == 6).unwrap();
+        let config = spec.configuration(grid_cell, 0);
+        assert_eq!(config.size(), 6, "cell label matches the simulated graph");
+    }
+
+    #[test]
+    fn validate_rejects_unrealizable_grids() {
+        let mut spec = tiny_spec();
+        spec.families = vec![FamilySpec::Cycle];
+        spec.sizes = vec![2];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+        spec.sizes = vec![3];
+        assert!(spec.validate().is_ok());
+        spec.tags = vec![];
+        assert!(spec.validate().is_err(), "empty axis");
+    }
+
+    #[test]
+    fn validate_rejects_multi_model_classify_grids() {
+        // the classify phase never consults the model: extra models would
+        // reclassify identical draws into indistinguishable rows
+        let mut spec = tiny_classify_spec();
+        assert!(spec.validate().is_ok());
+        spec.models = ModelKind::ALL.to_vec();
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("classify"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign spec")]
+    fn runner_construction_fails_fast_on_unrealizable_specs() {
+        // the panic happens here, on the constructing thread with the
+        // validator's message — not as an opaque unwrap inside a worker
+        let mut spec = tiny_spec();
+        spec.families = vec![FamilySpec::Cycle];
+        spec.sizes = vec![2];
+        let _ = CampaignRunner::new(spec, 2);
+    }
+
+    #[test]
+    fn total_runs_matches_the_enumerated_grid() {
+        // the O(1) arithmetic must agree with actual enumeration, pinned
+        // sizes and all
+        let mut spec = tiny_spec();
+        spec.families = vec![
+            FamilySpec::Path,
+            "grid:3x2".parse().unwrap(),
+            "hypercube:3".parse().unwrap(),
+        ];
+        spec.tags = vec![TagStrategy::Uniform, TagStrategy::Extremes];
+        spec.sizes = vec![5, 7, 9];
+        assert_eq!(spec.total_runs(), spec.cells().len() * spec.reps);
+    }
+
+    #[test]
+    fn family_kind_is_a_faithful_spec_alias() {
+        for kind in FamilyKind::ALL {
+            assert_eq!(kind.name(), kind.spec().to_string(), "{kind}");
+            let parsed: FamilySpec = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind.spec());
+            // the alias draws the same graphs as the spec
+            let a = kind.build(7, 3).unwrap();
+            let b = kind.spec().build(7, 3).unwrap();
+            assert_eq!(a.edges(), b.edges());
+        }
+    }
+
+    #[test]
+    fn family_kind_build_rejects_small_cycles() {
+        // the pre-grammar axis silently clamped Cycle to n=3; library
+        // callers must get an Err so a cell label can't disagree with the
+        // simulated graph
+        let err = FamilyKind::Cycle.build(2, 0).unwrap_err();
+        assert_eq!(err.n, 2);
+        assert!(err.to_string().contains("cycle"), "{err}");
+        assert!(FamilyKind::Cycle.build(3, 0).is_ok());
     }
 
     #[test]
@@ -807,7 +1035,7 @@ mod tests {
         assert_eq!("btree".parse::<FamilyKind>(), Ok(FamilyKind::BalancedTree));
         assert!("kagome-lattice".parse::<FamilyKind>().is_err());
         for kind in FamilyKind::ALL {
-            let g = kind.build(7, 3);
+            let g = kind.build(7, 3).unwrap();
             assert!(radio_graph::algo::is_connected(&g), "{kind}");
         }
     }
@@ -886,6 +1114,7 @@ mod tests {
         for row in &rows {
             assert!(row.starts_with('{') && row.ends_with('}'));
             assert!(row.contains("\"family\":\""));
+            assert!(row.contains("\"tags\":\"uniform\""));
             assert!(row.contains("\"runs\":2"));
             assert!(row.contains("\"wall_ns\":{\"count\":2"));
         }

@@ -55,7 +55,10 @@ pub use api::{
     elect_leader, elect_leader_in, elect_leader_under, elect_leader_with, is_feasible,
     is_feasible_in, solve, ElectError, ElectionReport, Infeasible,
 };
-pub use campaign::{CampaignRunner, CampaignSpec, CampaignWorkspace, CellKey, FamilyKind, Phase};
+pub use campaign::{
+    CampaignRunner, CampaignSpec, CampaignWorkspace, CellKey, FamilyError, FamilyKind, FamilySpec,
+    Phase, TagStrategy,
+};
 pub use canonical::CanonicalFactory;
 pub use dedicated::DedicatedElection;
 pub use schedule::CanonicalSchedule;

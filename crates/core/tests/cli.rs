@@ -114,6 +114,89 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn campaign_accepts_the_scenario_grammar() {
+    let out = bin()
+        .args([
+            "campaign",
+            "--families",
+            "grid:3x2,torus:3x3,hypercube:3",
+            "--tags",
+            "clustered,arith:2",
+            "--spans",
+            "4",
+            "--models",
+            "no-cd",
+            "--reps",
+            "1",
+            "--shards",
+            "2",
+            "--threads",
+            "1",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("campaign runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rows: Vec<&str> = stdout.lines().collect();
+    assert_eq!(rows.len(), 6, "3 pinned families × 2 strategies: {stdout}");
+    // phase-tagged rows carry the scenario axes …
+    assert!(rows.iter().all(|r| r.contains("\"phase\":\"elect\"")));
+    assert!(rows
+        .iter()
+        .any(|r| r.contains("\"family\":\"grid:3x2\"") && r.contains("\"n\":6")));
+    assert!(rows
+        .iter()
+        .any(|r| r.contains("\"family\":\"torus:3x3\"") && r.contains("\"n\":9")));
+    assert!(rows
+        .iter()
+        .any(|r| r.contains("\"family\":\"hypercube:3\"") && r.contains("\"n\":8")));
+    // … including the tag-strategy axis
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.contains("\"tags\":\"clustered\""))
+            .count(),
+        3
+    );
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.contains("\"tags\":\"arith:2\""))
+            .count(),
+        3
+    );
+}
+
+#[test]
+fn campaign_rejects_unrealizable_grids() {
+    // a cycle cannot have 2 nodes: error, never a clamped graph whose
+    // size disagrees with the row label
+    let out = bin()
+        .args(["campaign", "--families", "cycle", "--sizes", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cycle"), "{stderr}");
+
+    // unknown family names list the registry
+    let out = bin()
+        .args(["campaign", "--families", "kagome"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("hypercube"), "{stderr}");
+
+    // malformed tag strategies are rejected up front
+    let out = bin()
+        .args(["campaign", "--tags", "arith:0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn family_argument_validation() {
     for bad in [
         &["family", "g", "1"][..],

@@ -11,8 +11,12 @@
 //! * [`generators`] — deterministic constructors for paths, cycles, trees,
 //!   grids, hypercubes, complete/bipartite graphs, and seeded random
 //!   families (connected G(n,p), random trees, caterpillars).
+//! * [`family`] — the [`FamilySpec`] scenario grammar: every generator
+//!   reachable by a parseable name (`grid:16x4`, `hypercube:6`, `gnp:0.05`)
+//!   for campaign axes and CLIs.
 //! * [`Configuration`] — graph + tags, with span/normalization and
-//!   validation, plus [`tags`] strategies for assigning tags.
+//!   validation, plus [`tags`] strategies for assigning tags (including the
+//!   named [`TagStrategy`] axis: uniform/clustered/extremes/arithmetic).
 //! * [`families`] — the configuration families the paper's Section 4 builds
 //!   its lower bounds and impossibility results from (`G_m`, `H_m`, `S_m`).
 //! * [`io`] — a line-oriented text format (round-trippable) and DOT export.
@@ -26,6 +30,7 @@ pub mod config;
 pub mod csr;
 pub mod enumerate;
 pub mod families;
+pub mod family;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -33,7 +38,9 @@ pub mod tags;
 
 pub use config::Configuration;
 pub use csr::Csr;
+pub use family::{FamilyError, FamilySpec};
 pub use graph::{Graph, NodeId};
+pub use tags::TagStrategy;
 
 #[cfg(test)]
 mod proptests;

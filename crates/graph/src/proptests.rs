@@ -5,9 +5,11 @@ use proptest::prelude::*;
 use crate::algo::{component_count, is_connected};
 use crate::config::Configuration;
 use crate::csr::Csr;
+use crate::family::FamilySpec;
 use crate::generators;
 use crate::graph::{Graph, NodeId};
 use crate::io;
+use crate::tags::TagStrategy;
 use radio_util::rng::rng_from;
 
 /// Strategy: a connected random graph described by (n, extra-edge budget,
@@ -105,6 +107,122 @@ proptest! {
     }
 
     #[test]
+    fn torus_is_4_regular(r in 3usize..8, c in 3usize..8) {
+        let g = generators::torus(r, c);
+        prop_assert_eq!(g.node_count(), r * c);
+        prop_assert_eq!(g.edge_count(), 2 * r * c);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == 4));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_is_d_regular(d in 1u32..8) {
+        let g = generators::hypercube(d);
+        let n = 1usize << d;
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), d as usize * n / 2);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == d as usize));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ladder_has_max_degree_3(len in 1usize..24) {
+        let g = generators::ladder(len);
+        prop_assert_eq!(g.node_count(), 2 * len);
+        prop_assert_eq!(g.edge_count(), 3 * len - 2); // two rails + rungs
+        prop_assert!(g.max_degree() <= 3);
+        prop_assert_eq!(g.degree(0), if len == 1 { 1 } else { 2 }, "corner");
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_shape_counts(r in 1usize..8, c in 1usize..8) {
+        let g = generators::grid(r, c);
+        prop_assert_eq!(g.node_count(), r * c);
+        prop_assert_eq!(g.edge_count(), r * (c - 1) + (r - 1) * c);
+        prop_assert!(g.max_degree() <= 4);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_is_a_tree_with_leggy_spine(s in 1usize..10, l in 0usize..5) {
+        let g = generators::caterpillar(s, l);
+        let n = s * (1 + l);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n - 1, "caterpillars are trees");
+        prop_assert!(is_connected(&g));
+        // an interior spine node sees two spine edges plus its legs
+        if s > 2 {
+            prop_assert_eq!(g.degree(1), 2 + l);
+        }
+        // every leaf is pendant
+        prop_assert!((s..n).all(|v| g.degree(v as NodeId) == 1));
+    }
+
+    #[test]
+    fn spider_center_has_one_degree_per_leg(legs in 0usize..7, len in 0usize..6) {
+        let g = generators::spider(legs, len);
+        prop_assert_eq!(g.node_count(), 1 + legs * len);
+        prop_assert_eq!(g.edge_count(), legs * len);
+        prop_assert_eq!(g.degree(0), if len == 0 { 0 } else { legs });
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_and_lollipop_counts(k in 1usize..8, b in 0usize..6) {
+        let bar = generators::barbell(k, b);
+        prop_assert_eq!(bar.node_count(), 2 * k + b);
+        prop_assert_eq!(bar.edge_count(), k * (k - 1) + b + 1);
+        prop_assert!(is_connected(&bar));
+        let lol = generators::lollipop(k, b);
+        prop_assert_eq!(lol.node_count(), k + b);
+        prop_assert_eq!(lol.edge_count(), k * (k - 1) / 2 + b);
+        prop_assert!(is_connected(&lol));
+    }
+
+    #[test]
+    fn wheel_hub_and_rim_degrees(n in 4usize..24) {
+        let g = generators::wheel(n);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), 2 * (n - 1)); // spokes + rim
+        prop_assert_eq!(g.degree(0), n - 1);
+        prop_assert!((1..n as NodeId).all(|v| g.degree(v) == 3));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn double_star_and_bipartite_counts(a in 1usize..8, b in 1usize..8) {
+        let ds = generators::double_star(a, b);
+        prop_assert_eq!(ds.node_count(), 2 + a + b);
+        prop_assert_eq!(ds.edge_count(), 1 + a + b);
+        prop_assert_eq!(ds.degree(0), 1 + a);
+        prop_assert_eq!(ds.degree(1), 1 + b);
+        prop_assert!(is_connected(&ds));
+        let kb = generators::complete_bipartite(a, b);
+        prop_assert_eq!(kb.node_count(), a + b);
+        prop_assert_eq!(kb.edge_count(), a * b);
+        prop_assert!((0..a as NodeId).all(|v| kb.degree(v) == b));
+        prop_assert!((a as NodeId..(a + b) as NodeId).all(|v| kb.degree(v) == a));
+        prop_assert!(is_connected(&kb));
+    }
+
+    #[test]
+    fn complete_graph_is_n_minus_1_regular(n in 1usize..16) {
+        let g = generators::complete(n);
+        prop_assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == n - 1));
+    }
+
+    #[test]
+    fn random_caterpillar_is_a_tree(s in 1usize..8, l in 0usize..10, seed in any::<u64>()) {
+        let g = generators::random_caterpillar(s, l, &mut rng_from(seed));
+        prop_assert_eq!(g.node_count(), s + l);
+        prop_assert_eq!(g.edge_count(), s + l - 1);
+        prop_assert!(is_connected(&g));
+        prop_assert!((s..s + l).all(|v| g.degree(v as NodeId) == 1));
+    }
+
+    #[test]
     fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,200}") {
         // Fuzz the configuration parser: any input must yield Ok or a
         // typed error, never a panic.
@@ -119,5 +237,106 @@ proptest! {
     ) {
         let text = format!("config {n} {m}\n{}", body.join("\n"));
         let _ = io::from_text(&text);
+    }
+}
+
+/// Strategy: a random [`FamilySpec`] across the whole grammar — every
+/// variant, with parameters drawn from their valid ranges.
+fn family_spec() -> impl Strategy<Value = FamilySpec> {
+    (0usize..20, 1u32..9, 0u32..9, 0u32..1_000_001).prop_map(|(variant, a, b, ppm)| match variant {
+        0 => FamilySpec::Path,
+        1 => FamilySpec::Cycle,
+        2 => FamilySpec::Star,
+        3 => FamilySpec::Complete,
+        4 => FamilySpec::Wheel,
+        5 => FamilySpec::Ladder,
+        6 => FamilySpec::Tree { arity: a },
+        7 => FamilySpec::RandomTree,
+        8 => FamilySpec::Gnp {
+            ppm: if b % 2 == 0 { None } else { Some(ppm) },
+        },
+        9 => FamilySpec::RandomConnected { extra: b },
+        10 => FamilySpec::Grid {
+            rows: a,
+            cols: b + 1,
+        },
+        11 => FamilySpec::Torus {
+            rows: a + 2,
+            cols: b + 3,
+        },
+        12 => FamilySpec::Hypercube { dim: (a % 5) + 1 },
+        13 => FamilySpec::Caterpillar { spine: a, legs: b },
+        14 => FamilySpec::RandomCaterpillar {
+            spine: a,
+            leaves: b,
+        },
+        15 => FamilySpec::Spider { legs: a, len: b },
+        16 => FamilySpec::Barbell {
+            clique: a,
+            bridge: b,
+        },
+        17 => FamilySpec::Lollipop { clique: a, tail: b },
+        18 => FamilySpec::DoubleStar { left: a, right: b },
+        _ => FamilySpec::Bipartite {
+            left: a,
+            right: b + 1,
+        },
+    })
+}
+
+/// Strategy: a random [`TagStrategy`] across all four kinds.
+fn tag_strategy() -> impl Strategy<Value = TagStrategy> {
+    (0usize..4, 1u64..12).prop_map(|(variant, stride)| match variant {
+        0 => TagStrategy::Uniform,
+        1 => TagStrategy::Clustered,
+        2 => TagStrategy::Extremes,
+        _ => TagStrategy::Arith { stride },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn family_spec_parse_display_round_trips(spec in family_spec()) {
+        let rendered = spec.to_string();
+        let reparsed: FamilySpec = rendered.parse()
+            .map_err(|e: String| TestCaseError::fail(format!("`{rendered}`: {e}")))?;
+        prop_assert_eq!(reparsed, spec, "{}", rendered);
+        // rendering is canonical: a second round trip is a fixed point
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    #[test]
+    fn family_spec_builds_match_the_declared_size(spec in family_spec(), seed in any::<u64>()) {
+        let n = spec.default_size();
+        let g = spec.build(n, seed)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(g.node_count(), n, "{}", spec);
+        prop_assert!(is_connected(&g), "{}", spec);
+        prop_assert!(g.check_invariants().is_ok(), "{}", spec);
+        if let Some(pinned) = spec.node_count() {
+            prop_assert_eq!(pinned, n, "{}", spec);
+            // any other size is an error, never a clamp
+            prop_assert!(spec.build(n + 1, seed).is_err(), "{}", spec);
+        }
+    }
+
+    #[test]
+    fn tag_strategy_round_trips_and_draws_in_contract(
+        spec in tag_strategy(),
+        n in 1usize..40,
+        span in 0u64..200,
+        seed in any::<u64>(),
+    ) {
+        let reparsed: TagStrategy = spec.to_string().parse()
+            .map_err(|e: String| TestCaseError::fail(e))?;
+        prop_assert_eq!(reparsed, spec);
+        let tags = spec.draw(n, span, &mut rng_from(seed));
+        prop_assert_eq!(tags.len(), n);
+        prop_assert_eq!(tags.iter().copied().min(), Some(0), "{}: normalized", spec);
+        prop_assert!(tags.iter().all(|&t| t <= span), "{}: bounded by σ", spec);
+        // drawing is seed-deterministic
+        prop_assert_eq!(&tags, &spec.draw(n, span, &mut rng_from(seed)));
     }
 }

@@ -18,6 +18,13 @@ pub mod collection;
 mod regex_gen;
 
 /// Runner configuration. Only `cases` is honoured.
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable
+/// bounds the case count: when set to a number, every property runs
+/// `min(configured, PROPTEST_CASES)` cases. Because case seeds are keyed
+/// by `(property name, case index)`, a capped run executes a prefix of
+/// the full run — fewer cases, never different ones — so CI can pin a
+/// fast deterministic budget without perturbing local full runs.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases per property.
@@ -77,14 +84,25 @@ impl TestRunner {
         TestRunner { config, seed_base }
     }
 
-    /// Number of cases to run.
+    /// Number of cases to run: the configured count, capped by the
+    /// `PROPTEST_CASES` environment variable when it parses as a number.
     pub fn cases(&self) -> u32 {
-        self.config.cases
+        capped_cases(self.config.cases, std::env::var("PROPTEST_CASES").ok())
     }
 
     /// The RNG for one case.
     pub fn rng_for(&self, case: u32) -> StdRng {
         StdRng::seed_from_u64(splitmix(self.seed_base ^ u64::from(case)))
+    }
+}
+
+/// The `PROPTEST_CASES` cap rule: a parseable value bounds the configured
+/// count (never raises it), anything else is ignored. Pure so it is
+/// testable without mutating the process-global environment.
+fn capped_cases(configured: u32, env: Option<String>) -> u32 {
+    match env.and_then(|v| v.parse::<u32>().ok()) {
+        Some(cap) => configured.min(cap),
+        None => configured,
     }
 }
 
@@ -325,6 +343,22 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_caps_but_never_raises() {
+        // the rule is tested through the pure helper — mutating the real
+        // env var here would race the sibling property tests running in
+        // this same process
+        let cap = |env: Option<&str>| crate::capped_cases(64, env.map(str::to_string));
+        assert_eq!(cap(Some("7")), 7, "env caps the configured count");
+        assert_eq!(cap(Some("1000")), 64, "env never raises it");
+        assert_eq!(
+            cap(Some("not-a-number")),
+            64,
+            "unparseable values are ignored"
+        );
+        assert_eq!(cap(None), 64);
+    }
 
     proptest! {
         #[test]
