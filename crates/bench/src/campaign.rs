@@ -8,6 +8,7 @@
 //! batch-throughput sweep onto the runner, E14 its leap-vs-step span
 //! grid).
 
+pub use anon_radio::cache::{CacheConfig, CacheStats, ScheduleCache};
 pub use anon_radio::campaign::{
     classify_metrics, election_metrics, CampaignRunner, CampaignSpec, CampaignWorkspace,
     CellAggregate, CellKey, FamilyKind, FamilySpec, Phase, RunMetrics, ShardReport, TagStrategy,
@@ -36,6 +37,7 @@ pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
         reps,
         seed,
         opts: RunOpts::default(),
+        cache: CacheConfig::default(),
     }
 }
 
@@ -62,6 +64,7 @@ pub fn classify_spec(effort: Effort, seed: u64) -> CampaignSpec {
         reps,
         seed,
         opts: RunOpts::default(),
+        cache: CacheConfig::default(),
     }
 }
 
@@ -147,6 +150,7 @@ mod tests {
             reps: 2,
             seed: 3,
             opts: RunOpts::default(),
+            cache: CacheConfig::default(),
         };
         let cells = spec.cells().len();
         let mut runner = CampaignRunner::new(spec, 2);

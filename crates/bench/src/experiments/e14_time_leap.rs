@@ -190,6 +190,7 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
         reps: 2,
         seed,
         opts: RunOpts::default(),
+        cache: crate::campaign::CacheConfig::default(),
     };
     let leap_spec = spec.clone();
     let mut step_spec = spec;

@@ -1,0 +1,263 @@
+//! Canonical trace keys: a 128-bit fingerprint of everything the
+//! classifier's run *determines* — the per-iteration partition trace, the
+//! label contents, the class-ordered tag multiset, the node count, and the
+//! span.
+//!
+//! Two configurations with equal [`CanonicalKey`]s drive `Classifier`
+//! through bit-identical runs: same class vectors every iteration, same
+//! labels (by content), same exit verdict, and therefore the same compiled
+//! canonical lists `L_1 … L_{T+1}` and the same [`ClassifySummary`]. That
+//! makes the key a sound memoization handle for the classify + compile
+//! pipeline (the schedule cache in `anon-radio`'s core crate): a
+//! canonical-key hit may reuse the cached schedule verbatim.
+//!
+//! ## Why label *contents*, not interned ids
+//!
+//! The fast engine interns labels into per-workspace ids, and the
+//! [`LabelInterner`](crate::ClassifierWorkspace) only guarantees
+//! same-content ⟺ same-id *within one workspace run*. Ids depend on
+//! interning order, which depends on which configurations the workspace
+//! classified before. The key therefore folds the per-label content hash
+//! (the interner's stored FxHash column, recomputed on demand for the
+//! reference engine's owned labels) via
+//! [`IterationView::label_hash`](crate::IterationView::label_hash) — so
+//! keys derived in different workspaces, or in the same workspace at
+//! different times, agree exactly.
+//!
+//! ## Collision budget
+//!
+//! The key is two independent 64-bit FxHash lanes over the same word
+//! stream (the second lane is seeded differently and folds a mixed copy of
+//! each word). Inputs are locally generated, never adversarial, so the
+//! rustc-style birthday bound applies: ~2⁻⁶⁴ per pair of distinct traces —
+//! negligible across any realizable campaign.
+
+use std::hash::Hasher;
+
+use radio_graph::Configuration;
+use radio_util::fxhash::FxHasher;
+
+use crate::outcome::Engine;
+use crate::workspace::{ClassifierWorkspace, ClassifySummary, IterationView, RecordSink};
+
+/// A 128-bit canonical trace key (see the module docs for the contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl CanonicalKey {
+    /// The key as a single 128-bit integer (map keys, hex rendering).
+    pub fn bits(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+/// Seed of the second hash lane (the 64-bit golden-ratio constant); lane
+/// one starts from the FxHash default state.
+const LANE_HI_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A [`RecordSink`] that folds every iteration of a classification into a
+/// [`CanonicalKey`] — per node in node order, `(class, label content
+/// hash)`, plus the iteration index and class count. Finish with
+/// [`KeySink::finish`], which mixes in the node count, the span, and the
+/// class-ordered tag multiset of the final partition.
+///
+/// Folding *every* iteration (not only the final pass) makes the key a
+/// strict superset of the stable partition: equal keys certify the entire
+/// refinement trace, which is exactly what schedule compilation consumes.
+#[derive(Debug)]
+pub struct KeySink {
+    lane_lo: FxHasher,
+    lane_hi: FxHasher,
+    /// Classes after the most recent iteration (overwritten each pass; the
+    /// last write is the final partition `finish` pairs with the tags).
+    final_classes: Vec<u32>,
+}
+
+impl Default for KeySink {
+    fn default() -> KeySink {
+        let mut lane_hi = FxHasher::default();
+        lane_hi.write_u64(LANE_HI_SEED);
+        KeySink {
+            lane_lo: FxHasher::default(),
+            lane_hi,
+            final_classes: Vec::new(),
+        }
+    }
+}
+
+impl KeySink {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.lane_lo.write_u64(word);
+        // The per-word maps of FxHash are bijections, so identical word
+        // streams into differently-seeded lanes are not fully independent;
+        // mixing the word decorrelates the two lanes' collision sets.
+        self.lane_hi.write_u64(word.rotate_left(32) ^ LANE_HI_SEED);
+    }
+
+    /// Completes the key for the configuration the sink just watched being
+    /// classified: folds `n`, `σ`, and the `(final class, tag)` multiset
+    /// in sorted order.
+    pub fn finish(mut self, config: &Configuration) -> CanonicalKey {
+        let n = config.size();
+        assert_eq!(
+            self.final_classes.len(),
+            n,
+            "KeySink::finish needs the classification of this configuration"
+        );
+        self.fold(n as u64);
+        self.fold(config.span());
+        let mut pairs: Vec<(u32, u64)> = (0..n)
+            .map(|v| (self.final_classes[v], config.tag(v as radio_graph::NodeId)))
+            .collect();
+        pairs.sort_unstable();
+        for (class, tag) in pairs {
+            self.fold(class as u64);
+            self.fold(tag);
+        }
+        CanonicalKey {
+            lo: self.lane_lo.finish(),
+            hi: self.lane_hi.finish(),
+        }
+    }
+}
+
+impl RecordSink for KeySink {
+    fn record(&mut self, iteration: usize, view: IterationView<'_>) {
+        self.fold(iteration as u64);
+        self.fold(view.num_classes() as u64);
+        let n = view.len() as radio_graph::NodeId;
+        for v in 0..n {
+            self.fold(view.class_of(v) as u64);
+            self.fold(view.label_hash(v));
+        }
+        self.final_classes.clear();
+        self.final_classes.extend((0..n).map(|v| view.class_of(v)));
+    }
+}
+
+/// Classifies `config` (fast engine, record-free otherwise) and returns
+/// its canonical trace key alongside the summary — the standalone key
+/// derivation used by key-stability tests and external cache layers.
+pub fn canonical_key_in(
+    workspace: &mut ClassifierWorkspace,
+    config: &Configuration,
+) -> (ClassifySummary, CanonicalKey) {
+    let mut sink = KeySink::default();
+    let summary = workspace.classify_with_sink(config, Engine::Fast, &mut sink);
+    (summary, sink.finish(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::{families, generators, tags, Configuration};
+    use radio_util::rng::rng_from;
+
+    #[test]
+    fn keys_are_deterministic() {
+        let c = families::h_m(3);
+        let mut ws = ClassifierWorkspace::new();
+        let (s1, k1) = canonical_key_in(&mut ws, &c);
+        let (s2, k2) = canonical_key_in(&mut ws, &c);
+        assert_eq!(k1, k2);
+        assert_eq!(s1, s2);
+        assert_ne!(k1.bits(), 0);
+    }
+
+    #[test]
+    fn keys_are_stable_across_diverged_workspaces() {
+        // ws_a interns labels for other configurations first, so its ids
+        // for the probe configuration differ from a fresh workspace's —
+        // the content-hash contract must hide that entirely.
+        let probe = families::g_m(3);
+        let mut ws_a = ClassifierWorkspace::new();
+        for warmup in [families::h_m(7), families::s_m(4), families::g_m(2)] {
+            let _ = canonical_key_in(&mut ws_a, &warmup);
+        }
+        let mut ws_b = ClassifierWorkspace::new();
+        let (_, key_a) = canonical_key_in(&mut ws_a, &probe);
+        let (_, key_b) = canonical_key_in(&mut ws_b, &probe);
+        assert_eq!(key_a, key_b);
+    }
+
+    #[test]
+    fn keys_agree_between_engines() {
+        // The reference engine's owned labels hash to the same content
+        // hashes as the interner column, so both engines derive one key.
+        for c in [families::h_m(2), families::g_m(3), families::s_m(2)] {
+            let mut ws = ClassifierWorkspace::new();
+            let mut fast = KeySink::default();
+            ws.classify_with_sink(&c, Engine::Fast, &mut fast);
+            let mut reference = KeySink::default();
+            ws.classify_with_sink(&c, Engine::Reference, &mut reference);
+            assert_eq!(fast.finish(&c), reference.finish(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn keys_separate_distinct_configurations() {
+        let mut ws = ClassifierWorkspace::new();
+        let mut rng = rng_from(77);
+        let mut keys = std::collections::HashSet::new();
+        let mut configs = vec![
+            families::h_m(1),
+            families::h_m(2),
+            families::s_m(2),
+            families::g_m(2),
+            Configuration::new(generators::path(1), vec![0]).unwrap(),
+        ];
+        for _ in 0..20 {
+            let g = generators::gnp_connected(7, 0.4, &mut rng);
+            configs.push(tags::random_in_span(g, 5, &mut rng));
+        }
+        for c in &configs {
+            keys.insert(canonical_key_in(&mut ws, c).1);
+        }
+        // random 7-node draws may legitimately repeat a trace; the named
+        // family members are pairwise distinct for sure
+        assert!(keys.len() >= 5, "only {} distinct keys", keys.len());
+    }
+
+    #[test]
+    fn shifted_tags_change_the_key() {
+        // The class-ordered tag multiset is part of the key, so a tag
+        // shift (which preserves the whole refinement trace) still yields
+        // a different key — the cache stays conservative there.
+        let base = Configuration::new(generators::path(3), vec![0, 2, 1]).unwrap();
+        let shifted = base.shift_tags(7);
+        let mut ws = ClassifierWorkspace::new();
+        let (_, k_base) = canonical_key_in(&mut ws, &base);
+        let (_, k_shift) = canonical_key_in(&mut ws, &shifted);
+        assert_ne!(k_base, k_shift);
+    }
+
+    #[test]
+    fn trace_identical_configurations_share_a_key() {
+        // Uniform-tag C_4 and K_4: every node hears one collision triple
+        // (1, 1, ∗) in iteration 1 and the partition freezes at one class
+        // — identical traces on different graphs, hence equal keys.
+        let cycle = Configuration::with_uniform_tags(generators::cycle(4), 0).unwrap();
+        let complete = Configuration::with_uniform_tags(generators::complete(4), 0).unwrap();
+        let mut ws = ClassifierWorkspace::new();
+        let (s_cycle, k_cycle) = canonical_key_in(&mut ws, &cycle);
+        let (s_complete, k_complete) = canonical_key_in(&mut ws, &complete);
+        assert_eq!(k_cycle, k_complete);
+        assert_eq!(s_cycle, s_complete);
+        assert!(!s_cycle.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the classification")]
+    fn finish_rejects_a_foreign_configuration() {
+        let mut sink = KeySink::default();
+        let mut ws = ClassifierWorkspace::new();
+        ws.classify_with_sink(&families::h_m(2), Engine::Fast, &mut sink);
+        // h_m(2) has 4 nodes; finishing against a 5-node config must trip
+        let wrong = Configuration::with_uniform_tags(generators::path(5), 1).unwrap();
+        let _ = sink.finish(&wrong);
+    }
+}

@@ -113,6 +113,18 @@ pub fn is_feasible_in(
     workspace.summarize_in(config).feasible
 }
 
+/// [`is_feasible_in`] through a [`ScheduleCache`](crate::ScheduleCache):
+/// an exact cache hit answers without classifying at all, and a miss
+/// leaves the compiled election behind for later `solve`/campaign reuse.
+/// The verdict is bit-identical to the uncached path.
+pub fn is_feasible_cached(
+    workspace: &mut radio_classifier::ClassifierWorkspace,
+    config: &Configuration,
+    cache: &crate::cache::ScheduleCache,
+) -> bool {
+    cache.compile_in(workspace, config).0.feasible()
+}
+
 /// Compiles the dedicated leader-election algorithm `(D_G, f_G)` for a
 /// feasible configuration (Theorem 3.15).
 pub fn solve(config: &Configuration) -> Result<DedicatedElection, Infeasible> {
@@ -176,6 +188,19 @@ mod tests {
         let mut ws = radio_classifier::ClassifierWorkspace::new();
         assert!(is_feasible_in(&mut ws, &families::h_m(2)));
         assert!(!is_feasible_in(&mut ws, &families::s_m(2)));
+    }
+
+    #[test]
+    fn cached_feasibility_matches_uncached() {
+        let cache = crate::cache::ScheduleCache::default();
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        for c in [families::h_m(2), families::s_m(2), families::g_m(3)] {
+            let plain = is_feasible_in(&mut ws, &c);
+            // twice: once populating, once hitting — same verdict always
+            assert_eq!(is_feasible_cached(&mut ws, &c, &cache), plain, "{c}");
+            assert_eq!(is_feasible_cached(&mut ws, &c, &cache), plain, "{c}");
+        }
+        assert!(cache.stats().hits >= 3);
     }
 
     #[test]

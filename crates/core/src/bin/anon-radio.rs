@@ -203,6 +203,8 @@ fn campaign_command(args: &[String]) -> i32 {
     let mut seed = radio_util::rng::DEFAULT_ROOT_SEED;
     let mut resume_from = 0usize;
     let mut no_leap = false;
+    let mut no_cache = false;
+    let mut cache_capacity: Option<usize> = None;
     let mut out: Option<String> = None;
 
     let parsed: Result<(), String> = (|| {
@@ -246,6 +248,14 @@ fn campaign_command(args: &[String]) -> i32 {
                         .map_err(|e| format!("--resume-from: {e}"))?
                 }
                 "--no-leap" => no_leap = true,
+                "--no-cache" => no_cache = true,
+                "--cache-capacity" => {
+                    cache_capacity = Some(
+                        value("--cache-capacity")?
+                            .parse()
+                            .map_err(|e| format!("--cache-capacity: {e}"))?,
+                    )
+                }
                 "--out" => out = Some(value("--out")?),
                 other => return Err(format!("unknown campaign argument `{other}`")),
             }
@@ -288,6 +298,19 @@ fn campaign_command(args: &[String]) -> i32 {
     } else {
         radio_sim::RunOpts::default()
     };
+    let cache = match (no_cache, cache_capacity) {
+        (true, Some(_)) => {
+            eprintln!("error: --cache-capacity conflicts with --no-cache");
+            return 2;
+        }
+        (true, None) => anon_radio::cache::CacheConfig::disabled(),
+        (false, Some(0)) => {
+            eprintln!("error: --cache-capacity must be at least 1 (or pass --no-cache)");
+            return 2;
+        }
+        (false, Some(capacity)) => anon_radio::cache::CacheConfig::with_capacity(capacity),
+        (false, None) => anon_radio::cache::CacheConfig::default(),
+    };
     let spec = CampaignSpec {
         phase,
         families,
@@ -298,6 +321,7 @@ fn campaign_command(args: &[String]) -> i32 {
         reps,
         seed,
         opts,
+        cache,
     };
     // Whole-grid validation: every family × size cell must be realizable
     // as-is — unrealizable combinations (cycle below 3 nodes, a pinned
@@ -335,6 +359,23 @@ fn campaign_command(args: &[String]) -> i32 {
                 return 1;
             }
         }
+    }
+
+    // End-of-run cache summary: hit/miss/eviction totals surface key
+    // stability regressions without parsing JSONL. (The split between
+    // exact and canonical hits tells repeated-configuration reuse apart
+    // from cross-configuration trace sharing.)
+    match runner.cache_stats() {
+        Some(stats) => eprintln!(
+            "cache: {} hit(s) ({} exact, {} canonical), {} miss(es), {} eviction(s)",
+            stats.hits,
+            stats.exact_hits,
+            stats.canonical_hits(),
+            stats.misses,
+            stats.evictions
+        ),
+        None if phase == Phase::Elect => eprintln!("cache: disabled"),
+        None => {}
     }
 
     if resume_from > 0 {
@@ -466,6 +507,10 @@ fn usage() -> i32 {
          \u{20}      --tags t,…       tag strategies: uniform, clustered, extremes, arith:K\n\
          \u{20}      --sizes n,…  --spans s,…  --models m,…  --reps k\n\
          \u{20}      --shards K --threads T --seed N --resume-from S --no-leap --out FILE\n\
+         \u{20}      --no-cache       disable the canonical schedule cache (elect phase\n\
+         \u{20}                       memoizes classify+compile across repeated shapes by\n\
+         \u{20}                       default; rows are bit-identical either way)\n\
+         \u{20}      --cache-capacity N  bound the cache at ~N entries (default 4096)\n\
          \n\
          configuration file format: see `radio-graph::io` docs"
     );

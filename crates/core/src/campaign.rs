@@ -35,6 +35,7 @@
 //! harness supplies custom runners for engine-comparison campaigns
 //! through [`CampaignRunner::run_next_shard_with`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use radio_classifier::ClassifierWorkspace;
@@ -47,7 +48,8 @@ use radio_util::stats::StreamingStats;
 pub use radio_graph::family::{FamilyError, FamilySpec};
 pub use radio_graph::tags::TagStrategy;
 
-use crate::dedicated::DedicatedElection;
+use crate::cache::{CacheConfig, CacheStats, ScheduleCache};
+use crate::dedicated::CompiledElection;
 
 /// Which pipeline stage a campaign sweeps.
 ///
@@ -111,12 +113,28 @@ pub struct CampaignWorkspace {
     /// Recycled classifier state (label interner, refine buffers,
     /// worklist).
     pub classifier: ClassifierWorkspace,
+    /// Shared schedule cache — one process-wide
+    /// [`ScheduleCache`](crate::cache::ScheduleCache) handle cloned into
+    /// every worker of a cached elect campaign; `None` runs the uncached
+    /// pipeline ([`CacheConfig::disabled`], classify campaigns).
+    pub cache: Option<Arc<ScheduleCache>>,
 }
 
 impl CampaignWorkspace {
     /// An empty pair of workspaces; buffers warm up over the first runs.
     pub fn new() -> CampaignWorkspace {
         CampaignWorkspace::default()
+    }
+
+    /// A workspace routing elect runs through `cache` (when `Some`) — the
+    /// init the campaign runner hands to
+    /// [`par_map_init`](radio_sim::parallel::par_map_init) so every worker
+    /// shares one cache.
+    pub fn with_cache(cache: Option<Arc<ScheduleCache>>) -> CampaignWorkspace {
+        CampaignWorkspace {
+            cache,
+            ..CampaignWorkspace::default()
+        }
     }
 }
 
@@ -254,6 +272,11 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// Engine options applied to every run (round limit, leap mode).
     pub opts: RunOpts,
+    /// Schedule-cache policy for elect campaigns (`--no-cache`,
+    /// `--cache-capacity`). Ignored by the classify phase, which never
+    /// compiles a schedule. Cached and uncached campaigns produce
+    /// bit-identical rows up to the cache counters themselves.
+    pub cache: CacheConfig,
 }
 
 impl CampaignSpec {
@@ -275,6 +298,7 @@ impl CampaignSpec {
             reps: 1,
             seed,
             opts: RunOpts::default(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -457,6 +481,14 @@ pub struct RunMetrics {
     /// phase) — the work the `O(n³Δ)` open problem counts, as the fast
     /// engine actually spends it.
     pub relabels: u64,
+    /// The run's classify+compile was answered from the schedule cache
+    /// (exact or canonical hit). Always false when no cache is attached.
+    pub cache_hit: bool,
+    /// The run went through the schedule cache and missed (classified and
+    /// compiled from scratch, populating the cache). Always false when no
+    /// cache is attached — `!cache_hit` alone cannot distinguish "missed"
+    /// from "uncached".
+    pub cache_miss: bool,
     /// Wall-clock nanoseconds for the whole run (classify + compile +
     /// simulate for the election workload).
     pub wall_ns: u64,
@@ -494,6 +526,14 @@ pub struct CellAggregate {
     pub relabels: StreamingStats,
     /// Wall-clock nanoseconds of all runs.
     pub wall_ns: StreamingStats,
+    /// Runs answered from the schedule cache. Note: the hit/miss *split*
+    /// (unlike every other column) depends on worker interleaving — two
+    /// workers can race to first-miss the same key — so these counters are
+    /// reported after `wall_ns` in JSONL rows, outside the deterministic
+    /// byte range golden comparisons cover.
+    pub cache_hits: u64,
+    /// Runs that went through the cache and missed (0 when uncached).
+    pub cache_misses: u64,
 }
 
 impl CellAggregate {
@@ -516,6 +556,8 @@ impl CellAggregate {
         self.classes.merge(&other.classes);
         self.relabels.merge(&other.relabels);
         self.wall_ns.merge(&other.wall_ns);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Folds one run's metrics into the aggregate.
@@ -543,6 +585,12 @@ impl CellAggregate {
             self.classes.push(m.classes as f64);
             self.relabels.push(m.relabels as f64);
         }
+        if m.cache_hit {
+            self.cache_hits += 1;
+        }
+        if m.cache_miss {
+            self.cache_misses += 1;
+        }
     }
 }
 
@@ -564,19 +612,31 @@ pub fn election_metrics(
 ) -> RunMetrics {
     let start = Instant::now();
     let mut metrics = RunMetrics::default();
-    let Ok(dedicated) = DedicatedElection::solve_in(&mut workspace.classifier, config) else {
+    // Compile through the shared schedule cache when one is attached —
+    // bit-identical to the uncached compile; only wall time and the cache
+    // counters differ. Neither path clones the configuration.
+    let compiled = match &workspace.cache {
+        Some(cache) => {
+            let (compiled, lookup) = cache.compile_in(&mut workspace.classifier, config);
+            metrics.cache_hit = lookup.is_hit();
+            metrics.cache_miss = !lookup.is_hit();
+            compiled
+        }
+        None => CompiledElection::compile_in(&mut workspace.classifier, config),
+    };
+    if !compiled.feasible() {
         metrics.wall_ns = start.elapsed().as_nanos() as u64;
         return metrics;
-    };
+    }
     metrics.feasible = true;
-    let factory = dedicated.factory();
+    let factory = compiled.factory();
     match workspace.sim.run_kind(model, config, &factory, opts) {
         Ok(execution) => {
-            let decision = dedicated.decision();
+            let decision = compiled.decision();
             let leaders: Vec<_> = (0..config.size() as radio_graph::NodeId)
                 .filter(|&v| decision.is_leader(execution.history(v)))
                 .collect();
-            metrics.elected = leaders == [dedicated.predicted_leader()];
+            metrics.elected = leaders == [compiled.predicted_leader()];
             metrics.simulated = true;
             metrics.rounds = execution.rounds;
             metrics.transmissions = execution.stats.transmissions;
@@ -633,11 +693,16 @@ pub struct CampaignRunner {
     aggregates: Vec<CellAggregate>,
     shards: usize,
     next_shard: usize,
+    /// One process-wide schedule cache shared by every worker of every
+    /// shard (elect phase with `spec.cache.enabled` only).
+    cache: Option<Arc<ScheduleCache>>,
 }
 
 impl CampaignRunner {
     /// Prepares a runner splitting the run sequence into `shards`
-    /// contiguous shards (clamped to ≥ 1).
+    /// contiguous shards (clamped to ≥ 1). Elect campaigns with
+    /// `spec.cache.enabled` get a fresh [`ScheduleCache`] sized by
+    /// `spec.cache.capacity`; classify campaigns never cache.
     ///
     /// # Panics
     /// Panics if the spec fails [`CampaignSpec::validate`] — better here,
@@ -646,6 +711,20 @@ impl CampaignRunner {
     /// `Err` instead call [`CampaignSpec::validate`] themselves first
     /// (the CLI does).
     pub fn new(spec: CampaignSpec, shards: usize) -> CampaignRunner {
+        let cache = (spec.phase == Phase::Elect && spec.cache.enabled)
+            .then(|| Arc::new(ScheduleCache::new(spec.cache.capacity)));
+        CampaignRunner::with_cache(spec, shards, cache)
+    }
+
+    /// [`CampaignRunner::new`] with an explicit (possibly pre-warmed,
+    /// possibly shared across runners) cache handle — the warm-cache bench
+    /// path. `None` forces the uncached pipeline regardless of
+    /// `spec.cache`.
+    pub fn with_cache(
+        spec: CampaignSpec,
+        shards: usize,
+        cache: Option<Arc<ScheduleCache>>,
+    ) -> CampaignRunner {
         if let Err(msg) = spec.validate() {
             panic!("invalid campaign spec: {msg}");
         }
@@ -657,12 +736,25 @@ impl CampaignRunner {
             aggregates,
             shards: shards.max(1),
             next_shard: 0,
+            cache,
         }
     }
 
     /// The spec this runner executes.
     pub fn spec(&self) -> &CampaignSpec {
         &self.spec
+    }
+
+    /// The shared schedule cache, when this campaign runs one.
+    pub fn cache(&self) -> Option<&Arc<ScheduleCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Snapshot of the cache counters (`None` when uncached) — the CLI's
+    /// end-of-run summary line reads hit/miss/eviction totals here instead
+    /// of re-parsing JSONL.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Number of shards.
@@ -731,14 +823,19 @@ impl CampaignRunner {
         let started = Instant::now();
         let spec = &self.spec;
         let cells = &self.cells;
-        let metrics: Vec<(usize, RunMetrics)> =
-            par_map_init(&indices, threads, CampaignWorkspace::new, |ws, &idx| {
+        let cache = &self.cache;
+        let metrics: Vec<(usize, RunMetrics)> = par_map_init(
+            &indices,
+            threads,
+            || CampaignWorkspace::with_cache(cache.clone()),
+            |ws, &idx| {
                 let cell_idx = idx / spec.reps;
                 let rep = idx % spec.reps;
                 let cell = &cells[cell_idx];
                 let config = spec.configuration(cell, rep);
                 (cell_idx, run(ws, &config, cell.model, spec.opts))
-            });
+            },
+        );
         for (cell_idx, m) in &metrics {
             self.aggregates[*cell_idx].fold(m);
         }
@@ -769,8 +866,11 @@ impl CampaignRunner {
     /// rows carry the simulation shape (rounds/transmissions/stepped/
     /// leapt); classify rows carry the classifier shape (iterations/
     /// classes/relabels) and omit the model axis, which the phase never
-    /// consults. `wall_ns` is last in both shapes (consumers strip the
-    /// only measured field by splitting on it).
+    /// consults. `wall_ns` begins the measured tail in both shapes:
+    /// everything from `,"wall_ns"` on — wall time plus, in elect rows,
+    /// the `cache_hits`/`cache_misses` counters, whose split depends on
+    /// worker interleaving — is execution-dependent, so deterministic
+    /// consumers strip the row by splitting on it.
     pub fn jsonl_rows(&self) -> Vec<String> {
         self.aggregates()
             .map(|(cell, agg)| match self.spec.phase {
@@ -779,7 +879,7 @@ impl CampaignRunner {
                      \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
                      \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{},\
                      \"rounds\":{},\"transmissions\":{},\"stepped\":{},\"leapt\":{},\
-                     \"wall_ns\":{}}}",
+                     \"wall_ns\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
                     cell.family,
                     cell.tags,
                     cell.n,
@@ -794,6 +894,8 @@ impl CampaignRunner {
                     stats_json(&agg.stepped),
                     stats_json(&agg.leapt),
                     stats_json(&agg.wall_ns),
+                    agg.cache_hits,
+                    agg.cache_misses,
                 ),
                 Phase::Classify => format!(
                     "{{\"phase\":\"classify\",\
@@ -859,6 +961,7 @@ mod tests {
             reps: 2,
             seed: 11,
             opts: RunOpts::default(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -873,6 +976,7 @@ mod tests {
             reps: 3,
             seed: 11,
             opts: RunOpts::default(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -1240,6 +1344,89 @@ mod tests {
             assert!(!row.contains("\"model\""), "{row}");
             assert!(!row.contains("\"rounds\""), "{row}");
             assert!(row.contains(",\"wall_ns\":{"), "{row}");
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_campaigns_produce_identical_rows() {
+        // The cache must be invisible in every deterministic field — only
+        // the measured tail (wall time, cache counters) may differ.
+        let rows_with = |cache: CacheConfig| -> Vec<String> {
+            let mut spec = tiny_spec();
+            spec.cache = cache;
+            let mut runner = CampaignRunner::new(spec, 3);
+            runner.run_to_completion(2);
+            runner
+                .jsonl_rows()
+                .into_iter()
+                .map(|row| row.split(",\"wall_ns\"").next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(
+            rows_with(CacheConfig::default()),
+            rows_with(CacheConfig::disabled())
+        );
+        // a tiny capacity thrashes the LRU but never changes results
+        assert_eq!(
+            rows_with(CacheConfig::default()),
+            rows_with(CacheConfig::with_capacity(1))
+        );
+    }
+
+    #[test]
+    fn cached_campaign_reports_hits_in_rows_and_stats() {
+        let mut runner = CampaignRunner::new(tiny_spec(), 2);
+        runner.run_to_completion(2);
+        let stats = runner
+            .cache_stats()
+            .expect("elect campaigns cache by default");
+        assert_eq!(stats.lookups(), runner.spec().total_runs() as u64);
+        // 3 models share each (family, n, span, rep) draw, so at least
+        // two-thirds of the lookups hit even with racing workers
+        assert!(stats.hits > 0, "{stats:?}");
+        let folded: u64 = runner.aggregates().map(|(_, a)| a.cache_hits).sum();
+        assert_eq!(folded, stats.hits, "per-cell counters fold every hit");
+        let rows = runner.jsonl_rows();
+        assert!(
+            rows.iter().all(|r| r.contains(",\"cache_hits\":")),
+            "elect rows carry counters"
+        );
+        assert!(
+            rows.iter().any(|r| !r.contains("\"cache_hits\":0")),
+            "some cell must record a hit"
+        );
+        // counters sit after wall_ns, in the stripped tail
+        for row in &rows {
+            let tail = row.split(",\"wall_ns\"").nth(1).unwrap();
+            assert!(tail.contains("\"cache_hits\""), "{row}");
+        }
+    }
+
+    #[test]
+    fn disabled_cache_reports_no_stats_and_zero_counters() {
+        let mut spec = tiny_spec();
+        spec.cache = CacheConfig::disabled();
+        let mut runner = CampaignRunner::new(spec, 2);
+        runner.run_to_completion(2);
+        assert!(runner.cache_stats().is_none());
+        for (_, agg) in runner.aggregates() {
+            assert_eq!((agg.cache_hits, agg.cache_misses), (0, 0));
+        }
+        for row in runner.jsonl_rows() {
+            assert!(
+                row.ends_with("\"cache_hits\":0,\"cache_misses\":0}"),
+                "{row}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_campaigns_never_attach_a_cache() {
+        let mut runner = CampaignRunner::new(tiny_classify_spec(), 2);
+        assert!(runner.cache_stats().is_none(), "classify compiles nothing");
+        runner.run_to_completion(2);
+        for row in runner.jsonl_rows() {
+            assert!(!row.contains("cache"), "{row}");
         }
     }
 

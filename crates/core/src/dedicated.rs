@@ -7,10 +7,141 @@ use radio_graph::{Configuration, NodeId};
 use radio_sim::{run_election_in, LeaderAlgorithm, ModelKind, RunOpts, SimError, SimWorkspace};
 
 use crate::api::{ElectError, ElectionReport, Infeasible};
+use crate::cache::ScheduleCache;
 use crate::canonical::CanonicalFactory;
 use crate::decision::LeaderDecision;
 use crate::schedule::{CanonicalSchedule, SharedSchedule};
 use radio_classifier::{ClassifierWorkspace, ClassifySummary};
+
+/// The configuration-free half of a dedicated election: the classifier's
+/// lean summary plus the compiled schedule behind its shared [`Arc`].
+///
+/// This is what the classify + compile pipeline actually *produces* — and
+/// therefore what the [`ScheduleCache`] stores and shares: cloning a
+/// `CompiledElection` copies a `Copy` summary and bumps one `Arc` count,
+/// never the canonical lists. The campaign's per-run path works entirely
+/// on this type against a borrowed configuration, so even uncached solves
+/// shed the per-run deep `Configuration` clone the old
+/// [`DedicatedElection::solve_in`] paid just to store an owned copy.
+///
+/// Unlike [`DedicatedElection`], a `CompiledElection` exists for
+/// infeasible configurations too (the canonical DRIP is well-defined
+/// there; only the leader is absent) — check [`CompiledElection::feasible`]
+/// before asking for the leader.
+#[derive(Debug, Clone)]
+pub struct CompiledElection {
+    summary: ClassifySummary,
+    schedule: SharedSchedule,
+}
+
+impl CompiledElection {
+    /// Classifies `config` through a caller-provided workspace and
+    /// compiles its schedule — the canonical lists stream out of the run
+    /// (see [`CanonicalSchedule::build_in`]); nothing is cloned.
+    pub fn compile_in(
+        workspace: &mut ClassifierWorkspace,
+        config: &Configuration,
+    ) -> CompiledElection {
+        let (summary, schedule) = CanonicalSchedule::build_in(workspace, config);
+        CompiledElection {
+            summary,
+            schedule: Arc::new(schedule),
+        }
+    }
+
+    /// Rewraps an already-compiled pair (the cache's storage form).
+    pub fn from_parts(summary: ClassifySummary, schedule: SharedSchedule) -> CompiledElection {
+        CompiledElection { summary, schedule }
+    }
+
+    /// The classifier summary (feasibility, iterations, class count,
+    /// leader class).
+    pub fn summary(&self) -> ClassifySummary {
+        self.summary
+    }
+
+    /// Whether the configuration admits leader election.
+    pub fn feasible(&self) -> bool {
+        self.summary.feasible
+    }
+
+    /// The compiled schedule (σ, lists, phase geometry).
+    pub fn schedule(&self) -> &CanonicalSchedule {
+        &self.schedule
+    }
+
+    /// The schedule's shared handle (one `Arc` bump, no list copy).
+    pub fn shared_schedule(&self) -> SharedSchedule {
+        self.schedule.clone()
+    }
+
+    /// The DRIP factory (`D_G`) — install at every node.
+    pub fn factory(&self) -> CanonicalFactory {
+        CanonicalFactory::new(self.schedule.clone())
+    }
+
+    /// The decision function (`f_G`).
+    pub fn decision(&self) -> LeaderDecision {
+        LeaderDecision::new(self.schedule.clone())
+    }
+
+    /// The leader `Classifier` predicts: the representative of the
+    /// singleton leader class.
+    ///
+    /// # Panics
+    /// Panics when the configuration is infeasible (no leader class).
+    pub fn predicted_leader(&self) -> NodeId {
+        self.summary.leader.expect("feasible ⇒ leader class rep")
+    }
+
+    /// The number of local rounds until every node terminates
+    /// (`r_T + 1` — the `O(n²σ)` bound of Lemma 3.10 applies).
+    pub fn rounds_bound(&self) -> u64 {
+        self.schedule.done_local()
+    }
+
+    /// Simulates `(D_G, f_G)` on `config` — which must be the
+    /// configuration this algorithm was compiled for — through a
+    /// caller-provided [`SimWorkspace`], and returns a validated report.
+    pub fn run_in(
+        &self,
+        workspace: &mut SimWorkspace,
+        config: &Configuration,
+        model: ModelKind,
+        opts: RunOpts,
+    ) -> Result<ElectionReport, ElectError> {
+        let factory = self.factory();
+        let decision = self.decision();
+        let decide = move |h: &radio_sim::History| decision.is_leader(h);
+        let algorithm = LeaderAlgorithm {
+            drip: &factory,
+            decide: &decide,
+        };
+        let outcome = run_election_in(workspace, model, config, &algorithm, opts)
+            .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
+        let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
+            leaders: outcome.leaders.clone(),
+        })?;
+        let predicted = self.predicted_leader();
+        if leader != predicted {
+            return Err(ElectError::PredictionMismatch {
+                elected: leader,
+                predicted,
+            });
+        }
+        Ok(ElectionReport {
+            leader,
+            n: config.size(),
+            sigma: config.span(),
+            phases: self.schedule.phases(),
+            rounds_local: self.schedule.done_local(),
+            completion_round: outcome.completion_round(),
+            transmissions: outcome.execution.stats.transmissions,
+            rounds_stepped: outcome.execution.rounds_stepped,
+            rounds_leapt: outcome.execution.rounds_leapt,
+        })
+    }
+}
 
 /// The dedicated leader-election algorithm compiled for one feasible
 /// configuration: the canonical DRIP `D_G` plus the decision function
@@ -20,13 +151,14 @@ use radio_classifier::{ClassifierWorkspace, ClassifySummary};
 /// canonical lists inside the schedule plus the lean [`ClassifySummary`]
 /// — never as eager per-iteration records; compiling through
 /// [`DedicatedElection::solve_in`] recycles a caller-held
-/// [`ClassifierWorkspace`], which is how the campaign layers amortize
-/// repeated classification.
+/// [`ClassifierWorkspace`]. This owned convenience type stores one
+/// `Configuration` clone so `run()` is a single call; the campaign layers
+/// instead work on the borrowing [`CompiledElection`] (optionally through
+/// a [`ScheduleCache`]) and never pay that clone per run.
 #[derive(Debug)]
 pub struct DedicatedElection {
     config: Configuration,
-    summary: ClassifySummary,
-    schedule: SharedSchedule,
+    compiled: CompiledElection,
 }
 
 impl DedicatedElection {
@@ -44,50 +176,74 @@ impl DedicatedElection {
         workspace: &mut ClassifierWorkspace,
         config: &Configuration,
     ) -> Result<DedicatedElection, Infeasible> {
-        let (summary, schedule) = CanonicalSchedule::build_in(workspace, config);
-        if !summary.feasible {
+        DedicatedElection::from_compiled(config, CompiledElection::compile_in(workspace, config))
+    }
+
+    /// [`DedicatedElection::solve_in`] through a [`ScheduleCache`]: a key
+    /// hit returns the cached summary + schedule (sharing the schedule
+    /// `Arc`, skipping classification entirely on an exact hit); a miss
+    /// classifies once and populates the cache. Results are bit-identical
+    /// to the uncached path.
+    pub fn solve_cached(
+        workspace: &mut ClassifierWorkspace,
+        config: &Configuration,
+        cache: &ScheduleCache,
+    ) -> Result<DedicatedElection, Infeasible> {
+        let (compiled, _) = cache.compile_in(workspace, config);
+        DedicatedElection::from_compiled(config, compiled)
+    }
+
+    fn from_compiled(
+        config: &Configuration,
+        compiled: CompiledElection,
+    ) -> Result<DedicatedElection, Infeasible> {
+        if !compiled.feasible() {
             return Err(Infeasible {
-                iterations: summary.iterations,
+                iterations: compiled.summary().iterations,
             });
         }
         Ok(DedicatedElection {
             config: config.clone(),
-            summary,
-            schedule: Arc::new(schedule),
+            compiled,
         })
+    }
+
+    /// The configuration-free compiled half (summary + shared schedule).
+    pub fn compiled(&self) -> &CompiledElection {
+        &self.compiled
     }
 
     /// The classifier summary backing this algorithm (feasibility,
     /// iterations, class count, leader class).
     pub fn summary(&self) -> ClassifySummary {
-        self.summary
+        self.compiled.summary()
     }
 
     /// The compiled schedule (σ, lists, phase geometry).
     pub fn schedule(&self) -> &CanonicalSchedule {
-        &self.schedule
+        self.compiled.schedule()
     }
 
     /// The DRIP factory (`D_G`) — install at every node.
     pub fn factory(&self) -> CanonicalFactory {
-        CanonicalFactory::new(self.schedule.clone())
+        self.compiled.factory()
     }
 
     /// The decision function (`f_G`).
     pub fn decision(&self) -> LeaderDecision {
-        LeaderDecision::new(self.schedule.clone())
+        self.compiled.decision()
     }
 
     /// The leader `Classifier` predicts: the representative of the
     /// singleton leader class. The simulation must elect exactly this node.
     pub fn predicted_leader(&self) -> NodeId {
-        self.summary.leader.expect("feasible ⇒ leader class rep")
+        self.compiled.predicted_leader()
     }
 
     /// The number of local rounds until every node terminates
     /// (`r_T + 1` — the `O(n²σ)` bound of Lemma 3.10 applies).
     pub fn rounds_bound(&self) -> u64 {
-        self.schedule.done_local()
+        self.compiled.rounds_bound()
     }
 
     /// Simulates `(D_G, f_G)` on the configuration and returns a validated
@@ -128,36 +284,7 @@ impl DedicatedElection {
         model: ModelKind,
         opts: RunOpts,
     ) -> Result<ElectionReport, ElectError> {
-        let factory = self.factory();
-        let decision = self.decision();
-        let decide = move |h: &radio_sim::History| decision.is_leader(h);
-        let algorithm = LeaderAlgorithm {
-            drip: &factory,
-            decide: &decide,
-        };
-        let outcome = run_election_in(workspace, model, &self.config, &algorithm, opts)
-            .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
-        let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
-            leaders: outcome.leaders.clone(),
-        })?;
-        let predicted = self.predicted_leader();
-        if leader != predicted {
-            return Err(ElectError::PredictionMismatch {
-                elected: leader,
-                predicted,
-            });
-        }
-        Ok(ElectionReport {
-            leader,
-            n: self.config.size(),
-            sigma: self.config.span(),
-            phases: self.schedule.phases(),
-            rounds_local: self.schedule.done_local(),
-            completion_round: outcome.completion_round(),
-            transmissions: outcome.execution.stats.transmissions,
-            rounds_stepped: outcome.execution.rounds_stepped,
-            rounds_leapt: outcome.execution.rounds_leapt,
-        })
+        self.compiled.run_in(workspace, &self.config, model, opts)
     }
 
     /// Convenience: run the canonical DRIP and return the raw execution
@@ -262,6 +389,46 @@ mod tests {
         // infeasible through the workspace too
         let err = DedicatedElection::solve_in(&mut ws, &families::s_m(2)).unwrap_err();
         assert_eq!(err.iterations, 2);
+    }
+
+    #[test]
+    fn compiled_election_exists_for_infeasible_configurations() {
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        let compiled = CompiledElection::compile_in(&mut ws, &families::s_m(2));
+        assert!(!compiled.feasible());
+        assert_eq!(compiled.summary().iterations, 2);
+        // the schedule is well-defined; only the leader class is absent
+        assert!(compiled.schedule().lists.leader_class.is_none());
+        assert!(compiled.rounds_bound() >= 1);
+    }
+
+    #[test]
+    fn compiled_run_in_matches_the_owned_path() {
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        let mut sim = SimWorkspace::new();
+        for config in [families::h_m(2), families::g_m(3)] {
+            let compiled = CompiledElection::compile_in(&mut ws, &config);
+            let borrowed = compiled
+                .run_in(
+                    &mut sim,
+                    &config,
+                    ModelKind::NoCollisionDetection,
+                    RunOpts::default(),
+                )
+                .unwrap();
+            let owned = DedicatedElection::solve(&config).unwrap().run().unwrap();
+            assert_eq!(borrowed, owned, "{config}");
+        }
+    }
+
+    #[test]
+    fn shared_schedule_is_shared_not_copied() {
+        let mut ws = radio_classifier::ClassifierWorkspace::new();
+        let compiled = CompiledElection::compile_in(&mut ws, &families::h_m(2));
+        let a = compiled.shared_schedule();
+        let clone = compiled.clone();
+        let b = clone.shared_schedule();
+        assert!(Arc::ptr_eq(&a, &b), "clones share one schedule allocation");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod campaign;
 pub mod canonical;
 pub mod decision;
@@ -53,14 +54,15 @@ pub mod verify;
 
 pub use api::{
     elect_leader, elect_leader_in, elect_leader_under, elect_leader_with, is_feasible,
-    is_feasible_in, solve, ElectError, ElectionReport, Infeasible,
+    is_feasible_cached, is_feasible_in, solve, ElectError, ElectionReport, Infeasible,
 };
+pub use cache::{CacheConfig, CacheLookup, CacheStats, ScheduleCache};
 pub use campaign::{
     CampaignRunner, CampaignSpec, CampaignWorkspace, CellKey, FamilyError, FamilyKind, FamilySpec,
     Phase, TagStrategy,
 };
 pub use canonical::CanonicalFactory;
-pub use dedicated::DedicatedElection;
+pub use dedicated::{CompiledElection, DedicatedElection};
 pub use schedule::CanonicalSchedule;
 
 #[cfg(test)]

@@ -25,9 +25,12 @@ pub fn cycle(n: usize) -> Graph {
 /// Complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
     let mut g = Graph::new(n);
+    for v in 0..n {
+        g.reserve_neighbors(v as NodeId, n.saturating_sub(1));
+    }
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u as NodeId, v as NodeId).unwrap();
+            g.push_edge_unchecked(u as NodeId, v as NodeId);
         }
     }
     g
@@ -47,8 +50,14 @@ pub fn star(n: usize) -> Graph {
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut g = Graph::new(a + b);
     for u in 0..a {
+        g.reserve_neighbors(u as NodeId, b);
+    }
+    for v in 0..b {
+        g.reserve_neighbors((a + v) as NodeId, a);
+    }
+    for u in 0..a {
         for v in 0..b {
-            g.add_edge(u as NodeId, (a + v) as NodeId).unwrap();
+            g.push_edge_unchecked(u as NodeId, (a + v) as NodeId);
         }
     }
     g

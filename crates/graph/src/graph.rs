@@ -116,6 +116,29 @@ impl Graph {
         Ok(true)
     }
 
+    /// Appends the undirected edge `{u, v}` without the duplicate scan.
+    ///
+    /// Reserved for deterministic generators whose construction provably
+    /// never repeats an edge: `add_edge`'s O(deg) dedup scan makes dense
+    /// builders like `complete(n)` cost O(n³) overall, which dominates
+    /// per-rep configuration derivation in campaign grids. Bounds,
+    /// self-loop, and no-duplicate are still checked in debug builds.
+    #[inline]
+    pub(crate) fn push_edge_unchecked(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(u != v, "self-loop at {u}");
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        debug_assert!(!self.has_edge(u, v), "duplicate edge {u}-{v}");
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.m += 1;
+    }
+
+    /// Pre-sizes the neighbour list of `v` for `extra` further insertions.
+    #[inline]
+    pub(crate) fn reserve_neighbors(&mut self, v: NodeId, extra: usize) {
+        self.adj[v as usize].reserve(extra);
+    }
+
     /// True if `{u, v}` is an edge.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         (u as usize) < self.n && self.adj[u as usize].contains(&v)

@@ -4,6 +4,7 @@
 //! legacy six-family grid and the extended `FamilySpec × TagStrategy`
 //! scenario grid.
 
+use anon_radio::cache::CacheConfig;
 use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy};
 use radio_sim::{ModelKind, RunOpts};
 
@@ -18,6 +19,7 @@ fn smoke_spec() -> CampaignSpec {
         reps: 2,
         seed: 7,
         opts: RunOpts::default(),
+        cache: CacheConfig::default(),
     }
 }
 
@@ -51,6 +53,7 @@ fn extended_spec() -> CampaignSpec {
         reps: 2,
         seed: 23,
         opts: RunOpts::default(),
+        cache: CacheConfig::default(),
     }
 }
 

@@ -199,6 +199,7 @@ fn classify_campaign_matches_eager_classification_on_the_scenario_grid() {
         reps: 2,
         seed: 99,
         opts: RunOpts::default(),
+        cache: anon_radio::cache::CacheConfig::default(),
     };
     let mut runner = CampaignRunner::new(spec.clone(), 3);
     runner.run_to_completion(2);

@@ -48,6 +48,7 @@ fn golden_elect_spec() -> CampaignSpec {
         reps: 2,
         seed: 0x60_1DE4,
         opts: RunOpts::default(),
+        cache: anon_radio::cache::CacheConfig::default(),
     }
 }
 
