@@ -7,6 +7,8 @@
 //! cargo run --release -p radio-bench --bin experiments -- --out results
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use radio_bench::{registry, Effort};

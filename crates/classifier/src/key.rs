@@ -202,7 +202,7 @@ mod tests {
     fn keys_separate_distinct_configurations() {
         let mut ws = ClassifierWorkspace::new();
         let mut rng = rng_from(77);
-        let mut keys = std::collections::HashSet::new();
+        let mut keys = radio_util::FxHashSet::default();
         let mut configs = vec![
             families::h_m(1),
             families::h_m(2),

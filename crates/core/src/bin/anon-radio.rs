@@ -23,6 +23,8 @@
 //! edge <u> <v>   (m lines)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::Read;
 
 use radio_graph::{families, io, Configuration};

@@ -201,6 +201,9 @@ impl Shard {
         if !self.map.contains_key(&key) && self.map.len() >= budget {
             if let Some(&victim) = self
                 .map
+                // lint:allow(nondet-iter): min-scan over `last_used` ticks, which are
+                // unique within a shard — the minimum is a single entry, so the scan's
+                // hash order cannot influence which victim is evicted
                 .iter()
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(k, _)| k)

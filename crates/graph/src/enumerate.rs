@@ -121,7 +121,7 @@ mod tests {
     fn distinct_patterns_are_permutations() {
         let pats = distinct_tag_patterns(4);
         assert_eq!(pats.len(), 24);
-        let uniq: std::collections::HashSet<_> = pats.iter().collect();
+        let uniq: radio_util::FxHashSet<_> = pats.iter().collect();
         assert_eq!(uniq.len(), 24);
         for p in &pats {
             let mut sorted = p.clone();

@@ -1,0 +1,155 @@
+//! `radio-lint` — CLI for the determinism-contract analyzer.
+//!
+//! ```sh
+//! radio-lint                        # scan crates/ src/ tests/, report, exit 0
+//! radio-lint --deny-all             # same, but exit 1 on any finding
+//! radio-lint --format json          # machine-readable report
+//! radio-lint crates/sim             # scan a subtree
+//! radio-lint rules                  # print the rule table
+//! radio-lint schema                 # check the golden campaign corpus
+//! radio-lint schema out.jsonl       # check live campaign output
+//! ```
+//!
+//! `--root DIR` rebases the scan (default: the current directory, which in
+//! CI and `cargo run` is the workspace root). Without `--deny-all` the
+//! linter is report-only; `schema` is always strict (a malformed corpus is
+//! never acceptable). Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use radio_lint::{report::Report, schema, ALL_RULES, DEFAULT_ROOTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("radio-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("rules") {
+        for rule in ALL_RULES {
+            println!("{:<16} {}", rule.id(), rule.summary());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.first().map(String::as_str) == Some("schema") {
+        return schema_command(&args[1..]);
+    }
+    lint_command(args)
+}
+
+struct CommonFlags {
+    root: PathBuf,
+    json: bool,
+    rest: Vec<String>,
+}
+
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<(CommonFlags, Vec<String>), String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut rest = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                root = PathBuf::from(dir);
+            }
+            "--format" => {
+                let fmt = it.next().ok_or("--format needs `human` or `json`")?;
+                json = match fmt.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            flag if flag.starts_with("--") => {
+                if !allowed.contains(&flag) {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                flags.push(flag.to_string());
+            }
+            path => rest.push(path.to_string()),
+        }
+    }
+    Ok((CommonFlags { root, json, rest }, flags))
+}
+
+fn lint_command(args: &[String]) -> Result<ExitCode, String> {
+    let (common, flags) = parse_flags(args, &["--deny-all"])?;
+    let deny_all = flags.iter().any(|f| f == "--deny-all");
+    let roots: Vec<&str> = if common.rest.is_empty() {
+        DEFAULT_ROOTS.to_vec()
+    } else {
+        common.rest.iter().map(String::as_str).collect()
+    };
+    let report = radio_lint::scan_tree(&common.root, &roots)
+        .map_err(|e| format!("scanning {}: {e}", common.root.display()))?;
+    if report.files_scanned == 0 {
+        return Err(format!(
+            "no .rs files under {} in {:?}",
+            common.root.display(),
+            roots
+        ));
+    }
+    print_report(&report, common.json);
+    Ok(exit_for(&report, deny_all))
+}
+
+fn schema_command(args: &[String]) -> Result<ExitCode, String> {
+    let (common, _) = parse_flags(args, &[])?;
+    let files: Vec<PathBuf> = if common.rest.is_empty() {
+        vec![
+            common.root.join("tests/golden/campaign_elect.jsonl"),
+            common.root.join("tests/golden/campaign_classify.jsonl"),
+        ]
+    } else {
+        common.rest.iter().map(|p| common.root.join(p)).collect()
+    };
+    let mut report = Report::default();
+    for file in &files {
+        let contents = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let label = display_path(&common.root, file);
+        report
+            .findings
+            .extend(schema::check_rows(&label, &contents));
+        report.files_scanned += 1;
+    }
+    report.findings.sort();
+    print_report(&report, common.json);
+    // The row contract is a hard invariant of the corpus: always strict.
+    Ok(exit_for(&report, true))
+}
+
+fn display_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn print_report(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+}
+
+fn exit_for(report: &Report, strict: bool) -> ExitCode {
+    if strict && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

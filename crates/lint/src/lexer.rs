@@ -1,0 +1,446 @@
+//! A small self-contained Rust lexer.
+//!
+//! The rule engine must never fire on text inside string literals or
+//! comments (the linter's own source mentions every banned pattern as a
+//! string constant), so rules operate on a token stream, not on raw text.
+//! The lexer handles exactly the surface that matters for that guarantee:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//!   captured separately as [`Comment`]s so the rule engine can read
+//!   `lint:allow(...)` directives and `SAFETY:` justifications;
+//! * string literals: `"…"` with escapes, raw strings `r"…"`/`r#"…"#`
+//!   (any number of `#`), byte strings `b"…"`, raw byte strings `br#"…"#`;
+//! * char and byte-char literals (`'a'`, `b'\n'`, `'\u{1F980}'`)
+//!   disambiguated from lifetimes (`'a`, `'static`);
+//! * identifiers (including raw identifiers `r#type`) and numbers;
+//! * everything else as single-character punctuation tokens — rules match
+//!   multi-character operators (`::`, `#![…]`) as short punct sequences.
+//!
+//! It is a *lexer*, not a parser: rules work on token patterns plus a
+//! per-file symbol table, which is the right fidelity for contract linting
+//! (see `rules`) and keeps the crate dependency-free.
+
+/// What a token is. Identifier payloads are kept (rules match names);
+/// literal payloads are deliberately dropped — nothing inside a literal
+/// may ever influence a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`for`, `unsafe`, `HashMap`, `r#type`).
+    Ident(String),
+    /// A lifetime such as `'a` (payload irrelevant to every rule).
+    Lifetime,
+    /// A string, char, byte, or numeric literal.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// A comment with its text (delimiters stripped) and line extent; block
+/// comments may span several lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without `//`, `/*`, `*/` (doc-comment markers kept).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line_start: u32,
+    /// 1-based line the comment ends on.
+    pub line_end: u32,
+}
+
+/// The output of [`lex`]: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs (string/comment at EOF) are
+/// tolerated: the lexer consumes to EOF rather than erroring, because a
+/// linter must degrade gracefully on files rustc would reject anyway.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, maintaining line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, tok: Tok, line: u32, col: u32) {
+        self.out.tokens.push(Token { tok, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.string_literal();
+                    self.push_tok(Tok::Literal, line, col);
+                }
+                '\'' => self.char_or_lifetime(line, col),
+                'r' | 'b' if self.raw_or_byte_literal(line, col) => {}
+                c if is_ident_start(c) => {
+                    let name = self.ident();
+                    self.push_tok(Tok::Ident(name), line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push_tok(Tok::Literal, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push_tok(Tok::Punct(c), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line_start: line,
+            line_end: line,
+        });
+    }
+
+    fn block_comment(&mut self, line_start: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line_start,
+            line_end: self.line,
+        });
+    }
+
+    /// A `"…"` literal with `\`-escapes; the opening quote is current.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A `'`-introduced token: lifetime, loop label, or char literal.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match (self.peek(0), self.peek(1)) {
+            // `'a` followed by anything but a closing quote is a lifetime
+            // (or loop label): `'static`, `'a>`, `'outer:`.
+            (Some(c), next) if is_ident_start(c) && next != Some('\'') => {
+                self.ident();
+                self.push_tok(Tok::Lifetime, line, col);
+            }
+            _ => {
+                // char literal: consume to the closing quote, honoring
+                // escapes (`'\''`, `'\u{…}'`).
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push_tok(Tok::Literal, line, col);
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns false if the current position is a plain identifier after
+    /// all (caller then lexes it normally).
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let c0 = self.peek(0).unwrap_or('\0');
+        let mut ahead = 1;
+        if c0 == 'b' && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // Count `#`s after the prefix (raw strings only).
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => {
+                // Raw (or plain byte) string. `b"…"` has hashes == 0.
+                let raw = hashes > 0 || self.peek(ahead - 1) == Some('r');
+                for _ in 0..ahead + hashes {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_literal();
+                }
+                self.push_tok(Tok::Literal, line, col);
+                true
+            }
+            Some('\'') if c0 == 'b' && ahead == 1 && hashes == 0 => {
+                // Byte char `b'x'`.
+                self.bump(); // the b
+                self.char_or_lifetime(line, col);
+                true
+            }
+            Some(c) if c0 == 'r' && ahead == 1 && hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#type`: emit as the bare identifier.
+                self.bump(); // r
+                self.bump(); // #
+                let name = self.ident();
+                self.push_tok(Tok::Ident(name), line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string after the opening `"`; `hashes` is the number
+    /// of `#`s that must follow the closing `"`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    /// Numeric literals, including `0x…`/`0b…`, `_` separators, floats
+    /// (`1.5`, `1e9`), and suffixes (`1u64`). Range expressions (`0..n`)
+    /// must not swallow the dots: a `.` is only consumed when followed by
+    /// a digit.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let in_number = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn string_contents_produce_no_idents() {
+        let src = r##"let x = "println! thread_rng HashMap"; let y = r#"Instant::now"#;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let src = "// thread_rng here\n/* HashMap /* nested */ still */ fn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("thread_rng"));
+        assert!(lexed.comments[1].text.contains("nested"));
+        let names: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F980}'; done";
+        assert_eq!(idents(src), ["let", "q", "let", "n", "let", "u", "done"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_strings() {
+        let src =
+            r###"let a = r#"quote " inside"#; let b = b"bytes"; let c = br##"x"# y"##; end"###;
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "end"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("fn f() {\n    g();\n}\n");
+        let g = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("g".into()))
+            .unwrap();
+        assert_eq!((g.line, g.col), (2, 5));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let src = "for i in 0..10 { let f = 1.5; let e = 2e3; }";
+        let puncts: Vec<char> = lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts.iter().filter(|&&c| c == '.').count(), 2);
+    }
+
+    #[test]
+    fn b_and_r_as_plain_identifiers() {
+        assert_eq!(idents("let b = r; b(r);"), ["let", "b", "r", "b", "r"]);
+    }
+}

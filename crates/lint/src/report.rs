@@ -1,0 +1,124 @@
+//! Rendering findings for humans and machines.
+//!
+//! The human format is one `file:line:col [rule] message` per finding plus
+//! a summary line; the JSON format is a single object with the same
+//! information, emitted with a hand-rolled escaper (the linter is
+//! dependency-free by design). Both renderings are derived from the same
+//! sorted finding list, so their counts always agree — a property pinned
+//! by the round-trip test in `tests/fixtures.rs`.
+
+use crate::rules::Finding;
+
+/// A completed scan: findings plus how much was looked at.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the scan produced no findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{} [{}] {}\n",
+                f.file, f.line, f.col, f.rule, f.message
+            ));
+        }
+        if self.is_clean() {
+            out.push_str(&format!(
+                "radio-lint: clean ({} file(s) scanned)\n",
+                self.files_scanned
+            ));
+        } else {
+            out.push_str(&format!(
+                "radio-lint: {} finding(s) in {} file(s) scanned\n",
+                self.findings.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable report: one JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"finding_count\":{},\"files_scanned\":{}}}",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn human_and_json_agree_on_counts() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/sim/src/x.rs".into(),
+                line: 3,
+                col: 9,
+                rule: "wall-clock",
+                message: "Instant::now() reads the wall clock".into(),
+            }],
+            files_scanned: 1,
+        };
+        let human = report.render_human();
+        assert!(human.contains("crates/sim/src/x.rs:3:9 [wall-clock]"));
+        assert!(human.contains("1 finding(s) in 1 file(s)"));
+        let json = report.render_json();
+        assert!(json.contains("\"finding_count\":1"));
+        assert!(json.contains("\"rule\":\"wall-clock\""));
+    }
+}

@@ -1,0 +1,336 @@
+//! The campaign row-contract checker (`radio-lint schema`).
+//!
+//! PR 6 split every JSONL campaign row into a *pinned deterministic
+//! prefix* — bit-for-bit identical across cache on/off, shard/thread
+//! geometry, and workspace reuse — and a *measured tail* beginning at
+//! `wall_ns` (plus, in elect rows, the `cache_hits`/`cache_misses`
+//! counters, whose split depends on worker interleaving). Deterministic
+//! consumers — the golden corpus, the geometry-invariance tests, CI's
+//! cached-vs-uncached diff — strip a row by splitting at `,"wall_ns"`.
+//! That convention only works if the field order is a *schema*, so this
+//! module enforces it:
+//!
+//! * elect rows: exactly `phase family tags n span model runs feasible
+//!   elected aborted rounds transmissions stepped leapt`, then an optional
+//!   tail that must be a prefix of `wall_ns cache_hits cache_misses` in
+//!   that order — an interleaving-dependent field may never precede a
+//!   deterministic one;
+//! * classify rows: exactly `phase family tags n span runs feasible
+//!   iterations classes relabels` then optionally `wall_ns`; the phase
+//!   never consults the model or the simulator, so `model`, `rounds`,
+//!   `transmissions`, `stepped`, `leapt`, and the cache counters must not
+//!   appear at all.
+//!
+//! Checked files may be live CLI output (full tail) or the checked-in
+//! golden corpus (tail stripped); both shapes are valid instances of the
+//! contract.
+
+use crate::rules::Finding;
+
+/// Rule id used for schema findings (distinct from source-lint rules).
+pub const ROW_SCHEMA: &str = "row-schema";
+
+const ELECT_PREFIX: &[&str] = &[
+    "phase",
+    "family",
+    "tags",
+    "n",
+    "span",
+    "model",
+    "runs",
+    "feasible",
+    "elected",
+    "aborted",
+    "rounds",
+    "transmissions",
+    "stepped",
+    "leapt",
+];
+const ELECT_TAIL: &[&str] = &["wall_ns", "cache_hits", "cache_misses"];
+
+const CLASSIFY_PREFIX: &[&str] = &[
+    "phase",
+    "family",
+    "tags",
+    "n",
+    "span",
+    "runs",
+    "feasible",
+    "iterations",
+    "classes",
+    "relabels",
+];
+const CLASSIFY_TAIL: &[&str] = &["wall_ns"];
+
+/// Fields a classify row must never carry (simulation/cache surface).
+const CLASSIFY_FORBIDDEN: &[&str] = &[
+    "model",
+    "rounds",
+    "transmissions",
+    "stepped",
+    "leapt",
+    "cache_hits",
+    "cache_misses",
+];
+
+/// Checks every row of a JSONL campaign file. `file` is only used to
+/// label findings; `line` in each finding is the 1-based row number.
+pub fn check_rows(file: &str, contents: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, row) in contents.lines().enumerate() {
+        if row.trim().is_empty() {
+            continue;
+        }
+        check_row(file, idx as u32 + 1, row, &mut findings);
+    }
+    findings
+}
+
+fn fail(findings: &mut Vec<Finding>, file: &str, line: u32, message: String) {
+    findings.push(Finding {
+        file: file.to_string(),
+        line,
+        col: 1,
+        rule: ROW_SCHEMA,
+        message,
+    });
+}
+
+fn check_row(file: &str, line: u32, row: &str, findings: &mut Vec<Finding>) {
+    let Some(names) = field_names(row) else {
+        fail(
+            findings,
+            file,
+            line,
+            "row is not a flat JSON object".to_string(),
+        );
+        return;
+    };
+    let phase = match phase_of(row) {
+        Some(p) => p,
+        None => {
+            fail(
+                findings,
+                file,
+                line,
+                "row does not start with a \"phase\" field".to_string(),
+            );
+            return;
+        }
+    };
+    let (prefix, tail): (&[&str], &[&str]) = match phase.as_str() {
+        "elect" => (ELECT_PREFIX, ELECT_TAIL),
+        "classify" => (CLASSIFY_PREFIX, CLASSIFY_TAIL),
+        other => {
+            fail(findings, file, line, format!("unknown phase \"{other}\""));
+            return;
+        }
+    };
+
+    if phase == "classify" {
+        for name in &names {
+            if CLASSIFY_FORBIDDEN.contains(&name.as_str()) {
+                fail(
+                    findings,
+                    file,
+                    line,
+                    format!(
+                        "classify row carries \"{name}\" — the classify phase has no \
+                         simulation/cache surface"
+                    ),
+                );
+            }
+        }
+    }
+
+    // The deterministic prefix must be exact, in order.
+    for (i, want) in prefix.iter().enumerate() {
+        match names.get(i) {
+            Some(got) if got == want => {}
+            Some(got) => {
+                fail(
+                    findings,
+                    file,
+                    line,
+                    format!(
+                        "field {} of the {phase} row is \"{got}\", expected \"{want}\" — \
+                         the deterministic prefix is pinned",
+                        i + 1
+                    ),
+                );
+                return;
+            }
+            None => {
+                fail(
+                    findings,
+                    file,
+                    line,
+                    format!(
+                        "{phase} row ends after {} field(s); deterministic prefix \
+                         requires \"{want}\" next",
+                        names.len()
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
+    // Whatever follows must be a prefix of the measured tail, in order:
+    // interleaving-dependent fields only ever appear after `wall_ns`.
+    let rest = &names[prefix.len()..];
+    if rest.len() > tail.len() {
+        fail(
+            findings,
+            file,
+            line,
+            format!(
+                "{phase} row carries unexpected trailing field \"{}\"",
+                rest[tail.len()]
+            ),
+        );
+        return;
+    }
+    for (got, want) in rest.iter().zip(tail) {
+        if got != want {
+            fail(
+                findings,
+                file,
+                line,
+                format!(
+                    "measured tail of the {phase} row has \"{got}\" where \"{want}\" \
+                     belongs — interleaving-dependent fields must follow wall_ns in \
+                     pinned order"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+/// Top-level field names of a one-line JSON object, in order; `None` when
+/// the line isn't one. Tracks brace depth and strings, so nested stat
+/// objects and string values with braces don't confuse the split.
+fn field_names(row: &str) -> Option<Vec<String>> {
+    let body = row.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut field_start = 0usize;
+    let bytes = body.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.checked_sub(1)?,
+            b',' if depth == 0 => {
+                names.push(name_of(&body[field_start..i])?);
+                field_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str || depth != 0 {
+        return None;
+    }
+    if !body.is_empty() {
+        names.push(name_of(&body[field_start..])?);
+    }
+    Some(names)
+}
+
+/// `"name":value` → `name`.
+fn name_of(field: &str) -> Option<String> {
+    let field = field.trim();
+    let rest = field.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    let name = &rest[..end];
+    rest[end + 1..].trim_start().strip_prefix(':')?;
+    Some(name.to_string())
+}
+
+/// The value of the leading `"phase"` field, if the row starts with one.
+fn phase_of(row: &str) -> Option<String> {
+    let rest = row.trim().strip_prefix("{\"phase\":\"")?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ELECT_FULL: &str = "{\"phase\":\"elect\",\"family\":\"path\",\"tags\":\"uniform\",\"n\":6,\"span\":3,\"model\":\"no-collision-detection\",\"runs\":2,\"feasible\":2,\"elected\":2,\"aborted\":0,\"rounds\":{\"count\":2,\"mean\":13},\"transmissions\":{\"count\":2},\"stepped\":{\"count\":2},\"leapt\":{\"count\":2},\"wall_ns\":{\"count\":2},\"cache_hits\":1,\"cache_misses\":1}";
+    const CLASSIFY_STRIPPED: &str = "{\"phase\":\"classify\",\"family\":\"star\",\"tags\":\"uniform\",\"n\":6,\"span\":3,\"runs\":2,\"feasible\":2,\"iterations\":{\"count\":2},\"classes\":{\"count\":2},\"relabels\":{\"count\":2}}";
+
+    #[test]
+    fn live_and_stripped_rows_both_pass() {
+        assert!(check_rows("x.jsonl", ELECT_FULL).is_empty());
+        assert!(check_rows("x.jsonl", CLASSIFY_STRIPPED).is_empty());
+        // golden-style elect row (tail fully stripped)
+        let stripped = ELECT_FULL.split(",\"wall_ns\"").next().unwrap().to_string() + "}";
+        assert!(check_rows("x.jsonl", &stripped).is_empty());
+        // wall_ns alone (classify live row shape)
+        let one_tail = CLASSIFY_STRIPPED.strip_suffix('}').unwrap().to_string()
+            + ",\"wall_ns\":{\"count\":2}}";
+        assert!(check_rows("x.jsonl", &one_tail).is_empty());
+    }
+
+    #[test]
+    fn classify_rows_must_not_carry_simulation_fields() {
+        let bad = CLASSIFY_STRIPPED.replace("\"runs\":2,", "\"runs\":2,\"model\":\"beeping\",");
+        let findings = check_rows("x.jsonl", &bad);
+        assert!(findings.iter().any(|f| f.message.contains("\"model\"")));
+    }
+
+    #[test]
+    fn tail_fields_may_not_precede_deterministic_ones() {
+        let bad = ELECT_FULL.replace("\"aborted\":0", "\"wall_ns\":{\"count\":2},\"aborted\":0");
+        let findings = check_rows("x.jsonl", &bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("deterministic prefix is pinned"));
+    }
+
+    #[test]
+    fn cache_counters_require_wall_ns_first() {
+        let bad = ELECT_FULL.replace(",\"wall_ns\":{\"count\":2}", "");
+        let findings = check_rows("x.jsonl", &bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("\"cache_hits\" where \"wall_ns\""));
+    }
+
+    #[test]
+    fn unknown_phase_missing_phase_and_trailing_junk() {
+        assert_eq!(check_rows("x", "{\"phase\":\"mystery\",\"n\":1}").len(), 1);
+        assert_eq!(check_rows("x", "{\"family\":\"path\"}").len(), 1);
+        let junk = ELECT_FULL.trim_end_matches('}').to_string() + ",\"extra\":1}";
+        let findings = check_rows("x", &junk);
+        assert!(findings[0]
+            .message
+            .contains("unexpected trailing field \"extra\""));
+    }
+
+    #[test]
+    fn row_numbers_label_findings_and_blank_lines_are_skipped() {
+        let contents = format!("{ELECT_FULL}\n\n{{\"family\":\"path\"}}\n");
+        let findings = check_rows("f.jsonl", &contents);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[0].rule, ROW_SCHEMA);
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end checks of the `radio-lint` binary: exit codes, report
+//! formats, and the `rules` / `schema` subcommands, exactly as CI invokes
+//! them.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn radio_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_radio-lint"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("run radio-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn deny_all_on_clean_workspace_exits_zero() {
+    let out = radio_lint(&["--deny-all"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("radio-lint: clean"), "got: {text}");
+}
+
+#[test]
+fn deny_all_exits_one_when_findings_exist() {
+    // The fixture corpus is excluded from tree scans by directory name, but
+    // an explicit `--root tests fixtures` reaches the files directly. Under
+    // that out-of-scope logical path only the path-independent allow-syntax
+    // rule fires (nondet_iter_fire.rs carries a reasonless allow and an
+    // unknown-rule allow), which is all an exit-code test needs.
+    let out = radio_lint(&["--root", "crates/lint/tests", "--deny-all", "fixtures"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(
+        text.contains("[allow-syntax]") && text.contains("nondet_iter_fire.rs:"),
+        "got: {text}"
+    );
+}
+
+#[test]
+fn findings_without_deny_all_are_report_only() {
+    let out = radio_lint(&["--root", "crates/lint/tests", "fixtures"]);
+    assert!(out.status.success(), "report-only mode must exit 0");
+    assert!(stdout(&out).contains("[allow-syntax]"));
+}
+
+#[test]
+fn json_format_is_emitted_on_request() {
+    let out = radio_lint(&[
+        "--root",
+        "crates/lint/tests",
+        "--format",
+        "json",
+        "--deny-all",
+        "fixtures",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "got: {text}"
+    );
+    assert!(trimmed.contains("\"rule\":\"allow-syntax\""));
+    assert!(trimmed.contains("\"finding_count\":"));
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = radio_lint(&["rules"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for id in [
+        "nondet-iter",
+        "wall-clock",
+        "os-entropy",
+        "thread-identity",
+        "stdout-purity",
+        "unsafe-guard",
+        "allow-syntax",
+    ] {
+        assert!(text.contains(id), "rule table missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn schema_subcommand_accepts_the_golden_corpus() {
+    let out = radio_lint(&["schema"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(stdout(&out).contains("radio-lint: clean (2 file(s) scanned)"));
+}
+
+#[test]
+fn schema_subcommand_rejects_contract_violations() {
+    // A classify row smuggling in an election-only `model` field, and an
+    // elect row with cache counters but no wall_ns anchor.
+    let bad = concat!(
+        r#"{"phase":"classify","family":"path","tags":"uniform","n":4,"span":2,"runs":8,"feasible":true,"iterations":3,"classes":2,"relabels":1,"model":"beep"}"#,
+        "\n",
+    );
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad_rows.jsonl");
+    std::fs::write(&path, bad).unwrap();
+
+    let out = radio_lint(&["schema", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "schema must be strict");
+    let text = stdout(&out);
+    assert!(text.contains("[row-schema]"), "got: {text}");
+    assert!(
+        text.contains("model"),
+        "finding should name the field: {text}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = radio_lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

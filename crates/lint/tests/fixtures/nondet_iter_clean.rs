@@ -1,0 +1,28 @@
+// Fixture: the approved idioms around hash containers — lookups, ordered
+// containers, normalized-order iteration under an annotated allow.
+// Linted under crates/sim/src/nondet_iter_clean.rs. Never compiled.
+
+fn lookup(index: &radio_util::FxHashMap<u64, u32>, key: u64) -> Option<u32> {
+    index.get(&key).copied()
+}
+
+fn grouped(xs: &[(u64, u32)]) -> Vec<(u64, Vec<u32>)> {
+    // BTreeMap iterates in key order: deterministic by construction.
+    let mut map: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+    for &(k, v) in xs {
+        map.entry(k).or_default().push(v);
+    }
+    map.into_iter().collect()
+}
+
+fn sorted_members(set: &mut radio_util::FxHashSet<u32>) -> Vec<u32> {
+    // lint:allow(nondet-iter): drained into a sort — order is normalized
+    // before anything observes it
+    let mut out: Vec<u32> = set.drain().collect();
+    out.sort_unstable();
+    out
+}
+
+fn insert_only(counts: &mut radio_util::FxHashMap<u32, u32>, x: u32) {
+    *counts.entry(x).or_insert(0) += 1;
+}

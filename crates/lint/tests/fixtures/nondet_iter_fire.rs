@@ -1,0 +1,37 @@
+// Fixture: every facet of nondet-iter fires, plus allow-syntax errors.
+// Linted under the logical path crates/sim/src/nondet_iter_fire.rs
+// (result-affecting scope). Never compiled.
+
+use std::collections::HashMap;
+
+struct Census {
+    counts: radio_util::FxHashMap<u32, u32>,
+}
+
+impl Census {
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counts {
+            out.push((*k, *v));
+        }
+        out
+    }
+
+    fn labels(&self) -> Vec<u32> {
+        self.counts.keys().copied().collect()
+    }
+}
+
+fn tally(xs: &[u32]) -> u32 {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0u32) += 1;
+    }
+    // lint:allow(nondet-iter)
+    seen.values().sum()
+}
+
+fn drain_in_hash_order(set: &mut radio_util::FxHashSet<u64>) -> Vec<u64> {
+    // lint:allow(not-a-rule): the rule id here does not exist
+    set.drain().collect()
+}

@@ -1,0 +1,11 @@
+// Fixture: the house randomness idiom — every stream is derived from a
+// root seed and a positional label, so reruns are bit-for-bit identical.
+// Linted under crates/graph/src/os_entropy_clean.rs. Never compiled.
+
+fn cell_rng(root: u64, rep: u64) -> rand::rngs::StdRng {
+    radio_util::rng::stream(root, "tags/clustered", rep)
+}
+
+fn derived(root: u64) -> u64 {
+    radio_util::rng::derive(root, "graphs")
+}

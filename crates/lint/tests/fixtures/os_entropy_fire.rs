@@ -1,0 +1,15 @@
+// Fixture: os-entropy fires on ambient randomness sources.
+// Linted under crates/graph/src/os_entropy_fire.rs. Never compiled.
+
+fn shuffled(xs: &mut Vec<u32>) {
+    let mut rng = rand::thread_rng();
+    xs.sort_by_cached_key(|_| rng.random::<u64>());
+}
+
+fn seeded_table() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+fn fresh_rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

@@ -1,0 +1,8 @@
+// Fixture: stdout-purity fires on stdout writes from library code.
+// Linted under crates/classifier/src/stdout_purity_fire.rs. Never compiled.
+
+pub fn report(feasible: bool, iterations: usize) {
+    println!("feasible: {feasible}");
+    print!("iterations: {iterations}");
+    let _ = dbg!(iterations);
+}

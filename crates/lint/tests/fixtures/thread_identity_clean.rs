@@ -1,0 +1,16 @@
+// Fixture: geometry-invariant parallelism — thread counts come in as
+// explicit parameters, and the one capacity probe carries a justification.
+// Linted under crates/sim/src/thread_identity_clean.rs. Never compiled.
+
+fn shard_ranges(items: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = items.div_ceil(threads.max(1));
+    (0..threads).map(|t| (t * chunk, ((t + 1) * chunk).min(items))).collect()
+}
+
+fn default_threads() -> usize {
+    // lint:allow(thread-identity): worker-count selection only; results are
+    // geometry-invariant by contract
+    std::thread::available_parallelism()
+        .map(|nz| nz.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,12 @@
+// Fixture: thread-identity fires when thread identity can reach results.
+// Linted under crates/sim/src/thread_identity_fire.rs. Never compiled.
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|nz| nz.get())
+        .unwrap_or(1)
+}
+
+fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,13 @@
+//! Fixture: a compliant crate root — the forbid attribute is present, and
+//! the (hypothetical) unsafe block carries its SAFETY justification.
+//! Linted under the logical path crates/sim/src/lib.rs. Never compiled,
+//! so forbid + unsafe coexisting here is fine: this pins the *lexer's*
+//! view, not rustc's.
+
+#![forbid(unsafe_code)]
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // SAFETY: callers guarantee xs is non-empty, so the pointer read is
+    // within bounds
+    unsafe { *xs.as_ptr() }
+}

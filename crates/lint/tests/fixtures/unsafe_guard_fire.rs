@@ -1,0 +1,7 @@
+// Fixture: unsafe-guard fires twice — the crate root is missing
+// #![forbid(unsafe_code)], and an unsafe block has no SAFETY comment.
+// Linted under the logical path crates/sim/src/lib.rs. Never compiled.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,17 @@
+// Fixture: byte-for-byte the same body as wall_clock_fire.rs, but linted
+// under crates/bench/src/wall_clock_clean.rs — the measurement harness is
+// the one crate allowed to read the wall clock, so nothing fires here.
+// Never compiled.
+
+fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+// Fixture: wall-clock fires on Instant::now and SystemTime outside the
+// measurement surface. Linted under crates/core/src/wall_clock_fire.rs.
+// Never compiled.
+
+fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,40 @@
+//! Self-check: `radio-lint` passes its own lint.
+//!
+//! The linter's sources are full of the very patterns its rules hunt for —
+//! `"HashMap"`, `"thread_rng"`, `"println!"` — but always inside string
+//! literals, doc comments, and match arms. A lexer that confused literal
+//! contents with code would flag its own rule table; this test pins that it
+//! does not, and that the crate honors the contract it enforces on everyone
+//! else (no stdout writes from the library, `#![forbid(unsafe_code)]`,
+//! deterministic iteration — the crate uses no hash containers at all).
+
+use radio_lint::scan_tree;
+use std::path::Path;
+
+#[test]
+fn lint_crate_passes_its_own_lint() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = scan_tree(manifest, &["src", "tests"]).expect("scan lint crate");
+    assert!(report.files_scanned > 5, "self-scan saw too few files");
+    assert!(
+        report.is_clean(),
+        "radio-lint flagged its own sources:\n{}",
+        report.render_human()
+    );
+}
+
+/// The rule-pattern strings in `rules.rs` survive lexing as literals: a
+/// direct probe that string contents never become identifier tokens.
+#[test]
+fn own_string_literals_do_not_register_as_code() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(manifest.join("src/rules.rs")).expect("read rules.rs");
+    // rules.rs names the forbidden identifiers in its tables/messages…
+    assert!(src.contains("thread_rng") && src.contains("HashMap"));
+    // …yet scanning it under a result-affecting logical path stays clean.
+    let findings = radio_lint::scan_source("crates/sim/src/rules.rs", &src);
+    assert!(
+        findings.is_empty(),
+        "string-literal rule patterns leaked into token scan: {findings:?}"
+    );
+}

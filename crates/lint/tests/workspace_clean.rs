@@ -1,0 +1,49 @@
+//! The acceptance gate, wired into tier-1 `cargo test`: the whole workspace
+//! lints clean, and the golden campaign corpus obeys the row schema. CI runs
+//! the same checks through the binary; this test keeps a plain `cargo test`
+//! equally strict.
+
+use radio_lint::{scan_tree, DEFAULT_ROOTS};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = scan_tree(&workspace_root(), DEFAULT_ROOTS).expect("scan workspace");
+    // The workspace has ~100 .rs files across seven crates + root src/ +
+    // tests/; a collapse in files_scanned would mean the walk silently
+    // missed entire trees and "clean" proved nothing.
+    assert!(
+        report.files_scanned > 80,
+        "scan covered only {} files — tree walk is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism contract violations in the workspace:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn golden_corpus_obeys_row_schema() {
+    let root = workspace_root();
+    for name in ["campaign_elect.jsonl", "campaign_classify.jsonl"] {
+        let path = root.join("tests/golden").join(name);
+        let contents = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let findings = radio_lint::schema::check_rows(&format!("tests/golden/{name}"), &contents);
+        assert!(
+            findings.is_empty(),
+            "{name} violates the campaign row contract: {findings:?}"
+        );
+    }
+}

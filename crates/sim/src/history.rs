@@ -325,8 +325,7 @@ mod tests {
 
     #[test]
     fn equality_and_hash_are_structural() {
-        use std::collections::HashSet;
-        let mut set = HashSet::new();
+        let mut set = radio_util::FxHashSet::default();
         set.insert(sample());
         assert!(set.contains(&sample()));
         assert!(!set.contains(&History::new()));

@@ -171,6 +171,9 @@ where
 /// The worker count [`par_map`] uses: `available_parallelism`, or 1 if the
 /// platform cannot report it.
 pub fn default_threads() -> usize {
+    // lint:allow(thread-identity): worker-*count* selection only — results are
+    // geometry-invariant by contract (identical across any thread/shard split;
+    // pinned by tests/campaign.rs and the par_map unit tests)
     std::thread::available_parallelism()
         .map(|nz| nz.get())
         .unwrap_or(1)

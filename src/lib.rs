@@ -13,6 +13,8 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use anon_radio as core;
 pub use radio_classifier as classifier;
 pub use radio_graph as graph;
