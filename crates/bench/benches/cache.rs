@@ -24,7 +24,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use radio_bench::campaign::{
-    CacheConfig, CampaignRunner, CampaignSpec, FamilySpec, Phase, ScheduleCache, TagStrategy,
+    BatchConfig, CacheConfig, CampaignRunner, CampaignSpec, FamilySpec, Phase, ScheduleCache,
+    TagStrategy,
 };
 use radio_classifier::ClassifierWorkspace;
 use radio_graph::{generators, tags, Configuration};
@@ -48,6 +49,7 @@ fn repeated_shape_spec(cache: CacheConfig) -> CampaignSpec {
         seed: 0xCAC4E,
         opts: RunOpts::default(),
         cache,
+        batch: BatchConfig::default(),
     }
 }
 

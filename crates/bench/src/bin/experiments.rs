@@ -18,6 +18,7 @@ fn main() {
     let mut effort = Effort::Full;
     let mut seed = DEFAULT_ROOT_SEED;
     let mut out_dir: Option<PathBuf> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -36,17 +37,31 @@ fn main() {
                         .unwrap_or_else(|| die("--out needs a directory")),
                 ));
             }
+            "--bench-json" => {
+                bench_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--bench-json needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--quick] [--seed N] [--out DIR] [e1 e2 … e10]\n\
                      runs the paper-claim experiments (all by default) and prints\n\
-                     Markdown tables; --out also writes <id>_<k>.md/.csv files"
+                     Markdown tables; --out also writes <id>_<k>.md/.csv files\n\
+                     --bench-json PATH  instead measure the fused batch engine against\n\
+                     the one-run-per-worker campaign path and append one JSON\n\
+                     trajectory row (batched vs sequential ns/run, speedup) to PATH"
                 );
                 return;
             }
             id if id.starts_with('e') => wanted.push(id.to_string()),
             other => die(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if let Some(path) = &bench_json {
+        bench_batch(path, seed);
+        return;
     }
 
     if let Some(dir) = &out_dir {
@@ -77,6 +92,75 @@ fn main() {
             }
         }
     }
+}
+
+/// `--bench-json`: time the 10k-rep small-graph elect campaign through
+/// the fused batch engine (default size) and through the one-run-per-
+/// worker path (`--no-batch`), best of three passes each after a warm-up,
+/// and append one machine-readable trajectory row — so future changes can
+/// see the engine's perf curve without re-deriving the workload.
+fn bench_batch(path: &std::path::Path, seed: u64) {
+    use radio_bench::campaign::{
+        BatchConfig, CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy,
+    };
+    use radio_sim::{ModelKind, RunOpts};
+
+    let spec = |batch: BatchConfig| CampaignSpec {
+        phase: Phase::Elect,
+        families: vec![FamilySpec::Path, FamilySpec::Star],
+        tags: vec![TagStrategy::Arith { stride: 1 }],
+        sizes: vec![8],
+        spans: vec![4],
+        models: vec![ModelKind::Beeping],
+        reps: 5_000,
+        seed,
+        opts: RunOpts::default(),
+        cache: radio_bench::campaign::CacheConfig::default(),
+        batch,
+    };
+    let threads = radio_sim::parallel::default_threads();
+    let runs = spec(BatchConfig::default()).total_runs();
+    let time = |batch: BatchConfig| -> f64 {
+        let mut best = f64::INFINITY;
+        for pass in 0..4 {
+            let mut runner = CampaignRunner::new(spec(batch), 1);
+            let started = std::time::Instant::now();
+            runner.run_to_completion(threads);
+            let ns = started.elapsed().as_nanos() as f64 / runs as f64;
+            if pass > 0 {
+                best = best.min(ns); // pass 0 is the warm-up
+            }
+        }
+        best
+    };
+    let sequential = time(BatchConfig::disabled());
+    let batched = time(BatchConfig::default());
+    let row = format!(
+        "{{\"bench\":\"batch_engine\",\"runs\":{runs},\"threads\":{threads},\
+         \"batch_size\":{},\"sequential_ns_per_run\":{:.0},\"batched_ns_per_run\":{:.0},\
+         \"speedup\":{:.3}}}\n",
+        BatchConfig::DEFAULT_SIZE,
+        sequential,
+        batched,
+        sequential / batched,
+    );
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open --bench-json path");
+    file.write_all(row.as_bytes()).expect("append bench row");
+    eprintln!(
+        "batch engine: sequential {:.0} ns/run, batched {:.0} ns/run — {:.2}× \
+         ({} runs, {} threads; row appended to {})",
+        sequential,
+        batched,
+        sequential / batched,
+        runs,
+        threads,
+        path.display()
+    );
 }
 
 fn die(msg: &str) -> ! {

@@ -10,8 +10,9 @@
 
 pub use anon_radio::cache::{CacheConfig, CacheStats, ScheduleCache};
 pub use anon_radio::campaign::{
-    classify_metrics, election_metrics, CampaignRunner, CampaignSpec, CampaignWorkspace,
-    CellAggregate, CellKey, FamilyKind, FamilySpec, Phase, RunMetrics, ShardReport, TagStrategy,
+    classify_metrics, election_metrics, election_metrics_batched, BatchConfig, CampaignRunner,
+    CampaignSpec, CampaignWorkspace, CellAggregate, CellKey, FamilyKind, FamilySpec, Phase,
+    RunMetrics, ShardReport, TagStrategy,
 };
 
 use radio_sim::{ModelKind, RunOpts};
@@ -38,6 +39,7 @@ pub fn election_spec(effort: Effort, seed: u64) -> CampaignSpec {
         seed,
         opts: RunOpts::default(),
         cache: CacheConfig::default(),
+        batch: BatchConfig::default(),
     }
 }
 
@@ -65,6 +67,7 @@ pub fn classify_spec(effort: Effort, seed: u64) -> CampaignSpec {
         seed,
         opts: RunOpts::default(),
         cache: CacheConfig::default(),
+        batch: BatchConfig::default(),
     }
 }
 
@@ -151,6 +154,7 @@ mod tests {
             seed: 3,
             opts: RunOpts::default(),
             cache: CacheConfig::default(),
+            batch: BatchConfig::default(),
         };
         let cells = spec.cells().len();
         let mut runner = CampaignRunner::new(spec, 2);

@@ -191,6 +191,7 @@ pub fn run(effort: Effort, seed: u64) -> Vec<Table> {
         seed,
         opts: RunOpts::default(),
         cache: crate::campaign::CacheConfig::default(),
+        batch: crate::campaign::BatchConfig::default(),
     };
     let leap_spec = spec.clone();
     let mut step_spec = spec;

@@ -207,6 +207,8 @@ fn campaign_command(args: &[String]) -> i32 {
     let mut no_leap = false;
     let mut no_cache = false;
     let mut cache_capacity: Option<usize> = None;
+    let mut no_batch = false;
+    let mut batch_size: Option<usize> = None;
     let mut out: Option<String> = None;
 
     let parsed: Result<(), String> = (|| {
@@ -256,6 +258,14 @@ fn campaign_command(args: &[String]) -> i32 {
                         value("--cache-capacity")?
                             .parse()
                             .map_err(|e| format!("--cache-capacity: {e}"))?,
+                    )
+                }
+                "--no-batch" => no_batch = true,
+                "--batch-size" => {
+                    batch_size = Some(
+                        value("--batch-size")?
+                            .parse()
+                            .map_err(|e| format!("--batch-size: {e}"))?,
                     )
                 }
                 "--out" => out = Some(value("--out")?),
@@ -313,6 +323,19 @@ fn campaign_command(args: &[String]) -> i32 {
         (false, Some(capacity)) => anon_radio::cache::CacheConfig::with_capacity(capacity),
         (false, None) => anon_radio::cache::CacheConfig::default(),
     };
+    let batch = match (no_batch, batch_size) {
+        (true, Some(_)) => {
+            eprintln!("error: --batch-size conflicts with --no-batch");
+            return 2;
+        }
+        (true, None) => anon_radio::campaign::BatchConfig::disabled(),
+        (false, Some(0)) => {
+            eprintln!("error: --batch-size must be at least 1 (or pass --no-batch)");
+            return 2;
+        }
+        (false, Some(size)) => anon_radio::campaign::BatchConfig::with_size(size),
+        (false, None) => anon_radio::campaign::BatchConfig::default(),
+    };
     let spec = CampaignSpec {
         phase,
         families,
@@ -324,6 +347,7 @@ fn campaign_command(args: &[String]) -> i32 {
         seed,
         opts,
         cache,
+        batch,
     };
     // Whole-grid validation: every family × size cell must be realizable
     // as-is — unrealizable combinations (cycle below 3 nodes, a pinned
@@ -513,6 +537,11 @@ fn usage() -> i32 {
          \u{20}                       memoizes classify+compile across repeated shapes by\n\
          \u{20}                       default; rows are bit-identical either way)\n\
          \u{20}      --cache-capacity N  bound the cache at ~N entries (default 4096)\n\
+         \u{20}      --no-batch       run elect-phase simulations one at a time (batches of\n\
+         \u{20}                       runs execute through one fused engine pass by default;\n\
+         \u{20}                       rows are bit-identical either way up to the measured\n\
+         \u{20}                       tail from \"wall_ns\" on)\n\
+         \u{20}      --batch-size B   member runs per fused batch (default 16)\n\
          \n\
          configuration file format: see `radio-graph::io` docs"
     );

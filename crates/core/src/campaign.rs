@@ -41,14 +41,16 @@ use std::time::Instant;
 use radio_classifier::ClassifierWorkspace;
 use radio_graph::{Configuration, Graph};
 use radio_sim::parallel::par_map_init;
-use radio_sim::{ModelKind, RunOpts, SimWorkspace};
+use radio_sim::{BatchRun, BatchWorkspace, ModelKind, RunOpts, SimWorkspace};
+use radio_util::fxhash::FxHashMap;
 use radio_util::rng::{derive, derive_index, rng_from};
 use radio_util::stats::StreamingStats;
 
 pub use radio_graph::family::{FamilyError, FamilySpec};
 pub use radio_graph::tags::TagStrategy;
 
-use crate::cache::{CacheConfig, CacheStats, ScheduleCache};
+use crate::cache::{config_fingerprint, CacheConfig, CacheStats, ScheduleCache};
+use crate::canonical::CanonicalFactory;
 use crate::dedicated::CompiledElection;
 
 /// Which pipeline stage a campaign sweeps.
@@ -110,6 +112,10 @@ impl std::fmt::Display for Phase {
 pub struct CampaignWorkspace {
     /// Recycled engine state for simulations.
     pub sim: SimWorkspace,
+    /// Recycled fused-batch engine state — the default elect-phase path
+    /// ([`election_metrics_batched`]) runs each batch of member runs
+    /// through one engine pass instead of one [`SimWorkspace`] run each.
+    pub batch: BatchWorkspace,
     /// Recycled classifier state (label interner, refine buffers,
     /// worklist).
     pub classifier: ClassifierWorkspace,
@@ -134,6 +140,53 @@ impl CampaignWorkspace {
         CampaignWorkspace {
             cache,
             ..CampaignWorkspace::default()
+        }
+    }
+}
+
+/// Batched-execution policy for elect campaigns (`--no-batch`,
+/// `--batch-size`). Batching is on by default: runs are grouped into
+/// contiguous batches (never crossing a cell boundary — pure position
+/// arithmetic, invariant under threads and shard geometry) and each batch
+/// executes as one fused [`BatchWorkspace`] pass. Rows are bit-identical
+/// to the unbatched path up to the measured tail (`wall_ns` onward).
+/// Ignored by the classify phase, which runs no simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Whether the elect phase batches at all (`--no-batch` clears it).
+    pub enabled: bool,
+    /// Maximum member runs per fused batch (`--batch-size N`, ≥ 1).
+    pub size: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            enabled: true,
+            size: BatchConfig::DEFAULT_SIZE,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Default batch size: large enough that engine dispatch and the
+    /// per-batch compile dedupe amortize over many members, small enough
+    /// that dynamic work-stealing still balances skewed cells.
+    pub const DEFAULT_SIZE: usize = 16;
+
+    /// The `--no-batch` configuration.
+    pub fn disabled() -> BatchConfig {
+        BatchConfig {
+            enabled: false,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Enabled with an explicit batch size (`--batch-size N`).
+    pub fn with_size(size: usize) -> BatchConfig {
+        BatchConfig {
+            enabled: true,
+            size,
         }
     }
 }
@@ -277,6 +330,10 @@ pub struct CampaignSpec {
     /// compiles a schedule. Cached and uncached campaigns produce
     /// bit-identical rows up to the cache counters themselves.
     pub cache: CacheConfig,
+    /// Batched-execution policy for elect campaigns (`--no-batch`,
+    /// `--batch-size`). Batched and unbatched campaigns produce
+    /// bit-identical rows up to the measured tail.
+    pub batch: BatchConfig,
 }
 
 impl CampaignSpec {
@@ -299,6 +356,7 @@ impl CampaignSpec {
             seed,
             opts: RunOpts::default(),
             cache: CacheConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -652,6 +710,145 @@ pub fn election_metrics(
     metrics
 }
 
+/// The elect-phase workload for one *batch* of runs `lo..hi` (global run
+/// indices, all inside `cell`): compile once per distinct configuration
+/// fingerprint, execute every feasible member through the workspace's
+/// fused [`BatchWorkspace`], and fold metrics straight off the engine's
+/// borrowed [`MemberView`](radio_sim::MemberView)s — no per-run
+/// [`Execution`](radio_sim::Execution) is ever materialized.
+///
+/// Every column up to the measured tail is bit-identical to running
+/// [`election_metrics`] per member. The tail differs in the expected
+/// ways: `wall_ns` is the batch's elapsed time attributed evenly across
+/// its members (per-member timing inside a fused pass is not separable),
+/// and the cache counters account the *batch-local* compile dedupe — the
+/// first member of each distinct fingerprint records the real cache
+/// lookup, and members sharing its compile record a hit (with a cache
+/// attached; with `--no-cache` they record neither, since no cache was
+/// consulted — the batch-local dedupe is pure memoization of a pure
+/// function, not a cache policy).
+pub fn election_metrics_batched(
+    workspace: &mut CampaignWorkspace,
+    spec: &CampaignSpec,
+    cell: &CellKey,
+    lo: usize,
+    hi: usize,
+) -> Vec<RunMetrics> {
+    // lint:allow(wall-clock): designated timing site feeding the wall_ns
+    // column, which lives in the measured row tail
+    let start = Instant::now();
+    let count = hi - lo;
+    let mut metrics = vec![RunMetrics::default(); count];
+    let configs: Vec<Configuration> = (lo..hi)
+        .map(|idx| spec.configuration(cell, idx % spec.reps))
+        .collect();
+
+    // One compile per distinct fingerprint in the batch. The memo map is
+    // only ever probed and inserted (never iterated), so member order
+    // stays the batch's positional order.
+    let mut uniq: Vec<CompiledElection> = Vec::new();
+    let mut which: Vec<usize> = Vec::with_capacity(count);
+    let mut seen: FxHashMap<u128, usize> = FxHashMap::default();
+    for (k, config) in configs.iter().enumerate() {
+        match seen.get(&config_fingerprint(config)) {
+            Some(&slot) => {
+                which.push(slot);
+                if workspace.cache.is_some() {
+                    metrics[k].cache_hit = true;
+                }
+            }
+            None => {
+                let compiled = match &workspace.cache {
+                    Some(cache) => {
+                        let (compiled, lookup) =
+                            cache.compile_in(&mut workspace.classifier, config);
+                        metrics[k].cache_hit = lookup.is_hit();
+                        metrics[k].cache_miss = !lookup.is_hit();
+                        compiled
+                    }
+                    None => CompiledElection::compile_in(&mut workspace.classifier, config),
+                };
+                seen.insert(config_fingerprint(config), uniq.len());
+                which.push(uniq.len());
+                uniq.push(compiled);
+            }
+        }
+    }
+
+    let factories: Vec<Option<CanonicalFactory>> = uniq
+        .iter()
+        .map(|c| c.feasible().then(|| c.factory()))
+        .collect();
+    // Within-batch execution sharing: equal fingerprints mean equal
+    // configurations (the cache's `Key::Exact` identity), and equal
+    // configurations under the same opts produce bit-identical
+    // executions — so the engine simulates one representative per
+    // distinct feasible config and duplicates copy its shape verbatim.
+    let mut runs: Vec<BatchRun<'_>> = Vec::with_capacity(count);
+    let mut run_members: Vec<usize> = Vec::with_capacity(count);
+    let mut rep_of: Vec<Option<usize>> = vec![None; uniq.len()];
+    for k in 0..count {
+        if let Some(factory) = &factories[which[k]] {
+            metrics[k].feasible = true;
+            if rep_of[which[k]].is_none() {
+                rep_of[which[k]] = Some(k);
+                runs.push(BatchRun {
+                    config: &configs[k],
+                    factory,
+                });
+                run_members.push(k);
+            }
+        }
+    }
+    if !runs.is_empty() {
+        let batch = &mut workspace.batch;
+        batch.run_kind_with(cell.model, &runs, spec.opts, |i, outcome| {
+            let k = run_members[i];
+            let m = &mut metrics[k];
+            match outcome {
+                Ok(view) => {
+                    let compiled = &uniq[which[k]];
+                    let decision = compiled.decision();
+                    let mut leaders = (0..configs[k].size() as radio_graph::NodeId)
+                        .filter(|&v| decision.is_leader_view(view.history(v)));
+                    m.elected = leaders.next() == Some(compiled.predicted_leader())
+                        && leaders.next().is_none();
+                    m.simulated = true;
+                    m.rounds = view.rounds();
+                    m.transmissions = view.stats().transmissions;
+                    m.rounds_stepped = view.rounds_stepped();
+                    m.rounds_leapt = view.rounds_leapt();
+                }
+                Err(_) => m.aborted = true,
+            }
+        });
+    }
+    // Fan the representative's simulated shape back out to its
+    // duplicates (their cache accounting, set above, is their own).
+    for k in 0..count {
+        if !metrics[k].feasible {
+            continue;
+        }
+        let rep = rep_of[which[k]].expect("feasible slot has a representative");
+        if rep != k {
+            let src = metrics[rep];
+            let m = &mut metrics[k];
+            m.elected = src.elected;
+            m.simulated = src.simulated;
+            m.aborted = src.aborted;
+            m.rounds = src.rounds;
+            m.transmissions = src.transmissions;
+            m.rounds_stepped = src.rounds_stepped;
+            m.rounds_leapt = src.rounds_leapt;
+        }
+    }
+    let each = start.elapsed().as_nanos() as u64 / count as u64;
+    for m in &mut metrics {
+        m.wall_ns = each;
+    }
+    metrics
+}
+
 /// The classify-phase per-run workload: the decision alone, record-free,
 /// through the worker's recycled [`ClassifierWorkspace`]. No compilation,
 /// no simulation — the folded shape is the classifier's: iterations until
@@ -802,9 +999,64 @@ impl CampaignRunner {
     /// Returns `None` when the campaign is complete.
     pub fn run_next_shard(&mut self, threads: usize) -> Option<ShardReport> {
         match self.spec.phase {
+            Phase::Elect if self.spec.batch.enabled => self.run_next_shard_batched(threads),
             Phase::Elect => self.run_next_shard_with(threads, &election_metrics),
             Phase::Classify => self.run_next_shard_with(threads, &classify_metrics),
         }
+    }
+
+    /// The batched elect-phase shard path: the shard's run range is split
+    /// into contiguous batches (pure position arithmetic — each batch
+    /// stays inside one cell and holds at most `spec.batch.size` runs, so
+    /// the split is invariant under threads and shard geometry), workers
+    /// claim whole batches, and every batch runs through the worker's
+    /// [`BatchWorkspace`] as one fused engine pass
+    /// ([`election_metrics_batched`]).
+    fn run_next_shard_batched(&mut self, threads: usize) -> Option<ShardReport> {
+        if self.is_done() {
+            return None;
+        }
+        let shard = self.next_shard;
+        self.next_shard += 1;
+        let (start, end) = self.shard_range(shard);
+        // lint:allow(wall-clock): shard wall time feeds the stderr progress
+        // report only, never a result row
+        let started = Instant::now();
+        let reps = self.spec.reps;
+        let size = self.spec.batch.size.max(1);
+        let mut batches: Vec<(usize, usize)> = Vec::new();
+        let mut i = start;
+        while i < end {
+            let cell_end = (i / reps + 1) * reps;
+            let stop = cell_end.min(end).min(i + size);
+            batches.push((i, stop));
+            i = stop;
+        }
+        let spec = &self.spec;
+        let cells = &self.cells;
+        let cache = &self.cache;
+        let results: Vec<(usize, Vec<RunMetrics>)> = par_map_init(
+            &batches,
+            threads,
+            || CampaignWorkspace::with_cache(cache.clone()),
+            |ws, &(lo, hi)| {
+                let cell_idx = lo / spec.reps;
+                (
+                    cell_idx,
+                    election_metrics_batched(ws, spec, &cells[cell_idx], lo, hi),
+                )
+            },
+        );
+        for (cell_idx, ms) in &results {
+            for m in ms {
+                self.aggregates[*cell_idx].fold(m);
+            }
+        }
+        Some(ShardReport {
+            shard,
+            runs: end - start,
+            wall_s: started.elapsed().as_secs_f64(),
+        })
     }
 
     /// [`CampaignRunner::run_next_shard`] with a custom per-run workload
@@ -969,6 +1221,7 @@ mod tests {
             seed: 11,
             opts: RunOpts::default(),
             cache: CacheConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -984,6 +1237,7 @@ mod tests {
             seed: 11,
             opts: RunOpts::default(),
             cache: CacheConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -1382,7 +1636,13 @@ mod tests {
 
     #[test]
     fn cached_campaign_reports_hits_in_rows_and_stats() {
-        let mut runner = CampaignRunner::new(tiny_spec(), 2);
+        // The one-lookup-per-run accounting asserted below is the
+        // *sequential* path's contract; the batched path dedupes compiles
+        // within a batch, so its lookup count can be below total_runs
+        // (pinned by batched_dedupe_accounts_hits_without_extra_lookups).
+        let mut spec = tiny_spec();
+        spec.batch = BatchConfig::disabled();
+        let mut runner = CampaignRunner::new(spec, 2);
         runner.run_to_completion(2);
         let stats = runner
             .cache_stats()
@@ -1407,6 +1667,39 @@ mod tests {
             let tail = row.split(",\"wall_ns\"").nth(1).unwrap();
             assert!(tail.contains("\"cache_hits\""), "{row}");
         }
+    }
+
+    #[test]
+    fn batched_dedupe_accounts_hits_without_extra_lookups() {
+        // Arith tags redraw the same tag vector every rep, so every batch
+        // holds duplicate fingerprints: the batch-local memo answers them
+        // without consulting the shared cache, while their metrics still
+        // record hits. Rows stay bit-identical to the unbatched campaign
+        // up to the measured tail.
+        let mut spec = tiny_spec();
+        spec.tags = vec![TagStrategy::Arith { stride: 1 }];
+        spec.reps = 6;
+        spec.batch = BatchConfig::with_size(4);
+        let mut runner = CampaignRunner::new(spec.clone(), 1);
+        runner.run_to_completion(1);
+        let stats = runner.cache_stats().unwrap();
+        assert!(
+            stats.lookups() < spec.total_runs() as u64,
+            "batch-local dedupe must skip shared-cache lookups: {stats:?}"
+        );
+        let folded: u64 = runner.aggregates().map(|(_, a)| a.cache_hits).sum();
+        assert!(folded >= stats.hits, "{folded} vs {stats:?}");
+        assert!(folded > 0, "deduped members still record hits");
+        let mut seq_spec = spec;
+        seq_spec.batch = BatchConfig::disabled();
+        let mut seq = CampaignRunner::new(seq_spec, 2);
+        seq.run_to_completion(2);
+        let strip = |rows: Vec<String>| -> Vec<String> {
+            rows.into_iter()
+                .map(|r| r.split(",\"wall_ns\"").next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(strip(runner.jsonl_rows()), strip(seq.jsonl_rows()));
     }
 
     #[test]

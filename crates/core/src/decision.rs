@@ -10,7 +10,7 @@
 //! definition, and it is manifestly a pure function of the history, so
 //! anonymity is preserved.
 
-use radio_sim::History;
+use radio_sim::{History, HistoryView};
 
 use crate::schedule::{MatchResult, SharedSchedule};
 use radio_classifier::Level;
@@ -30,6 +30,13 @@ impl LeaderDecision {
     /// Replays the matching over `history` and returns the final class it
     /// lands in, or `None` if the history is off-schedule.
     pub fn final_class(&self, history: &History) -> Option<u32> {
+        self.final_class_view(history.view())
+    }
+
+    /// [`LeaderDecision::final_class`] over a borrowed history view — the
+    /// batch engine's metric path classifies straight out of the shared
+    /// observation arena without materializing owned histories.
+    pub fn final_class_view(&self, history: HistoryView<'_>) -> Option<u32> {
         let s = &self.schedule;
         let mut t_block = 1u32; // phase 1: everyone in block 1 (L_1 = [(1, null)])
         for j in 2..=s.phases() {
@@ -37,12 +44,12 @@ impl LeaderDecision {
                 Level::Blocks(entries) => entries,
                 Level::Terminate => unreachable!("levels 1..=T are block levels"),
             };
-            match s.match_entries(history.view(), j - 1, t_block, entries) {
+            match s.match_entries(history, j - 1, t_block, entries) {
                 MatchResult::Unique(k) => t_block = k,
                 _ => return None,
             }
         }
-        match s.match_entries(history.view(), s.phases(), t_block, &s.lists.final_entries) {
+        match s.match_entries(history, s.phases(), t_block, &s.lists.final_entries) {
             MatchResult::Unique(k) => Some(k),
             _ => None,
         }
@@ -50,8 +57,13 @@ impl LeaderDecision {
 
     /// `f_G(history)`: 1 iff the history is the leader's.
     pub fn is_leader(&self, history: &History) -> bool {
+        self.is_leader_view(history.view())
+    }
+
+    /// [`LeaderDecision::is_leader`] over a borrowed history view.
+    pub fn is_leader_view(&self, history: HistoryView<'_>) -> bool {
         match self.schedule.lists.leader_class {
-            Some(m_hat) => self.final_class(history) == Some(m_hat),
+            Some(m_hat) => self.final_class_view(history) == Some(m_hat),
             None => false, // infeasible configuration: nobody is leader
         }
     }

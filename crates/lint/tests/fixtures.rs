@@ -53,6 +53,14 @@ const FIRE: &[(&str, &str, &[&str])] = &[
         "crates/sim/src/lib.rs",
         &["unsafe-guard"],
     ),
+    // The fused batch engine is result-affecting code: member sweeps on
+    // hash order and worker identity steering the merged event queue are
+    // exactly the bugs that would silently break batched ≡ sequential.
+    (
+        "batch_member_order_fire.rs",
+        "crates/sim/src/batch.rs",
+        &["nondet-iter", "thread-identity"],
+    ),
 ];
 
 /// (fixture file, logical path): must produce zero findings.

@@ -1,0 +1,862 @@
+//! Cross-run batched execution: B independent runs through one fused
+//! hot loop.
+//!
+//! Campaign workloads are fleets of *small* runs (the paper's grids stay
+//! at n ≤ 64), and one-run-per-worker parallelism ([`crate::parallel`])
+//! stops scaling there: each tiny run pays full per-run scheduler and
+//! dispatch overhead, and its outputs are materialized (owned histories,
+//! wake/done vectors) even when the caller only folds a handful of
+//! counters. [`BatchWorkspace`] executes a whole *batch* of member runs
+//! inside one engine pass instead:
+//!
+//! * **SoA across runs** — the per-node state planes (wake, done,
+//!   round-stamped counters, quiescence horizons, sorted tag order,
+//!   neighbour bitmasks) are single flat `[Σ nₘ]` vectors indexed by
+//!   `member.base + v`, and every member's observation segments live in
+//!   one shared [`ObsArena`]. A warmed-up workspace runs batch after
+//!   batch without engine-side allocation, exactly like
+//!   [`SimWorkspace`](crate::SimWorkspace) does for single runs.
+//! * **Merged event queue** — each member carries its own round clock;
+//!   between steps it *fast-forwards* through the same time-leap
+//!   decisions the sequential engine would take (committing leapt
+//!   silence as it goes, so `quiet_until` is re-asked against the grown
+//!   history exactly as in the sequential loop). The fused scheduler
+//!   then pops the globally-next round `r* = min_m rₘ` across the whole
+//!   batch and sweeps every member sitting at `r*` in member order —
+//!   same-round delivery for many small graphs becomes one contiguous
+//!   sweep over adjacent state.
+//! * **Beeping bitset fast path** — under the 2-symbol
+//!   [`Beeping`](crate::model::Beeping) alphabet, untraced members with
+//!   n ≤ 64 deliver observations by mask: a listener's observation is
+//!   `adj_mask[v] & tx_mask ≠ 0 ? Noise : Silence`, and the per-edge
+//!   counter stamping runs only in rounds where a sleeping node is
+//!   adjacent to a transmitter (so forced wake-ups keep the sequential
+//!   engine's exact `touched` order, which the stepped/leapt split
+//!   depends on through the active-list scan order).
+//!
+//! # Bit-for-bit contract
+//!
+//! A batched member executes (steps) exactly the rounds the sequential
+//! engine would and commits exactly the same leaps, so its outputs —
+//! histories, wake/done rounds, stats, trace, and the
+//! `rounds_stepped`/`rounds_leapt` split — are bit-identical to
+//! [`SimWorkspace::run_kind`](crate::SimWorkspace::run_kind) on the same
+//! `(config, factory, model, opts)`. Batch size, batch composition, and
+//! member order are invisible in every output.
+//! `tests/batch_differential.rs` pins this across the family zoo × all
+//! three channel models × leap/step × ragged batch sizes.
+
+use radio_graph::{Configuration, NodeId};
+
+use crate::drip::DripFactory;
+use crate::engine::{ExecStats, Execution, RunOpts, SimError};
+use crate::history::{History, HistoryView};
+use crate::model::{
+    record_listener_obs, Beeping, CollisionDetection, ModelKind, NoCollisionDetection, RadioModel,
+};
+use crate::msg::{Action, Msg, Obs};
+use crate::trace::{RoundEvent, Trace};
+use crate::workspace::{ObsArena, ASLEEP};
+
+/// True when the channel model `M` is [`Beeping`] — resolved at
+/// monomorphization time, so the fast-path branches fold away for the
+/// other models.
+fn is_beeping<M: RadioModel>() -> bool {
+    std::any::TypeId::of::<M>() == std::any::TypeId::of::<Beeping>()
+}
+
+/// One member of a batch: a configuration plus the DRIP factory to run
+/// on it. Members are independent — different graphs, tag vectors, and
+/// factories may share a batch (the engine requires nothing but the
+/// common channel model and [`RunOpts`]).
+#[derive(Clone, Copy)]
+pub struct BatchRun<'a> {
+    /// The configuration this member simulates.
+    pub config: &'a Configuration,
+    /// Spawns the member's per-node DRIPs.
+    pub factory: &'a dyn DripFactory,
+}
+
+/// Per-member scheduler state: the member's round clock, cursors, and
+/// result counters. Flat-plane offsets (`base`, `n`) locate the member's
+/// node slice inside the workspace's SoA planes.
+#[derive(Debug, Default)]
+struct MemberState {
+    /// Offset of the member's node 0 in every flat plane.
+    base: usize,
+    /// Node count.
+    n: usize,
+    /// The member's current global round.
+    r: u64,
+    /// Cursor into the member's sorted `by_tag` segment.
+    tag_ptr: usize,
+    /// Nodes terminated so far.
+    done_count: usize,
+    rounds_executed: u64,
+    rounds_stepped: u64,
+    rounds_leapt: u64,
+    stats: ExecStats,
+    /// Bit v set ⟺ node v is still asleep (maintained only for n ≤ 64;
+    /// the Beeping fast path uses it to prove "no forced wake-up this
+    /// round" without touching the edge lists).
+    asleep_mask: u64,
+    /// Terminal failure (round limit); other members keep running.
+    error: Option<SimError>,
+    /// All nodes terminated.
+    finished: bool,
+}
+
+/// Reusable batched-engine state: flat per-node planes across all
+/// members of a batch plus per-member scheduler state, recycled batch
+/// after batch.
+///
+/// Create one per worker thread, then call [`BatchWorkspace::run_kind`]
+/// (materializing [`Execution`]s) or [`BatchWorkspace::run_kind_with`]
+/// (streaming per-member views, no materialization) as many times as
+/// needed.
+#[derive(Default)]
+pub struct BatchWorkspace {
+    nodes: Vec<Box<dyn crate::drip::DripNode>>,
+    arena: ObsArena,
+    wake: Vec<u64>,
+    done: Vec<u64>,
+    by_tag: Vec<NodeId>,
+    cnt: Vec<u32>,
+    cnt_stamp: Vec<u64>,
+    heard_msg: Vec<Msg>,
+    quiet_horizon: Vec<u64>,
+    /// Neighbour bitmask per node (Beeping fast path, n ≤ 64 members).
+    adj_mask: Vec<u64>,
+    members: Vec<MemberState>,
+    /// Per-member active lists (member-local node ids), recycled slots.
+    active: Vec<Vec<NodeId>>,
+    traces: Vec<Option<Trace>>,
+    /// Shared per-round scratch — one member steps at a time inside a
+    /// sweep, so a single set suffices for the whole batch.
+    actions: Vec<(NodeId, Action)>,
+    transmitters: Vec<(NodeId, Msg)>,
+    touched: Vec<NodeId>,
+    /// Members still running, in member order.
+    runnable: Vec<usize>,
+    /// Members stepping at the popped round `r*` this iteration.
+    sweep: Vec<usize>,
+}
+
+impl std::fmt::Debug for BatchWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchWorkspace")
+            .field("members", &self.members.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Read-only view of one completed member run — everything an
+/// [`Execution`] would carry, borrowed straight from the workspace
+/// planes so metric-folding callers skip the owned-history
+/// materialization entirely.
+#[derive(Clone, Copy)]
+pub struct MemberView<'a> {
+    ws: &'a BatchWorkspace,
+    m: usize,
+}
+
+impl<'a> MemberView<'a> {
+    /// Node count of the member's configuration.
+    pub fn size(&self) -> usize {
+        self.ws.members[self.m].n
+    }
+
+    /// Global rounds simulated (identical to the sequential engine).
+    pub fn rounds(&self) -> u64 {
+        self.ws.members[self.m].rounds_executed
+    }
+
+    /// Rounds executed one by one.
+    pub fn rounds_stepped(&self) -> u64 {
+        self.ws.members[self.m].rounds_stepped
+    }
+
+    /// Rounds skipped by the time-leap scheduler.
+    pub fn rounds_leapt(&self) -> u64 {
+        self.ws.members[self.m].rounds_leapt
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &'a ExecStats {
+        &self.ws.members[self.m].stats
+    }
+
+    /// Node `v`'s final local history, borrowed from the shared arena.
+    pub fn history(&self, v: NodeId) -> HistoryView<'a> {
+        self.ws
+            .arena
+            .view(self.ws.members[self.m].base + v as usize)
+    }
+
+    /// Global round node `v` woke in ([`ASLEEP`-sentinel-free]: every
+    /// node of a completed run woke).
+    pub fn wake_round(&self, v: NodeId) -> u64 {
+        self.ws.wake[self.ws.members[self.m].base + v as usize]
+    }
+
+    /// Global round node `v` terminated in.
+    pub fn done_round(&self, v: NodeId) -> u64 {
+        self.ws.done[self.ws.members[self.m].base + v as usize]
+    }
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; planes are dimensioned lazily by the first
+    /// batch.
+    pub fn new() -> BatchWorkspace {
+        BatchWorkspace::default()
+    }
+
+    /// Runs every member under the paper's channel model and returns
+    /// their materialized [`Execution`]s in member order.
+    pub fn run(
+        &mut self,
+        runs: &[BatchRun<'_>],
+        opts: RunOpts,
+    ) -> Vec<Result<Execution, SimError>> {
+        self.run_model::<NoCollisionDetection>(runs, opts)
+    }
+
+    /// [`BatchWorkspace::run`] under a runtime-selected channel model.
+    pub fn run_kind(
+        &mut self,
+        model: ModelKind,
+        runs: &[BatchRun<'_>],
+        opts: RunOpts,
+    ) -> Vec<Result<Execution, SimError>> {
+        self.execute_kind(model, runs, opts);
+        (0..runs.len()).map(|m| self.take_execution(m)).collect()
+    }
+
+    /// [`BatchWorkspace::run`] under an explicit channel model `M`.
+    pub fn run_model<M: RadioModel>(
+        &mut self,
+        runs: &[BatchRun<'_>],
+        opts: RunOpts,
+    ) -> Vec<Result<Execution, SimError>> {
+        self.execute::<M>(runs, opts);
+        (0..runs.len()).map(|m| self.take_execution(m)).collect()
+    }
+
+    /// Runs the batch and visits every member's outcome in member order
+    /// *without* materializing executions: `finish` receives either a
+    /// borrowed [`MemberView`] (histories live in the shared arena) or
+    /// the member's [`SimError`]. This is the campaign path — per-run
+    /// metrics are folded straight off the planes, skipping the n+1
+    /// owned-history allocations an [`Execution`] costs.
+    pub fn run_kind_with<R>(
+        &mut self,
+        model: ModelKind,
+        runs: &[BatchRun<'_>],
+        opts: RunOpts,
+        mut finish: impl FnMut(usize, Result<MemberView<'_>, &SimError>) -> R,
+    ) -> Vec<R> {
+        self.execute_kind(model, runs, opts);
+        (0..runs.len())
+            .map(|m| match &self.members[m].error {
+                Some(e) => finish(m, Err(e)),
+                None => finish(m, Ok(MemberView { ws: self, m })),
+            })
+            .collect()
+    }
+
+    fn execute_kind(&mut self, model: ModelKind, runs: &[BatchRun<'_>], opts: RunOpts) {
+        match model {
+            ModelKind::NoCollisionDetection => self.execute::<NoCollisionDetection>(runs, opts),
+            ModelKind::CollisionDetection => self.execute::<CollisionDetection>(runs, opts),
+            ModelKind::Beeping => self.execute::<Beeping>(runs, opts),
+        }
+    }
+
+    /// Re-dimensions every plane for the batch without freeing capacity,
+    /// spawns the members' DRIPs, sorts each member's tag order, and
+    /// (for Beeping-fast-path-eligible members) builds the neighbour
+    /// bitmasks.
+    fn reset_for<M: RadioModel>(&mut self, runs: &[BatchRun<'_>], opts: RunOpts) {
+        let total: usize = runs.iter().map(|run| run.config.size()).sum();
+        self.nodes.clear();
+        self.arena.reset(total);
+        self.wake.clear();
+        self.wake.resize(total, ASLEEP);
+        self.done.clear();
+        self.done.resize(total, ASLEEP);
+        self.by_tag.clear();
+        self.cnt.clear();
+        self.cnt.resize(total, 0);
+        // Stamps compare against round numbers that restart at 0 each
+        // batch; stale stamps from a previous batch must be cleared.
+        self.cnt_stamp.clear();
+        self.cnt_stamp.resize(total, u64::MAX);
+        self.heard_msg.clear();
+        self.heard_msg.resize(total, Msg(0));
+        self.quiet_horizon.clear();
+        self.quiet_horizon.resize(total, 0);
+        self.adj_mask.clear();
+        self.adj_mask.resize(total, 0);
+        self.actions.clear();
+        self.transmitters.clear();
+        self.touched.clear();
+        self.members.clear();
+        if self.active.len() < runs.len() {
+            self.active.resize_with(runs.len(), Vec::new);
+        }
+        for list in &mut self.active {
+            list.clear();
+        }
+        self.traces.clear();
+        self.traces.resize_with(runs.len(), || None);
+
+        // The mask path must not run for traced members: it reorders the
+        // forced-wake scan, which a trace's `woke` order would expose.
+        let masks = is_beeping::<M>() && !opts.record_trace;
+        let mut base = 0usize;
+        for (m, run) in runs.iter().enumerate() {
+            let n = run.config.size();
+            self.by_tag.extend(0..n as NodeId);
+            self.by_tag[base..base + n].sort_by_key(|&v| run.config.tag(v));
+            self.nodes.extend((0..n).map(|_| run.factory.spawn()));
+            if masks && n <= 64 {
+                let csr = run.config.csr();
+                for v in 0..n {
+                    let mut mask = 0u64;
+                    for &w in csr.neighbors(v as NodeId) {
+                        mask |= 1u64 << w;
+                    }
+                    self.adj_mask[base + v] = mask;
+                }
+            }
+            self.members.push(MemberState {
+                base,
+                n,
+                asleep_mask: if n >= 64 { u64::MAX } else { (1u64 << n) - 1 },
+                ..MemberState::default()
+            });
+            if opts.record_trace {
+                self.traces[m] = Some(Trace::default());
+            }
+            base += n;
+        }
+    }
+
+    /// The fused loop: fast-forward every member, then repeatedly pop
+    /// the globally-next round `r* = min_m rₘ` and sweep all members
+    /// sitting at `r*` through one stepped round each (member order —
+    /// deterministic, never hash- or thread-dependent).
+    fn execute<M: RadioModel>(&mut self, runs: &[BatchRun<'_>], opts: RunOpts) {
+        self.reset_for::<M>(runs, opts);
+        self.runnable.clear();
+        for (m, run) in runs.iter().enumerate() {
+            self.fast_forward(m, run.config, opts);
+            if self.members[m].error.is_none() {
+                self.runnable.push(m);
+            }
+        }
+        while !self.runnable.is_empty() {
+            let mut r_star = u64::MAX;
+            for i in 0..self.runnable.len() {
+                r_star = r_star.min(self.members[self.runnable[i]].r);
+            }
+            self.sweep.clear();
+            for i in 0..self.runnable.len() {
+                let m = self.runnable[i];
+                if self.members[m].r == r_star {
+                    self.sweep.push(m);
+                }
+            }
+            let mut retired = false;
+            for i in 0..self.sweep.len() {
+                let m = self.sweep[i];
+                self.step_round::<M>(m, runs[m].config);
+                if self.members[m].done_count == self.members[m].n {
+                    self.members[m].finished = true;
+                    retired = true;
+                } else {
+                    self.fast_forward(m, runs[m].config, opts);
+                    retired |= self.members[m].error.is_some();
+                }
+            }
+            if retired {
+                let members = &self.members;
+                self.runnable
+                    .retain(|&m| !members[m].finished && members[m].error.is_none());
+            }
+        }
+    }
+
+    /// Replays the sequential engine's per-round-entry decisions to a
+    /// fixpoint for member `m`: the round-limit check, the all-asleep
+    /// jump to the next tag, and the all-quiet leap — committing each
+    /// leap's bulk silence before re-deciding, exactly as the sequential
+    /// loop's `continue` does (a grown history can extend a node's next
+    /// `quiet_until` claim, so multiple consecutive leaps are possible).
+    /// On return the member either must step at `rₘ`, is finished, or
+    /// has failed on the round limit.
+    fn fast_forward(&mut self, m: usize, config: &Configuration, opts: RunOpts) {
+        let BatchWorkspace {
+            nodes,
+            arena,
+            wake,
+            by_tag,
+            quiet_horizon,
+            members,
+            active,
+            ..
+        } = self;
+        let mem = &mut members[m];
+        let active = &active[m];
+        loop {
+            if mem.r >= opts.max_rounds {
+                mem.error = Some(SimError::RoundLimit {
+                    max_rounds: opts.max_rounds,
+                    still_running: mem.n - mem.done_count,
+                });
+                return;
+            }
+            if !opts.leap {
+                return;
+            }
+            if active.is_empty() {
+                // Nothing awake: jump to the next spontaneous wake-up
+                // (one exists — the member has non-terminated nodes).
+                let next_tag = config
+                    .tag(by_tag[mem.base + mem.tag_ptr])
+                    .min(opts.max_rounds);
+                if next_tag > mem.r {
+                    mem.rounds_leapt += next_tag - mem.r;
+                    mem.r = next_tag;
+                    continue;
+                }
+                return;
+            }
+            let mut target = u64::MAX;
+            let mut all_quiet = true;
+            for &v in active {
+                let gi = mem.base + v as usize;
+                if quiet_horizon[gi] <= mem.r {
+                    match nodes[gi].quiet_until(arena.view(gi)) {
+                        Some(q) => quiet_horizon[gi] = wake[gi].saturating_add(q),
+                        None => {
+                            all_quiet = false;
+                            break;
+                        }
+                    }
+                    if quiet_horizon[gi] <= mem.r {
+                        all_quiet = false;
+                        break;
+                    }
+                }
+                target = target.min(quiet_horizon[gi]);
+            }
+            if mem.tag_ptr < mem.n {
+                target = target.min(config.tag(by_tag[mem.base + mem.tag_ptr]));
+            }
+            target = target.min(opts.max_rounds);
+            if all_quiet && target > mem.r {
+                let skipped = (target - mem.r) as usize;
+                for &v in active {
+                    arena.push_silence_n(mem.base + v as usize, skipped);
+                }
+                mem.rounds_leapt += skipped as u64;
+                mem.r = target;
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// One stepped round for member `m` — the sequential engine's round
+    /// anatomy (decide, collect + stamp, deliver, forced wake-ups,
+    /// spontaneous wake-ups) over the member's plane slice.
+    fn step_round<M: RadioModel>(&mut self, m: usize, config: &Configuration) {
+        let BatchWorkspace {
+            nodes,
+            arena,
+            wake,
+            done,
+            by_tag,
+            cnt,
+            cnt_stamp,
+            heard_msg,
+            quiet_horizon,
+            adj_mask,
+            members,
+            active,
+            traces,
+            actions,
+            transmitters,
+            touched,
+            ..
+        } = self;
+        let mem = &mut members[m];
+        let base = mem.base;
+        let n = mem.n;
+        let r = mem.r;
+        let csr = config.csr();
+        let trace = &mut traces[m];
+        // Fast path: Beeping's 2-symbol alphabet over a u64 node set.
+        // Gated off for traced members (the mask wake scan would reorder
+        // `woke` entries) and n > 64.
+        let fast = is_beeping::<M>() && n <= 64 && trace.is_none();
+
+        let mut event = RoundEvent {
+            round: r,
+            ..Default::default()
+        };
+
+        // 1. Decide.
+        actions.clear();
+        for &v in active[m].iter() {
+            let gi = base + v as usize;
+            if wake[gi] < r {
+                let action = nodes[gi].decide(arena.view(gi));
+                actions.push((v, action));
+            }
+        }
+
+        // 2. Collect transmitters and stamp neighbour counters. The fast
+        //    path proves "no sleeper adjacent to any transmitter" with
+        //    two mask folds and then skips the per-edge stamping
+        //    entirely; when a forced wake-up is possible it falls back
+        //    to the exact stamping loop, preserving the sequential
+        //    `touched` (first-touch) order.
+        transmitters.clear();
+        touched.clear();
+        for &(v, action) in actions.iter() {
+            if let Action::Transmit(msg) = action {
+                transmitters.push((v, msg));
+            }
+        }
+        mem.stats.transmissions += transmitters.len() as u64;
+        let mut tx_mask = 0u64;
+        let mut stamp = !fast;
+        if fast {
+            let mut wake_union = 0u64;
+            for &(u, _) in transmitters.iter() {
+                tx_mask |= 1u64 << u;
+                wake_union |= adj_mask[base + u as usize];
+            }
+            stamp = wake_union & mem.asleep_mask != 0;
+        }
+        if stamp {
+            for &(u, msg) in transmitters.iter() {
+                for &w in csr.neighbors(u) {
+                    let wi = base + w as usize;
+                    if cnt_stamp[wi] != r {
+                        cnt_stamp[wi] = r;
+                        cnt[wi] = 0;
+                        touched.push(w);
+                    }
+                    cnt[wi] += 1;
+                    heard_msg[wi] = msg;
+                }
+            }
+        }
+
+        // 3. Deliver to acting nodes.
+        let mut retired = false;
+        for &(v, action) in actions.iter() {
+            let gi = base + v as usize;
+            match action {
+                Action::Transmit(_) => {
+                    quiet_horizon[gi] = 0;
+                    arena.push(gi, Obs::Silence);
+                }
+                Action::Listen => {
+                    let obs = if fast {
+                        // Beeping: silence iff no neighbour transmits —
+                        // exactly M::listener_obs(count, _) for the
+                        // 0 / ≥1 split the mask resolves.
+                        if adj_mask[gi] & tx_mask != 0 {
+                            Obs::Noise
+                        } else {
+                            Obs::Silence
+                        }
+                    } else {
+                        let heard = if cnt_stamp[gi] == r { cnt[gi] } else { 0 };
+                        let msg = if heard == 1 { heard_msg[gi] } else { Msg(0) };
+                        M::listener_obs(heard, msg)
+                    };
+                    record_listener_obs(obs, &mut mem.stats);
+                    if !matches!(obs, Obs::Silence) {
+                        quiet_horizon[gi] = 0;
+                    }
+                    if trace.is_some() {
+                        match obs {
+                            Obs::Heard(msg) => event.received.push((v, msg)),
+                            Obs::Collision | Obs::Noise => event.collisions.push(v),
+                            Obs::Silence => {}
+                        }
+                    }
+                    arena.push(gi, obs);
+                }
+                Action::Terminate => {
+                    done[gi] = r;
+                    mem.done_count += 1;
+                    retired = true;
+                    if trace.is_some() {
+                        event.terminated.push(v);
+                    }
+                }
+            }
+        }
+        if retired {
+            let done = &*done;
+            active[m].retain(|&v| done[base + v as usize] == ASLEEP);
+        }
+
+        // 4. Forced wake-ups over `touched` (empty when the fast path
+        //    proved no sleeper is adjacent to a transmitter — the
+        //    sequential loop would have found the same nobody).
+        for &w in touched.iter() {
+            let wi = base + w as usize;
+            if wake[wi] == ASLEEP {
+                let msg = if cnt[wi] == 1 { heard_msg[wi] } else { Msg(0) };
+                if let Some(obs) = M::wake_obs(cnt[wi], msg) {
+                    wake[wi] = r;
+                    arena.push(wi, obs);
+                    active[m].push(w);
+                    mem.stats.forced_wakeups += 1;
+                    if n <= 64 {
+                        mem.asleep_mask &= !(1u64 << w);
+                    }
+                    if trace.is_some() {
+                        event.woke.push((w, obs));
+                    }
+                }
+            }
+        }
+
+        // 5. Spontaneous wake-ups at tag == r.
+        while mem.tag_ptr < n && config.tag(by_tag[base + mem.tag_ptr]) == r {
+            let w = by_tag[base + mem.tag_ptr];
+            mem.tag_ptr += 1;
+            let wi = base + w as usize;
+            if wake[wi] == ASLEEP {
+                wake[wi] = r;
+                arena.push(wi, Obs::Silence);
+                active[m].push(w);
+                if n <= 64 {
+                    mem.asleep_mask &= !(1u64 << w);
+                }
+                if trace.is_some() {
+                    event.woke.push((w, Obs::Silence));
+                }
+            }
+        }
+
+        if let Some(t) = trace.as_mut() {
+            if !transmitters.is_empty() || !event.is_quiet() {
+                event.transmitters = std::mem::take(transmitters);
+                t.events.push(event);
+            }
+        }
+
+        mem.rounds_executed = r + 1;
+        mem.rounds_stepped += 1;
+        mem.r = r + 1;
+    }
+
+    /// Materializes member `m`'s outcome as an owned [`Execution`]
+    /// (copying its plane slices and arena segments), leaving the
+    /// workspace intact for the next batch.
+    fn take_execution(&mut self, m: usize) -> Result<Execution, SimError> {
+        if let Some(e) = &self.members[m].error {
+            return Err(e.clone());
+        }
+        let mem = &self.members[m];
+        let (base, n) = (mem.base, mem.n);
+        Ok(Execution {
+            wake_round: self.wake[base..base + n].to_vec(),
+            done_round: self.done[base..base + n].to_vec(),
+            histories: (0..n)
+                .map(|v| History::from_entries(self.arena.slice(base + v).to_vec()))
+                .collect(),
+            rounds: mem.rounds_executed,
+            rounds_stepped: mem.rounds_stepped,
+            rounds_leapt: mem.rounds_leapt,
+            stats: mem.stats,
+            trace: self.traces[m].take(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drip::{SilentFactory, WaitThenTransmitFactory};
+    use crate::SimWorkspace;
+    use radio_graph::{generators, Configuration};
+
+    fn zoo() -> Vec<(Configuration, WaitThenTransmitFactory)> {
+        let mut out = Vec::new();
+        for (i, n) in [3usize, 4, 5, 6, 8].into_iter().enumerate() {
+            let graph = if i % 2 == 0 {
+                generators::path(n)
+            } else {
+                generators::star(n)
+            };
+            let tags: Vec<u64> = (0..n as u64).map(|v| (v * 3 + i as u64) % 7).collect();
+            let config = Configuration::new(graph, tags).unwrap();
+            let factory = WaitThenTransmitFactory {
+                wait: i as u64 % 3,
+                msg: Msg(i as u64 + 1),
+                lifetime: 10 + i as u64,
+            };
+            out.push((config, factory));
+        }
+        out
+    }
+
+    fn assert_matches_sequential(model: ModelKind, opts: RunOpts) {
+        let zoo = zoo();
+        let runs: Vec<BatchRun<'_>> = zoo
+            .iter()
+            .map(|(config, factory)| BatchRun {
+                config,
+                factory: factory as &dyn DripFactory,
+            })
+            .collect();
+        let mut batch = BatchWorkspace::new();
+        let batched = batch.run_kind(model, &runs, opts);
+        let mut seq = SimWorkspace::new();
+        for ((config, factory), got) in zoo.iter().zip(&batched) {
+            let want = seq.run_kind(model, config, factory, opts).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.histories, want.histories, "{model:?}");
+            assert_eq!(got.wake_round, want.wake_round);
+            assert_eq!(got.done_round, want.done_round);
+            assert_eq!(got.rounds, want.rounds);
+            assert_eq!(got.rounds_stepped, want.rounds_stepped, "stepped split");
+            assert_eq!(got.rounds_leapt, want.rounds_leapt, "leapt split");
+            assert_eq!(got.stats, want.stats);
+            assert_eq!(got.trace, want.trace);
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_across_models_and_modes() {
+        for model in ModelKind::ALL {
+            for opts in [
+                RunOpts::default(),
+                RunOpts::default().no_leap(),
+                RunOpts::default().traced(),
+            ] {
+                assert_matches_sequential(model, opts);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_recycles_across_batches() {
+        let zoo = zoo();
+        let runs: Vec<BatchRun<'_>> = zoo
+            .iter()
+            .map(|(config, factory)| BatchRun {
+                config,
+                factory: factory as &dyn DripFactory,
+            })
+            .collect();
+        let mut ws = BatchWorkspace::new();
+        let first = ws.run(&runs, RunOpts::default());
+        // a second pass through the same warmed workspace, and a ragged
+        // sub-batch, both reproduce the first pass bit for bit
+        let second = ws.run(&runs, RunOpts::default());
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.histories, b.histories);
+            assert_eq!(a.rounds_stepped, b.rounds_stepped);
+        }
+        let ragged = ws.run(&runs[3..], RunOpts::default());
+        assert_eq!(
+            ragged[0].as_ref().unwrap().histories,
+            first[3].as_ref().unwrap().histories,
+            "batch composition is invisible"
+        );
+    }
+
+    #[test]
+    fn round_limit_fails_only_the_affected_member() {
+        let never = Configuration::new(generators::path(2), vec![0, 0]).unwrap();
+        let fine = Configuration::new(generators::path(3), vec![0, 1, 2]).unwrap();
+        let silent = SilentFactory { lifetime: 100 };
+        let quick = SilentFactory { lifetime: 3 };
+        let runs = [
+            BatchRun {
+                config: &never,
+                factory: &silent,
+            },
+            BatchRun {
+                config: &fine,
+                factory: &quick,
+            },
+        ];
+        let mut ws = BatchWorkspace::new();
+        let out = ws.run(&runs, RunOpts::with_max_rounds(10));
+        assert!(matches!(
+            out[0],
+            Err(SimError::RoundLimit {
+                max_rounds: 10,
+                still_running: 2
+            })
+        ));
+        let ok = out[1].as_ref().unwrap();
+        let fresh = crate::Executor::run(&fine, &quick, RunOpts::with_max_rounds(10)).unwrap();
+        assert_eq!(ok.histories, fresh.histories);
+        // the failed batch must not poison the next one
+        let again = ws.run(&runs[1..], RunOpts::default());
+        assert_eq!(again[0].as_ref().unwrap().histories, fresh.histories);
+    }
+
+    #[test]
+    fn member_views_expose_the_execution_surface() {
+        let zoo = zoo();
+        let runs: Vec<BatchRun<'_>> = zoo
+            .iter()
+            .map(|(config, factory)| BatchRun {
+                config,
+                factory: factory as &dyn DripFactory,
+            })
+            .collect();
+        let mut ws = BatchWorkspace::new();
+        let mut seq = SimWorkspace::new();
+        let checks = ws.run_kind_with(
+            ModelKind::Beeping,
+            &runs,
+            RunOpts::default(),
+            |m, outcome| {
+                let view = outcome.expect("zoo members complete");
+                let (config, factory) = &zoo[m];
+                let want = seq
+                    .run_kind(ModelKind::Beeping, config, factory, RunOpts::default())
+                    .unwrap();
+                for v in 0..config.size() as NodeId {
+                    assert_eq!(
+                        view.history(v).as_slice(),
+                        want.history(v).as_slice(),
+                        "member {m} node {v}"
+                    );
+                    assert_eq!(view.wake_round(v), want.wake_round[v as usize]);
+                    assert_eq!(view.done_round(v), want.done_round[v as usize]);
+                }
+                assert_eq!(view.rounds(), want.rounds);
+                assert_eq!(view.rounds_stepped(), want.rounds_stepped);
+                assert_eq!(view.rounds_leapt(), want.rounds_leapt);
+                assert_eq!(*view.stats(), want.stats);
+                m
+            },
+        );
+        assert_eq!(checks, (0..zoo.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut ws = BatchWorkspace::new();
+        assert!(ws.run(&[], RunOpts::default()).is_empty());
+    }
+}

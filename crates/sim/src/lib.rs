@@ -55,6 +55,9 @@
 //! * [`trace`] — optional round-by-round event recording.
 //! * [`workspace`] — reusable per-run engine state ([`SimWorkspace`]);
 //!   the run loop itself lives here, recycled across back-to-back runs.
+//! * [`batch`] — cross-run batched execution ([`BatchWorkspace`]): B
+//!   member runs through one fused hot loop, bit-identical to the
+//!   sequential workspace.
 //! * [`parallel`] — scoped-thread parallel batch execution with
 //!   worker-scoped state (one long-lived workspace per worker).
 //!
@@ -82,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod drip;
 pub mod election;
 pub mod engine;
@@ -94,6 +98,7 @@ pub mod patient;
 pub mod trace;
 pub mod workspace;
 
+pub use batch::{BatchRun, BatchWorkspace, MemberView};
 pub use drip::{DripFactory, DripNode, PureDrip, PureFactory};
 pub use election::{
     run_election, run_election_in, run_election_model, run_election_under, ElectionOutcome,

@@ -85,10 +85,7 @@ where
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
 
-    // Chunks small enough that skewed item costs still balance (several
-    // chunks per worker), large enough that the cursor and the per-chunk
-    // lock amortize over many items.
-    let chunk = (n / (threads * 8)).clamp(1, 1024);
+    let chunk = chunk_size(n, threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let slots: Vec<Mutex<&mut [Option<R>]>> = out.chunks_mut(chunk).map(Mutex::new).collect();
@@ -121,6 +118,26 @@ where
     out.into_iter()
         .map(|slot| slot.expect("every slot filled"))
         .collect()
+}
+
+/// Picks the chunk size [`par_map_init`] hands out per cursor claim.
+///
+/// Two regimes meet here. For large batches, `n / (threads * 8)` keeps
+/// several chunks per worker so skewed item costs still balance, while
+/// the cap bounds the tail a slow worker can strand. For *small* batches
+/// (`n` up to a few multiples of `threads`), that quotient collapses to
+/// 0 and the old `clamp(1, …)` floor degraded to chunk = 1 — every item
+/// a separate cursor claim and a separate lock round-trip, the atomic
+/// thrashing worst case, precisely on the tiny-grid workloads where
+/// per-item cost is also lowest. The floor now grows toward an even
+/// one-chunk-per-worker split (capped at 8 so a handful of expensive
+/// items cannot all land in one claim): with 8 threads, n = 64 yields
+/// chunk 8 (one claim per worker) instead of 64 separate claims, n = 9
+/// yields 2, and n ≥ 65_536 is unchanged by the floor.
+fn chunk_size(n: usize, threads: usize) -> usize {
+    let balanced = n / (threads * 8);
+    let even = n.div_ceil(threads);
+    balanced.max(even.min(8)).clamp(1, 1024)
 }
 
 /// The pre-refactor implementation — dynamic per-item cursor with one
@@ -195,6 +212,36 @@ pub fn run_batch(
         SimWorkspace::new,
         |ws, config| ws.run_kind(model, config, factory, opts),
     )
+}
+
+/// [`run_batch`] through the fused batch engine: configurations are split
+/// into contiguous batches of `batch_size`, each worker thread owns one
+/// long-lived [`BatchWorkspace`](crate::BatchWorkspace), and every batch
+/// runs as one fused engine pass. Results are identical to [`run_batch`]
+/// bit for bit (the batch engine's contract); only the schedule changes.
+pub fn run_batch_fused(
+    configs: &[radio_graph::Configuration],
+    factory: &(dyn crate::drip::DripFactory + Sync),
+    model: crate::model::ModelKind,
+    opts: crate::engine::RunOpts,
+    batch_size: usize,
+) -> Vec<Result<crate::engine::Execution, crate::engine::SimError>> {
+    let batches: Vec<&[radio_graph::Configuration]> = configs.chunks(batch_size.max(1)).collect();
+    par_map_init(
+        &batches,
+        default_threads(),
+        crate::batch::BatchWorkspace::new,
+        |ws, batch| {
+            let runs: Vec<crate::batch::BatchRun<'_>> = batch
+                .iter()
+                .map(|config| crate::batch::BatchRun { config, factory })
+                .collect();
+            ws.run_kind(model, &runs, opts)
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -272,6 +319,58 @@ mod tests {
                 expect,
                 "init path n={n} threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn chunk_size_covers_both_regimes() {
+        // Tiny batches: an even one-chunk-per-worker split, not chunk = 1.
+        assert_eq!(chunk_size(1, 8), 1);
+        assert_eq!(chunk_size(7, 8), 1); // n = threads − 1: still 1 item/worker
+        assert_eq!(chunk_size(9, 8), 2);
+        assert_eq!(chunk_size(64, 8), 8); // exactly one claim per worker
+        assert_eq!(chunk_size(100, 8), 8); // floor caps at 8 for balance
+                                           // Large batches: the balanced quotient, unchanged by the floor.
+        assert_eq!(chunk_size(10_000, 8), 156);
+        assert_eq!(chunk_size(1 << 20, 8), 1024); // cap
+                                                  // Every chunk size stays within bounds across a sweep.
+        for n in 1..300 {
+            for threads in 1..16 {
+                let c = chunk_size(n, threads);
+                assert!((1..=1024).contains(&c), "n={n} threads={threads} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_fused_matches_run_batch() {
+        use crate::drip::WaitThenTransmitFactory;
+        use radio_graph::{generators, Configuration};
+        let configs: Vec<Configuration> = (2..12)
+            .map(|n| {
+                let tags: Vec<u64> = (0..n as u64).map(|v| v % 5).collect();
+                Configuration::new(generators::star(n), tags).unwrap()
+            })
+            .collect();
+        let factory = WaitThenTransmitFactory {
+            wait: 1,
+            msg: crate::Msg(3),
+            lifetime: 8,
+        };
+        let opts = crate::engine::RunOpts::default();
+        for model in crate::model::ModelKind::ALL {
+            let plain = run_batch(&configs, &factory, model, opts);
+            // batch sizes straddling the item count, including a ragged tail
+            for batch_size in [1, 3, 4, 100] {
+                let fused = run_batch_fused(&configs, &factory, model, opts, batch_size);
+                assert_eq!(fused.len(), plain.len());
+                for (a, b) in plain.iter().zip(&fused) {
+                    let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                    assert_eq!(a.histories, b.histories, "{model:?} bs={batch_size}");
+                    assert_eq!(a.rounds_stepped, b.rounds_stepped);
+                    assert_eq!(a.rounds_leapt, b.rounds_leapt);
+                }
+            }
         }
     }
 

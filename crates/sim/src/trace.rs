@@ -85,7 +85,7 @@ impl RoundEvent {
 }
 
 /// The recorded eventful rounds of an execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Events, in round order; quiet rounds are omitted.
     pub events: Vec<RoundEvent>,

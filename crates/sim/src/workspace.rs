@@ -137,7 +137,10 @@ impl ObsArena {
     }
 }
 
-const ASLEEP: u64 = u64::MAX;
+/// Sentinel for "has not happened yet" in the wake/done planes — shared
+/// with the batched engine (`crate::batch`), which must agree with the
+/// sequential loop bit for bit.
+pub(crate) const ASLEEP: u64 = u64::MAX;
 
 /// Reusable engine state for back-to-back simulations.
 ///

@@ -9,7 +9,9 @@
 use std::sync::Arc;
 
 use anon_radio::cache::{CacheConfig, CacheLookup, ScheduleCache};
-use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy};
+use anon_radio::campaign::{
+    BatchConfig, CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy,
+};
 use anon_radio::{CompiledElection, DedicatedElection};
 use radio_classifier::ClassifierWorkspace;
 use radio_graph::{families, Configuration};
@@ -37,6 +39,7 @@ fn zoo_spec(cache: CacheConfig) -> CampaignSpec {
         seed: 0xCACE,
         opts: RunOpts::default(),
         cache,
+        batch: BatchConfig::default(),
     }
 }
 

@@ -5,7 +5,9 @@
 //! scenario grid.
 
 use anon_radio::cache::CacheConfig;
-use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy};
+use anon_radio::campaign::{
+    BatchConfig, CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy,
+};
 use radio_sim::{ModelKind, RunOpts};
 
 fn smoke_spec() -> CampaignSpec {
@@ -20,6 +22,7 @@ fn smoke_spec() -> CampaignSpec {
         seed: 7,
         opts: RunOpts::default(),
         cache: CacheConfig::default(),
+        batch: BatchConfig::default(),
     }
 }
 
@@ -54,6 +57,7 @@ fn extended_spec() -> CampaignSpec {
         seed: 23,
         opts: RunOpts::default(),
         cache: CacheConfig::default(),
+        batch: BatchConfig::default(),
     }
 }
 

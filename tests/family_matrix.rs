@@ -200,6 +200,7 @@ fn classify_campaign_matches_eager_classification_on_the_scenario_grid() {
         seed: 99,
         opts: RunOpts::default(),
         cache: anon_radio::cache::CacheConfig::default(),
+        batch: anon_radio::campaign::BatchConfig::default(),
     };
     let mut runner = CampaignRunner::new(spec.clone(), 3);
     runner.run_to_completion(2);

@@ -49,6 +49,9 @@ fn golden_elect_spec() -> CampaignSpec {
         seed: 0x60_1DE4,
         opts: RunOpts::default(),
         cache: anon_radio::cache::CacheConfig::default(),
+        // The default (batched) path: the golden corpus itself pins that
+        // batching is invisible in the deterministic row prefix.
+        batch: anon_radio::campaign::BatchConfig::default(),
     }
 }
 
