@@ -49,8 +49,9 @@ fn main() {
                      runs the paper-claim experiments (all by default) and prints\n\
                      Markdown tables; --out also writes <id>_<k>.md/.csv files\n\
                      --bench-json PATH  instead measure the fused batch engine against\n\
-                     the one-run-per-worker campaign path and append one JSON\n\
-                     trajectory row (batched vs sequential ns/run, speedup) to PATH"
+                     the one-run-per-worker campaign path and the million-node scale\n\
+                     path (CSR-direct + streaming elect at 10⁵/10⁶ nodes), appending\n\
+                     one JSON trajectory row per measurement to PATH"
                 );
                 return;
             }
@@ -61,6 +62,7 @@ fn main() {
 
     if let Some(path) = &bench_json {
         bench_batch(path, seed);
+        bench_scale(path, seed);
         return;
     }
 
@@ -161,6 +163,55 @@ fn bench_batch(path: &std::path::Path, seed: u64) {
         threads,
         path.display()
     );
+}
+
+/// `--bench-json`: walk the million-node scale path (CSR-direct star
+/// generation → classify + compile → streaming length-only elect) at
+/// n = 10⁵ and 10⁶ and append one trajectory row per size with the
+/// per-node costs and the process peak RSS — the longitudinal record the
+/// `scale.rs` bench gates cross-section.
+fn bench_scale(path: &std::path::Path, seed: u64) {
+    use radio_graph::{tags::TagStrategy, Configuration, FamilySpec};
+    use radio_sim::{ModelKind, RunOpts, SimWorkspace};
+
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open --bench-json path");
+    for n in [100_000usize, 1_000_000] {
+        let gen_started = std::time::Instant::now();
+        let csr = FamilySpec::Star.build_csr(n, seed).expect("star builds");
+        let gen_ns = gen_started.elapsed().as_nanos() as f64 / n as f64;
+        let tags = TagStrategy::Extremes.draw(n, 3, &mut radio_util::rng::rng_from(seed));
+        let config = Configuration::from_csr(csr, tags).expect("star configuration");
+        let mut sim = SimWorkspace::new();
+        let elect_started = std::time::Instant::now();
+        let dedicated = anon_radio::solve(&config).expect("star elects");
+        let outcome = dedicated
+            .run_in(
+                &mut sim,
+                ModelKind::NoCollisionDetection,
+                RunOpts::default(),
+            )
+            .expect("run completes");
+        assert!((outcome.leader as usize) < n, "star must elect a leader");
+        let elect_ns = elect_started.elapsed().as_nanos() as f64 / n as f64;
+        let peak = radio_util::mem::peak_rss_bytes().unwrap_or(0);
+        let row = format!(
+            "{{\"bench\":\"scale_path\",\"family\":\"star\",\"n\":{n},\
+             \"gen_ns_per_node\":{gen_ns:.1},\"elect_ns_per_node\":{elect_ns:.1},\
+             \"peak_rss_bytes\":{peak}}}\n",
+        );
+        file.write_all(row.as_bytes()).expect("append bench row");
+        eprintln!(
+            "scale path: star n={n}: csr-direct {gen_ns:.1} ns/node, streaming elect \
+             {elect_ns:.1} ns/node, peak rss {:.1} MiB (row appended to {})",
+            peak as f64 / (1024.0 * 1024.0),
+            path.display()
+        );
+    }
 }
 
 fn die(msg: &str) -> ! {

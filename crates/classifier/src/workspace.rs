@@ -73,6 +73,15 @@ struct LabelInterner {
 impl LabelInterner {
     const FIRST_SLOTS: usize = 64;
 
+    /// Backing-buffer footprint in bytes (capacities, not lengths) — the
+    /// interner's high-water mark, since none of its buffers ever shrink.
+    fn mem_bytes(&self) -> u64 {
+        (self.triples.capacity() * std::mem::size_of::<Triple>()
+            + self.starts.capacity() * 4
+            + self.hashes.capacity() * 8
+            + self.slots.capacity() * 4) as u64
+    }
+
     /// Clears all interned labels, keeping buffer capacity. Re-interns the
     /// empty label as id 0 (every node's label before its first
     /// relabeling).
@@ -431,6 +440,26 @@ impl ClassifierWorkspace {
     /// An empty workspace; buffers are dimensioned lazily by the first run.
     pub fn new() -> ClassifierWorkspace {
         ClassifierWorkspace::default()
+    }
+
+    /// Approximate footprint of the workspace's backing buffers in bytes
+    /// (capacities, not lengths — the high-water mark across every
+    /// classification this workspace has run; the refine table is estimated
+    /// from its capacity). Feeds the campaign `mem_hw` column.
+    pub fn mem_bytes(&self) -> u64 {
+        fn plane<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        self.interner.mem_bytes()
+            + plane(&self.state.classes)
+            + plane(&self.state.prev)
+            + plane(&self.state.reps)
+            + plane(&self.label_id)
+            + plane(&self.dirty)
+            + plane(&self.pairs)
+            + plane(&self.scratch)
+            + plane(&self.sizes)
+            + (self.table.capacity() * (std::mem::size_of::<((u32, u32), u32)>() + 1)) as u64
     }
 
     fn reset_for(&mut self, n: usize) {

@@ -38,6 +38,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("campaign") {
         std::process::exit(campaign_command(&args[1..]));
     }
+    // `rows` is the offline row-format toolbox (JSONL ↔ binary).
+    if args.first().map(String::as_str) == Some("rows") {
+        std::process::exit(rows_command(&args[1..]));
+    }
     let model = match extract_model(&mut args) {
         Ok(model) => model,
         Err(msg) => {
@@ -84,6 +88,13 @@ fn main() {
             print!("{}", radio_classifier::trace::render(config, &outcome));
             0
         }),
+        // `elect --family …` builds the configuration CSR-direct from a
+        // scenario spec instead of parsing a text file — the only route
+        // that scales to millions of nodes (a config file for n = 10⁶
+        // would be tens of MB of edge lines).
+        Some("elect") if args.iter().any(|a| a == "--family") => {
+            elect_family_command(&args[1..], model, opts)
+        }
         Some("elect") => with_config(&args, |config| {
             match anon_radio::elect_leader_with(config, model, opts) {
                 Ok(report) => {
@@ -210,6 +221,7 @@ fn campaign_command(args: &[String]) -> i32 {
     let mut no_batch = false;
     let mut batch_size: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut binary_rows = false;
 
     let parsed: Result<(), String> = (|| {
         let mut it = args.iter();
@@ -269,6 +281,17 @@ fn campaign_command(args: &[String]) -> i32 {
                     )
                 }
                 "--out" => out = Some(value("--out")?),
+                "--row-format" => {
+                    binary_rows = match value("--row-format")?.as_str() {
+                        "binary" => true,
+                        "jsonl" => false,
+                        other => {
+                            return Err(format!(
+                                "--row-format must be `jsonl` or `binary`, got `{other}`"
+                            ))
+                        }
+                    }
+                }
                 other => return Err(format!("unknown campaign argument `{other}`")),
             }
         }
@@ -291,6 +314,12 @@ fn campaign_command(args: &[String]) -> i32 {
         (Phase::Classify, None) => vec![ModelKind::NoCollisionDetection],
         (Phase::Elect, models) => models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
     };
+    // Binary output is a file format, not a stream format: stdout would
+    // interleave raw bytes with a terminal.
+    if binary_rows && out.is_none() {
+        eprintln!("error: --row-format binary requires --out FILE");
+        return 2;
+    }
     if resume_from > 0 {
         if let Some(path) = &out {
             if std::path::Path::new(path).exists() {
@@ -380,7 +409,7 @@ fn campaign_command(args: &[String]) -> i32 {
         // the file holds the rows aggregated so far and the stderr log
         // names the shard to pass to --resume-from.
         if let Some(path) = &out {
-            if let Err(e) = write_rows(path, &runner.jsonl_rows()) {
+            if let Err(e) = write_rows_as(path, &runner, binary_rows) {
                 eprintln!("error: could not checkpoint {path}: {e}");
                 return 1;
             }
@@ -415,21 +444,30 @@ fn campaign_command(args: &[String]) -> i32 {
             runner.shard_range(resume_from).0,
         );
     }
-    let rows = runner.jsonl_rows();
+    // Peak RSS is process-wide observability (the per-run workspace
+    // high-water lives in the rows' mem_hw column); it lands on stderr so
+    // the scale-smoke CI job and humans can eyeball regressions.
+    if let Some(peak) = radio_util::mem::peak_rss_bytes() {
+        eprintln!("peak rss: {:.1} MiB", peak as f64 / (1 << 20) as f64);
+    }
     match &out {
         Some(path) => {
             // Already checkpointed after the final shard; rewrite once
             // more to cover the zero-shard (fully skipped) case.
-            if let Err(e) = write_rows(path, &rows) {
+            if let Err(e) = write_rows_as(path, &runner, binary_rows) {
                 eprintln!("error: could not write {path}: {e}");
                 return 1;
             }
-            eprintln!("wrote {} JSONL row(s) to {path}", rows.len());
+            eprintln!(
+                "wrote {} {} row(s) to {path}",
+                runner.aggregates().count(),
+                if binary_rows { "binary" } else { "JSONL" }
+            );
         }
         None => {
             use std::io::Write as _;
             let mut stdout = std::io::stdout().lock();
-            for row in &rows {
+            for row in &runner.jsonl_rows() {
                 if writeln!(stdout, "{row}").is_err() {
                     return 0; // closed pipe: clean stop, like `family`
                 }
@@ -437,6 +475,203 @@ fn campaign_command(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// Writes the campaign's rows to `path` in the selected format (whole-file
+/// rewrite — rows are running aggregates, so each checkpoint supersedes
+/// the previous one).
+fn write_rows_as(
+    path: &str,
+    runner: &anon_radio::campaign::CampaignRunner,
+    binary: bool,
+) -> std::io::Result<()> {
+    if binary {
+        std::fs::write(path, anon_radio::row::write_binary(&runner.rows()))
+    } else {
+        write_rows(path, &runner.jsonl_rows())
+    }
+}
+
+/// `anon-radio rows convert <in> <out>` — flip a row file between the
+/// JSONL and compact binary encodings (the direction is sniffed from the
+/// input's magic bytes). The conversion is lossless in both directions.
+fn rows_command(args: &[String]) -> i32 {
+    let (input, output) = match (
+        args.first().map(String::as_str),
+        args.get(1),
+        args.get(2),
+        args.len(),
+    ) {
+        (Some("convert"), Some(input), Some(output), 3) => (input, output),
+        _ => {
+            eprintln!("usage: anon-radio rows convert <in> <out>");
+            return 2;
+        }
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("error: could not read {input}: {e}");
+            return 2;
+        }
+    };
+    let converted: Result<Vec<u8>, anon_radio::row::RowError> =
+        if anon_radio::row::is_binary(&bytes) {
+            anon_radio::row::binary_to_jsonl(&bytes).map(String::into_bytes)
+        } else {
+            match String::from_utf8(bytes) {
+                Ok(text) => anon_radio::row::jsonl_to_binary(&text),
+                Err(e) => {
+                    eprintln!("error: {input} is neither binary rows nor UTF-8 JSONL: {e}");
+                    return 2;
+                }
+            }
+        };
+    match converted {
+        Ok(data) => {
+            if let Err(e) = std::fs::write(output, data) {
+                eprintln!("error: could not write {output}: {e}");
+                return 1;
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            1
+        }
+    }
+}
+
+/// `anon-radio elect --family <spec> --size N --span S [--tags STRAT]
+/// [--seed N]` — build one configuration CSR-direct and run the election
+/// on it. This is the million-node entry point: generation streams into
+/// the CSR with no intermediate adjacency-list graph.
+fn elect_family_command(args: &[String], model: ModelKind, opts: radio_sim::RunOpts) -> i32 {
+    use anon_radio::campaign::{FamilySpec, TagStrategy};
+    use radio_util::rng::{derive, rng_from};
+
+    let mut family: Option<FamilySpec> = None;
+    let mut n = 8usize;
+    let mut span = 4u64;
+    let mut tags = TagStrategy::Uniform;
+    let mut seed = radio_util::rng::DEFAULT_ROOT_SEED;
+    let parsed: Result<(), String> = (|| {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--family" => family = Some(value("--family")?.parse()?),
+                "--size" => {
+                    n = value("--size")?
+                        .parse()
+                        .map_err(|e| format!("--size: {e}"))?
+                }
+                "--span" => {
+                    span = value("--span")?
+                        .parse()
+                        .map_err(|e| format!("--span: {e}"))?
+                }
+                "--tags" => tags = value("--tags")?.parse()?,
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                other => return Err(format!("unknown elect --family argument `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("error: {msg}");
+        return 2;
+    }
+    let family = family.expect("dispatched on --family");
+    let csr = match family.build_csr(n, derive(seed, "graph")) {
+        Ok(csr) => csr,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    // Raw data footprint: u32 offsets (n+1) + u32 target slots (2m) +
+    // u64 tags (n). The acceptance bar for the scale path is peak RSS
+    // within a small constant of this number.
+    let footprint = 4 * (csr.node_count() as u64 + 1)
+        + 8 * csr.edge_count() as u64
+        + 8 * csr.node_count() as u64;
+    let tag_values = tags.draw(n, span, &mut rng_from(derive(seed, "tags")));
+    let config = match Configuration::from_csr(csr, tag_values) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {family} with {tags} tags is not a valid configuration: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "{family} n={} m={} span={span} tags={tags} | csr+tags footprint: {:.1} MiB",
+        config.size(),
+        config.csr().edge_count(),
+        footprint as f64 / (1 << 20) as f64
+    );
+    // Staged peak-RSS probes: peak RSS is monotonic, so the deltas
+    // attribute memory to build/classify/simulate phases.
+    let stage_peak = |stage: &str| {
+        if let Some(peak) = radio_util::mem::peak_rss_bytes() {
+            eprintln!(
+                "peak rss after {stage}: {:.1} MiB",
+                peak as f64 / (1 << 20) as f64
+            );
+        }
+    };
+    stage_peak("graph build");
+    let dedicated = match anon_radio::solve(&config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("election failed under model {model}: {e}");
+            return 1;
+        }
+    };
+    stage_peak("classify+compile");
+    let mut sim = radio_sim::SimWorkspace::new();
+    let outcome = dedicated.run_in(&mut sim, model, opts);
+    eprintln!(
+        "sim workspace high-water: {:.1} MiB",
+        sim.mem_bytes() as f64 / (1 << 20) as f64
+    );
+    let code = match outcome {
+        Ok(report) => {
+            println!(
+                "model: {model} | leader: v{} | phases: {} | local rounds: {} | \
+                 done by global round {} | transmissions: {} | \
+                 engine: {} stepped + {} leapt",
+                report.leader,
+                report.phases,
+                report.rounds_local,
+                report.completion_round,
+                report.transmissions,
+                report.rounds_stepped,
+                report.rounds_leapt
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("election failed under model {model}: {e}");
+            1
+        }
+    };
+    if let Some(peak) = radio_util::mem::peak_rss_bytes() {
+        eprintln!(
+            "peak rss: {:.1} MiB ({:.2}× the csr+tags footprint)",
+            peak as f64 / (1 << 20) as f64,
+            peak as f64 / footprint as f64
+        );
+    }
+    code
 }
 
 /// Writes the JSONL rows to `path` (whole-file rewrite — rows are
@@ -516,6 +751,11 @@ fn usage() -> i32 {
          \u{20}                                 (--model no-cd|cd|beep selects the channel;\n\
          \u{20}                                 --no-leap executes every round one by one\n\
          \u{20}                                 instead of time-leaping quiet stretches)\n\
+         \u{20}  anon-radio elect --family SPEC --size N --span S [--tags STRAT] [--seed K]\n\
+         \u{20}                                 build the configuration CSR-direct (no\n\
+         \u{20}                                 intermediate graph — the million-node route)\n\
+         \u{20}                                 and run the election on it; reports the raw\n\
+         \u{20}                                 csr+tags footprint and peak RSS on stderr\n\
          \u{20}  anon-radio compile <file|->    print the compiled dedicated algorithm\n\
          \u{20}  anon-radio explain <file|->    explain infeasibility (twins + certificates)\n\
          \u{20}  anon-radio dot     <file|->    export Graphviz DOT\n\
@@ -542,6 +782,12 @@ fn usage() -> i32 {
          \u{20}                       rows are bit-identical either way up to the measured\n\
          \u{20}                       tail from \"wall_ns\" on)\n\
          \u{20}      --batch-size B   member runs per fused batch (default 16)\n\
+         \u{20}      --row-format jsonl|binary  row encoding for --out (binary is the\n\
+         \u{20}                       compact length-prefixed format; `rows convert` maps\n\
+         \u{20}                       it back to identical JSONL)\n\
+         \u{20}  anon-radio rows convert <in> <out>  flip a row file between JSONL and the\n\
+         \u{20}                                 compact binary encoding (direction sniffed\n\
+         \u{20}                                 from the magic bytes; lossless both ways)\n\
          \n\
          configuration file format: see `radio-graph::io` docs"
     );

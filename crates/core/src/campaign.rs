@@ -434,6 +434,19 @@ impl CampaignSpec {
         for &family in &self.families {
             for n in family.sizes_for(&self.sizes) {
                 family.check_size(n).map_err(|e| e.to_string())?;
+                // CSR offsets are u32: a cell whose directed-edge count
+                // (2m) cannot fit would only fail deep inside a shard
+                // worker's builder. Reject it here with the arithmetic.
+                let edges = family.edge_count_hint(n);
+                if 2 * edges > u128::from(u32::MAX) {
+                    return Err(format!(
+                        "cell {family}/n={n} needs {edges} edges ≈ {} CSR target slots, \
+                         which overflows the u32 offset space ({} max); shrink the size \
+                         axis or the family's density",
+                        2 * edges,
+                        u32::MAX
+                    ));
+                }
             }
         }
         Ok(())
@@ -456,9 +469,14 @@ impl CampaignSpec {
             derive_index(derive(self.seed, &cell.family.to_string()), cell.n as u64),
             cell.span,
         );
-        let graph = cell
+        // CSR-direct: the family streams straight into CSR form (identical
+        // bytes to the legacy Graph route — pinned by the csr_direct
+        // property suite) and the tag strategy draws from the same
+        // positional stream it always did, so rows are bit-for-bit
+        // unchanged while no adjacency-list Graph is ever materialized.
+        let csr = cell
             .family
-            .build(cell.n, derive_index(derive(base, "graph"), rep as u64))
+            .build_csr(cell.n, derive_index(derive(base, "graph"), rep as u64))
             .expect("validated spec");
         // The uniform stream label predates the strategy axis and must
         // stay byte-identical; other strategies get their own streams.
@@ -466,11 +484,39 @@ impl CampaignSpec {
             TagStrategy::Uniform => derive(base, "tags"),
             other => derive(base, &format!("tags/{other}")),
         };
-        cell.tags.configure(
-            graph,
+        let tags = cell.tags.draw(
+            cell.n,
             cell.span,
             &mut rng_from(derive_index(tag_stream, rep as u64)),
-        )
+        );
+        Configuration::from_csr(csr, tags).expect("families build connected graphs")
+    }
+
+    /// [`CampaignSpec::configuration`] through the legacy
+    /// `Graph`→`Csr::from_graph` route — same derivation streams, same
+    /// tags, an adjacency-list `Graph` in the middle. The campaign never
+    /// runs this; it exists so the differential suites and `benches/scale`
+    /// can pin that the CSR-direct route produces byte-identical
+    /// configurations (and therefore bit-identical campaign rows).
+    pub fn configuration_via_graph(&self, cell: &CellKey, rep: usize) -> Configuration {
+        let base = derive_index(
+            derive_index(derive(self.seed, &cell.family.to_string()), cell.n as u64),
+            cell.span,
+        );
+        let graph = cell
+            .family
+            .build(cell.n, derive_index(derive(base, "graph"), rep as u64))
+            .expect("validated spec");
+        let tag_stream = match cell.tags {
+            TagStrategy::Uniform => derive(base, "tags"),
+            other => derive(base, &format!("tags/{other}")),
+        };
+        let tags = cell.tags.draw(
+            cell.n,
+            cell.span,
+            &mut rng_from(derive_index(tag_stream, rep as u64)),
+        );
+        Configuration::new(graph, tags).expect("families build connected graphs")
     }
 }
 
@@ -550,6 +596,12 @@ pub struct RunMetrics {
     /// Wall-clock nanoseconds for the whole run (classify + compile +
     /// simulate for the election workload).
     pub wall_ns: u64,
+    /// Workspace high-water mark in bytes after the run: the summed
+    /// backing-buffer capacities of the engine state the run used (sim or
+    /// batch planes + classifier interner). Like `wall_ns` it is a
+    /// measured, environment-dependent observation, so it lives in the
+    /// rows' measured tail.
+    pub mem_hw: u64,
 }
 
 /// Streaming per-cell aggregate: counters plus constant-memory
@@ -592,6 +644,9 @@ pub struct CellAggregate {
     pub cache_hits: u64,
     /// Runs that went through the cache and missed (0 when uncached).
     pub cache_misses: u64,
+    /// Workspace high-water marks (bytes) of all runs — like `wall_ns`, a
+    /// measured column living in the rows' tail.
+    pub mem_hw: StreamingStats,
 }
 
 impl CellAggregate {
@@ -616,12 +671,14 @@ impl CellAggregate {
         self.wall_ns.merge(&other.wall_ns);
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.mem_hw.merge(&other.mem_hw);
     }
 
     /// Folds one run's metrics into the aggregate.
     pub fn fold(&mut self, m: &RunMetrics) {
         self.runs += 1;
         self.wall_ns.push(m.wall_ns as f64);
+        self.mem_hw.push(m.mem_hw as f64);
         if m.feasible {
             self.feasible += 1;
             if m.aborted {
@@ -687,6 +744,7 @@ pub fn election_metrics(
     };
     if !compiled.feasible() {
         metrics.wall_ns = start.elapsed().as_nanos() as u64;
+        metrics.mem_hw = workspace.classifier.mem_bytes();
         return metrics;
     }
     metrics.feasible = true;
@@ -707,6 +765,7 @@ pub fn election_metrics(
         Err(_) => metrics.aborted = true,
     }
     metrics.wall_ns = start.elapsed().as_nanos() as u64;
+    metrics.mem_hw = workspace.sim.mem_bytes() + workspace.classifier.mem_bytes();
     metrics
 }
 
@@ -843,8 +902,10 @@ pub fn election_metrics_batched(
         }
     }
     let each = start.elapsed().as_nanos() as u64 / count as u64;
+    let mem_hw = workspace.batch.mem_bytes() + workspace.classifier.mem_bytes();
     for m in &mut metrics {
         m.wall_ns = each;
+        m.mem_hw = mem_hw;
     }
     metrics
 }
@@ -871,6 +932,7 @@ pub fn classify_metrics(
         classes: summary.num_classes as u64,
         relabels: summary.relabels,
         wall_ns: start.elapsed().as_nanos() as u64,
+        mem_hw: workspace.classifier.mem_bytes(),
         ..RunMetrics::default()
     }
 }
@@ -1131,77 +1193,54 @@ impl CampaignRunner {
     /// worker interleaving — is execution-dependent, so deterministic
     /// consumers strip the row by splitting on it.
     pub fn jsonl_rows(&self) -> Vec<String> {
-        self.aggregates()
-            .map(|(cell, agg)| match self.spec.phase {
-                Phase::Elect => format!(
-                    "{{\"phase\":\"elect\",\
-                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
-                     \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{},\
-                     \"rounds\":{},\"transmissions\":{},\"stepped\":{},\"leapt\":{},\
-                     \"wall_ns\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
-                    cell.family,
-                    cell.tags,
-                    cell.n,
-                    cell.span,
-                    cell.model,
-                    agg.runs,
-                    agg.feasible,
-                    agg.elected,
-                    agg.aborted,
-                    stats_json(&agg.rounds),
-                    stats_json(&agg.transmissions),
-                    stats_json(&agg.stepped),
-                    stats_json(&agg.leapt),
-                    stats_json(&agg.wall_ns),
-                    agg.cache_hits,
-                    agg.cache_misses,
-                ),
-                Phase::Classify => format!(
-                    "{{\"phase\":\"classify\",\
-                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\
-                     \"runs\":{},\"feasible\":{},\
-                     \"iterations\":{},\"classes\":{},\"relabels\":{},\
-                     \"wall_ns\":{}}}",
-                    cell.family,
-                    cell.tags,
-                    cell.n,
-                    cell.span,
-                    agg.runs,
-                    agg.feasible,
-                    stats_json(&agg.iterations),
-                    stats_json(&agg.classes),
-                    stats_json(&agg.relabels),
-                    stats_json(&agg.wall_ns),
-                ),
-            })
+        self.rows()
+            .iter()
+            .map(crate::row::CampaignRow::to_jsonl)
             .collect()
     }
-}
 
-/// Renders a [`StreamingStats`] as a JSON object (`null` when no sample
-/// was folded).
-fn stats_json(s: &StreamingStats) -> String {
-    if s.is_empty() {
-        return "null".to_string();
-    }
-    format!(
-        "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
-        s.count(),
-        json_f64(s.mean().expect("non-empty")),
-        json_f64(s.min().expect("non-empty")),
-        json_f64(s.max().expect("non-empty")),
-        json_f64(s.p50().expect("non-empty")),
-        json_f64(s.p95().expect("non-empty")),
-    )
-}
-
-/// JSON-safe float rendering (JSON has no NaN/∞; a whole-valued f64 is
-/// emitted without a fraction, which every JSON parser reads as a number).
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
+    /// The typed form of [`jsonl_rows`](Self::jsonl_rows): one
+    /// [`CampaignRow`](crate::row::CampaignRow) per grid cell, with the
+    /// full measured tail populated. Feed these to the binary codec in
+    /// [`crate::row`] for the compact on-disk format.
+    pub fn rows(&self) -> Vec<crate::row::CampaignRow> {
+        use crate::row::{CampaignRow, ClassifyRow, ElectRow, RowStats};
+        self.aggregates()
+            .map(|(cell, agg)| match self.spec.phase {
+                Phase::Elect => CampaignRow::Elect(ElectRow {
+                    family: cell.family.to_string(),
+                    tags: cell.tags.to_string(),
+                    n: cell.n as u64,
+                    span: cell.span,
+                    model: cell.model.to_string(),
+                    runs: agg.runs,
+                    feasible: agg.feasible,
+                    elected: agg.elected,
+                    aborted: agg.aborted,
+                    rounds: RowStats::from(&agg.rounds),
+                    transmissions: RowStats::from(&agg.transmissions),
+                    stepped: RowStats::from(&agg.stepped),
+                    leapt: RowStats::from(&agg.leapt),
+                    wall_ns: Some(RowStats::from(&agg.wall_ns)),
+                    cache_hits: Some(agg.cache_hits),
+                    cache_misses: Some(agg.cache_misses),
+                    mem_hw: Some(RowStats::from(&agg.mem_hw)),
+                }),
+                Phase::Classify => CampaignRow::Classify(ClassifyRow {
+                    family: cell.family.to_string(),
+                    tags: cell.tags.to_string(),
+                    n: cell.n as u64,
+                    span: cell.span,
+                    runs: agg.runs,
+                    feasible: agg.feasible,
+                    iterations: RowStats::from(&agg.iterations),
+                    classes: RowStats::from(&agg.classes),
+                    relabels: RowStats::from(&agg.relabels),
+                    wall_ns: Some(RowStats::from(&agg.wall_ns)),
+                    mem_hw: Some(RowStats::from(&agg.mem_hw)),
+                }),
+            })
+            .collect()
     }
 }
 
@@ -1714,7 +1753,7 @@ mod tests {
         }
         for row in runner.jsonl_rows() {
             assert!(
-                row.ends_with("\"cache_hits\":0,\"cache_misses\":0}"),
+                row.contains("\"cache_hits\":0,\"cache_misses\":0,\"mem_hw\":"),
                 "{row}"
             );
         }
@@ -1744,5 +1783,48 @@ mod tests {
         let one = rows_with(1, 1);
         assert_eq!(one, rows_with(4, 3));
         assert_eq!(one, rows_with(16, 2));
+    }
+
+    /// The scale-path row contract: the CSR-direct configuration route
+    /// (what the campaign runs) and the legacy `Graph` route draw
+    /// identical configurations and produce identical deterministic row
+    /// fields — so switching the campaign to CSR-direct changed no row.
+    #[test]
+    fn csr_direct_rows_are_bit_for_bit_with_the_graph_route() {
+        let spec = tiny_spec();
+        let mut ws_direct = CampaignWorkspace::new();
+        let mut ws_legacy = CampaignWorkspace::new();
+        for cell in spec.cells() {
+            for rep in 0..spec.reps {
+                let direct = spec.configuration(&cell, rep);
+                let legacy = spec.configuration_via_graph(&cell, rep);
+                assert_eq!(direct, legacy, "{cell} rep {rep}: configurations diverge");
+                let a = election_metrics(&mut ws_direct, &direct, cell.model, spec.opts);
+                let b = election_metrics(&mut ws_legacy, &legacy, cell.model, spec.opts);
+                // Everything except the measured tail (wall_ns, mem_hw).
+                assert_eq!(
+                    (a.feasible, a.elected, a.simulated, a.aborted, a.rounds),
+                    (b.feasible, b.elected, b.simulated, b.aborted, b.rounds),
+                    "{cell} rep {rep}: outcome fields diverge"
+                );
+                assert_eq!(
+                    (
+                        a.transmissions,
+                        a.rounds_stepped,
+                        a.rounds_leapt,
+                        a.cache_hit,
+                        a.cache_miss
+                    ),
+                    (
+                        b.transmissions,
+                        b.rounds_stepped,
+                        b.rounds_leapt,
+                        b.cache_hit,
+                        b.cache_miss
+                    ),
+                    "{cell} rep {rep}: shape fields diverge"
+                );
+            }
+        }
     }
 }

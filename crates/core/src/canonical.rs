@@ -17,21 +17,41 @@
 //! terminates on time. This keeps the DRIP total (every node terminates)
 //! without inventing behaviour the paper doesn't define.
 
-use radio_sim::{Action, DripFactory, DripNode, HistoryView, Msg};
+use radio_sim::{Action, DripFactory, DripNode, HistoryView, Msg, Obs};
 
-use crate::schedule::{MatchResult, SharedSchedule};
-use radio_classifier::Level;
+use crate::schedule::{MatchCursor, MatchResult, SharedSchedule};
+use radio_classifier::{Level, Multi, Triple};
 
 /// Factory installing the canonical DRIP of one configuration at every
 /// node.
 pub struct CanonicalFactory {
     schedule: SharedSchedule,
+    streaming: bool,
 }
 
 impl CanonicalFactory {
     /// Wraps a compiled schedule.
     pub fn new(schedule: SharedSchedule) -> CanonicalFactory {
-        CanonicalFactory { schedule }
+        CanonicalFactory {
+            schedule,
+            streaming: false,
+        }
+    }
+
+    /// Wraps a compiled schedule in *streaming-match* mode: nodes fold
+    /// every observation into a [`MatchCursor`] as it lands (via
+    /// [`DripNode::observe`]) and resolve their phase matches — and the
+    /// final leader verdict — without ever re-reading history content.
+    /// Behaviour is bit-identical to [`CanonicalFactory::new`]; the point
+    /// is that it stays correct under
+    /// [`RunOpts::len_only_histories`](radio_sim::RunOpts), where
+    /// histories have lengths but no content, which removes the dominant
+    /// memory term of million-node elections.
+    pub fn streaming(schedule: SharedSchedule) -> CanonicalFactory {
+        CanonicalFactory {
+            schedule,
+            streaming: true,
+        }
     }
 
     /// The shared schedule.
@@ -43,11 +63,14 @@ impl CanonicalFactory {
 impl DripFactory for CanonicalFactory {
     fn spawn(&self) -> Box<dyn DripNode> {
         Box::new(CanonicalNode {
+            cursor: self.schedule.matcher_after_phase(1).start(1),
             schedule: self.schedule.clone(),
             phase: 1,
             t_block: 1,
             transmit_at: self.schedule.transmit_round(1, 1),
             off_schedule: false,
+            streaming: self.streaming,
+            is_leader: None,
         })
     }
 
@@ -70,6 +93,13 @@ struct CanonicalNode {
     transmit_at: u64,
     /// Set when matching failed (foreign configuration): listen-only mode.
     off_schedule: bool,
+    /// Streaming-match mode: phase matches (and the leader verdict) come
+    /// from `cursor`, fed by `observe`, instead of re-reading history.
+    streaming: bool,
+    /// Trie position within `matcher_after_phase(phase)` (streaming only).
+    cursor: MatchCursor,
+    /// The leader verdict, resolved once at termination (streaming only).
+    is_leader: Option<bool>,
 }
 
 impl DripNode for CanonicalNode {
@@ -78,7 +108,18 @@ impl DripNode for CanonicalNode {
         let s = &self.schedule;
 
         if i > s.phase_end(s.phases()) {
-            // r_T + 1: all nodes terminate (L_{T+1} = terminate).
+            // r_T + 1: all nodes terminate (L_{T+1} = terminate). In
+            // streaming mode this is also where the decision function
+            // collapses into the node: resolve phase T's cursor against
+            // the final would-be list and compare with the leader class.
+            if self.streaming && self.is_leader.is_none() {
+                let claim = !self.off_schedule
+                    && match self.cursor.resolve(s.matcher_after_phase(self.phase)) {
+                        MatchResult::Unique(k) => s.lists.leader_class == Some(k),
+                        MatchResult::NoMatch | MatchResult::Ambiguous { .. } => false,
+                    };
+                self.is_leader = Some(claim);
+            }
             return Action::Terminate;
         }
 
@@ -88,14 +129,22 @@ impl DripNode for CanonicalNode {
             let next = self.phase + 1;
             debug_assert!(next <= s.phases());
             if !self.off_schedule {
-                let entries = match s.lists.level(next) {
-                    Level::Blocks(entries) => entries,
-                    Level::Terminate => unreachable!("terminate level handled above"),
+                let result = if self.streaming {
+                    self.cursor.resolve(s.matcher_after_phase(self.phase))
+                } else {
+                    let entries = match s.lists.level(next) {
+                        Level::Blocks(entries) => entries,
+                        Level::Terminate => unreachable!("terminate level handled above"),
+                    };
+                    s.match_entries(history, self.phase, self.t_block, entries)
                 };
-                match s.match_entries(history, self.phase, self.t_block, entries) {
+                match result {
                     MatchResult::Unique(k) => {
                         self.t_block = k;
                         self.transmit_at = s.transmit_round(next, k);
+                        if self.streaming {
+                            self.cursor = s.matcher_after_phase(next).start(k);
+                        }
                     }
                     MatchResult::NoMatch | MatchResult::Ambiguous { .. } => {
                         self.off_schedule = true;
@@ -110,6 +159,41 @@ impl DripNode for CanonicalNode {
         } else {
             Action::Listen
         }
+    }
+
+    fn observe(&mut self, t: u64, obs: Obs) {
+        if !self.streaming || self.off_schedule || self.is_leader.is_some() {
+            return;
+        }
+        // Project the observation onto phase geometry exactly as
+        // `CanonicalSchedule::observed_triples` does: only non-silent
+        // rounds inside the current phase's block region become triples
+        // (the engine already filters silence; `t` outside the region —
+        // the wake round 0 or the trailing σ listening rounds — is
+        // ignored).
+        let s = &self.schedule;
+        let start = s.phase_end(self.phase - 1);
+        if t <= start {
+            return;
+        }
+        let off = t - start;
+        let width = 2 * s.sigma + 1;
+        if off > s.blocks(self.phase) * width {
+            return;
+        }
+        let c = match obs {
+            Obs::Silence => return,
+            Obs::Heard(_) => Multi::One,
+            Obs::Collision | Obs::Noise => Multi::Star,
+        };
+        let a = ((off - 1) / width + 1) as u32;
+        let b = (off - 1) % width + 1;
+        self.cursor
+            .advance(s.matcher_after_phase(self.phase), Triple::new(a, b, c));
+    }
+
+    fn leader_claim(&self) -> Option<bool> {
+        self.is_leader
     }
 
     fn quiet_until(&self, history: HistoryView<'_>) -> Option<u64> {
@@ -277,6 +361,96 @@ mod tests {
             leap.rounds_stepped,
             leap.rounds
         );
+    }
+
+    #[test]
+    fn streaming_len_only_elects_exactly_like_the_dense_path() {
+        // The streaming factory under length-only histories must produce
+        // the same leaders and run shape as the dense factory judged by
+        // the view-reading decision function — across feasible,
+        // infeasible, and random configurations, with and without leaps.
+        use crate::decision::LeaderDecision;
+        use radio_sim::{run_election_resident, ModelKind, SimWorkspace};
+        let mut rng = radio_util::rng::rng_from(29);
+        let mut configs = vec![
+            families::h_m(3),
+            families::g_m(3),
+            families::s_m(2),
+            families::h_m(1),
+        ];
+        for _ in 0..6 {
+            let g = generators::gnp_connected(9, 0.35, &mut rng);
+            configs.push(radio_graph::tags::random_in_span(g, 5, &mut rng));
+        }
+        let mut sim = SimWorkspace::new();
+        for config in configs {
+            let (_, schedule) = CanonicalSchedule::build(&config);
+            let shared = Arc::new(schedule);
+            let decision = LeaderDecision::new(shared.clone());
+            let decide = |h: radio_sim::HistoryView<'_>| decision.is_leader_view(h);
+            for base in [RunOpts::default(), RunOpts::default().no_leap()] {
+                let dense = run_election_resident(
+                    &mut sim,
+                    ModelKind::NoCollisionDetection,
+                    &config,
+                    &CanonicalFactory::new(shared.clone()),
+                    &decide,
+                    base,
+                )
+                .unwrap();
+                let (dense_leaders, dense_run) = (dense.leaders, dense.run);
+                let streaming = run_election_resident(
+                    &mut sim,
+                    ModelKind::NoCollisionDetection,
+                    &config,
+                    &CanonicalFactory::streaming(shared.clone()),
+                    &decide,
+                    base.len_only(),
+                )
+                .unwrap();
+                assert_eq!(streaming.leaders, dense_leaders, "{config}");
+                assert_eq!(streaming.run.stats, dense_run.stats, "{config}");
+                assert_eq!(
+                    streaming.run.completion_round, dense_run.completion_round,
+                    "{config}"
+                );
+                assert_eq!(streaming.run.rounds, dense_run.rounds, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_mode_survives_foreign_configurations() {
+        // Off-schedule nodes must go silent and claim non-leadership —
+        // never panic, never claim — when the dedicated DRIP runs on a
+        // configuration it was not compiled for.
+        use radio_sim::{run_election_resident, ModelKind, SimWorkspace};
+        let h2 = families::h_m(2);
+        let (_, schedule) = CanonicalSchedule::build(&h2);
+        let shared = Arc::new(schedule);
+        let decision = crate::decision::LeaderDecision::new(shared.clone());
+        let decide = |h: radio_sim::HistoryView<'_>| decision.is_leader_view(h);
+        let s2 = families::s_m(2);
+        let mut sim = SimWorkspace::new();
+        let outcome = run_election_resident(
+            &mut sim,
+            ModelKind::NoCollisionDetection,
+            &s2,
+            &CanonicalFactory::streaming(shared.clone()),
+            &decide,
+            RunOpts::default().len_only(),
+        )
+        .unwrap();
+        let dense = run_election_resident(
+            &mut sim,
+            ModelKind::NoCollisionDetection,
+            &s2,
+            &CanonicalFactory::new(shared),
+            &decide,
+            RunOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.leaders, dense.leaders);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use radio_graph::{Configuration, NodeId};
-use radio_sim::{run_election_in, LeaderAlgorithm, ModelKind, RunOpts, SimError, SimWorkspace};
+use radio_sim::{run_election_resident, ModelKind, RunOpts, SimError, SimWorkspace};
 
 use crate::api::{ElectError, ElectionReport, Infeasible};
 use crate::cache::ScheduleCache;
@@ -110,14 +110,22 @@ impl CompiledElection {
         model: ModelKind,
         opts: RunOpts,
     ) -> Result<ElectionReport, ElectError> {
-        let factory = self.factory();
+        // Resident run over *length-only* histories: the streaming
+        // canonical DRIP folds every observation into a per-node match
+        // cursor as it lands and resolves the leader verdict itself at
+        // termination, so the arena stores no observation content at all —
+        // only per-node virtual lengths. This removes the dominant memory
+        // term of dense-neighbourhood elections (each stored heard-event
+        // costs 24 B; a 10⁶-node bipartite run stores ~10⁸ of them) and
+        // keeps peak RSS within a small multiple of the configuration
+        // footprint. Leaders are bit-identical to the view-reading
+        // decision function (`LeaderDecision`): the cursor walks the same
+        // trie of list entries the decision replay compares against.
+        let factory = CanonicalFactory::streaming(self.shared_schedule());
         let decision = self.decision();
-        let decide = move |h: &radio_sim::History| decision.is_leader(h);
-        let algorithm = LeaderAlgorithm {
-            drip: &factory,
-            decide: &decide,
-        };
-        let outcome = run_election_in(workspace, model, config, &algorithm, opts)
+        let decide = move |h: radio_sim::HistoryView<'_>| decision.is_leader_view(h);
+        let opts = opts.len_only();
+        let outcome = run_election_resident(workspace, model, config, &factory, &decide, opts)
             .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
         let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
             leaders: outcome.leaders.clone(),
@@ -135,10 +143,10 @@ impl CompiledElection {
             sigma: config.span(),
             phases: self.schedule.phases(),
             rounds_local: self.schedule.done_local(),
-            completion_round: outcome.completion_round(),
-            transmissions: outcome.execution.stats.transmissions,
-            rounds_stepped: outcome.execution.rounds_stepped,
-            rounds_leapt: outcome.execution.rounds_leapt,
+            completion_round: outcome.run.completion_round,
+            transmissions: outcome.run.stats.transmissions,
+            rounds_stepped: outcome.run.rounds_stepped,
+            rounds_leapt: outcome.run.rounds_leapt,
         })
     }
 }

@@ -48,6 +48,7 @@ pub mod dedicated;
 pub mod distributed;
 pub mod explain;
 pub mod lower_bounds;
+pub mod row;
 pub mod schedule;
 pub mod universal;
 pub mod verify;
@@ -63,6 +64,7 @@ pub use campaign::{
 };
 pub use canonical::CanonicalFactory;
 pub use dedicated::{CompiledElection, DedicatedElection};
+pub use row::{CampaignRow, RowError, RowStats};
 pub use schedule::CanonicalSchedule;
 
 #[cfg(test)]

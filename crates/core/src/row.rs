@@ -1,0 +1,1056 @@
+//! Campaign row model: typed rows, JSONL rendering/parsing, and a compact
+//! binary codec.
+//!
+//! A campaign's machine-readable output is one row per grid cell. PR 5
+//! pinned the JSONL schema with a golden corpus and PR 7's `radio-lint
+//! schema` enforces it; this module gives the same rows a typed in-memory
+//! form ([`CampaignRow`]) plus two interchangeable wire encodings:
+//!
+//! * **JSONL** — the canonical, human-greppable format. [`CampaignRow::
+//!   to_jsonl`] reproduces the pinned field order byte for byte, and
+//!   [`CampaignRow::parse_jsonl`] inverts it exactly (floats round-trip
+//!   because Rust renders the shortest representation that re-parses to
+//!   the same bits).
+//! * **Binary** — a length-prefixed little-endian encoding for
+//!   million-node campaigns, where JSONL rendering and disk volume start
+//!   to matter. `anon-radio rows convert` maps between the two formats
+//!   losslessly in either direction.
+//!
+//! ## Measured tail
+//!
+//! Both row shapes end in a *measured tail* — everything from `wall_ns`
+//! on is execution-dependent (wall time, cache counter split across
+//! workers, workspace high-water marks), so deterministic consumers strip
+//! it. The tail is a strict prefix: a field may be absent only if every
+//! field after it is too. Golden-corpus rows carry no tail at all; the
+//! runner emits the full tail.
+//!
+//! ## Binary layout (version 1)
+//!
+//! | section | bytes |
+//! |---|---|
+//! | file header | magic `ARBR` (4) + version u16 LE |
+//! | per row | payload length u32 LE + payload |
+//!
+//! Payload fields in JSONL field order: phase byte (1 = elect,
+//! 2 = classify); strings as u16 LE length + UTF-8 bytes; counters as
+//! u64 LE; stats objects as a tag byte (0 = `null`, 1 = present) followed
+//! (when present) by count u64 LE and the five summary floats as f64 LE
+//! bit patterns (NaN bits encode a JSON `null` summary value). The
+//! measured tail is a length byte (0–4 for elect, 0–2 for classify)
+//! followed by that many tail fields in order.
+
+use radio_util::stats::StreamingStats;
+use std::fmt;
+
+/// Magic bytes opening every binary row file ("Anon-Radio Binary Rows").
+pub const BINARY_MAGIC: [u8; 4] = *b"ARBR";
+/// Binary schema version written after the magic; readers reject others.
+pub const BINARY_VERSION: u16 = 1;
+
+/// A malformed row (either encoding). Carries a human-readable reason —
+/// row handling is an offline tool path, not a hot loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowError(String);
+
+impl RowError {
+    fn new(msg: impl Into<String>) -> Self {
+        RowError(msg.into())
+    }
+}
+
+impl fmt::Display for RowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed campaign row: {}", self.0)
+    }
+}
+
+impl std::error::Error for RowError {}
+
+/// A `{count, mean, min, max, p50, p95}` summary, or `null` when the
+/// metric folded no samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowStats {
+    /// No samples were folded — rendered as JSON `null`.
+    Null,
+    /// A non-empty summary. Non-finite floats render as JSON `null` and
+    /// are stored as NaN in memory and in the binary encoding.
+    Present {
+        /// Number of samples folded.
+        count: u64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+        /// Median estimate from the reservoir.
+        p50: f64,
+        /// 95th-percentile estimate from the reservoir.
+        p95: f64,
+    },
+}
+
+impl From<&StreamingStats> for RowStats {
+    fn from(s: &StreamingStats) -> Self {
+        if s.is_empty() {
+            return RowStats::Null;
+        }
+        RowStats::Present {
+            count: s.count(),
+            mean: s.mean().expect("non-empty"),
+            min: s.min().expect("non-empty"),
+            max: s.max().expect("non-empty"),
+            p50: s.p50().expect("non-empty"),
+            p95: s.p95().expect("non-empty"),
+        }
+    }
+}
+
+impl RowStats {
+    fn render(&self, out: &mut String) {
+        match self {
+            RowStats::Null => out.push_str("null"),
+            RowStats::Present {
+                count,
+                mean,
+                min,
+                max,
+                p50,
+                p95,
+            } => {
+                out.push_str(&format!(
+                    "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                    count,
+                    json_f64(*mean),
+                    json_f64(*min),
+                    json_f64(*max),
+                    json_f64(*p50),
+                    json_f64(*p95),
+                ));
+            }
+        }
+    }
+}
+
+/// JSON-safe float rendering (JSON has no NaN/∞; a whole-valued f64 is
+/// emitted without a fraction, which every JSON parser reads as a number).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One elect-phase row. The measured tail (`wall_ns`, `cache_hits`,
+/// `cache_misses`, `mem_hw`) is a strict prefix: each field may be
+/// present only if all earlier tail fields are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectRow {
+    /// Family axis label (e.g. `gnp:0.25`).
+    pub family: String,
+    /// Tag-strategy axis label (e.g. `arith:2`).
+    pub tags: String,
+    /// Size axis.
+    pub n: u64,
+    /// Tag-span axis.
+    pub span: u64,
+    /// Collision-model axis label.
+    pub model: String,
+    /// Repetitions folded into this cell.
+    pub runs: u64,
+    /// Runs whose configuration admitted a leader.
+    pub feasible: u64,
+    /// Runs that elected a leader.
+    pub elected: u64,
+    /// Runs aborted by the round cap.
+    pub aborted: u64,
+    /// Rounds-to-termination summary.
+    pub rounds: RowStats,
+    /// Transmission-count summary.
+    pub transmissions: RowStats,
+    /// Stepped-advance summary.
+    pub stepped: RowStats,
+    /// Leapt-advance summary.
+    pub leapt: RowStats,
+    /// Wall-clock summary (measured tail).
+    pub wall_ns: Option<RowStats>,
+    /// Schedule-cache hits (measured tail).
+    pub cache_hits: Option<u64>,
+    /// Schedule-cache misses (measured tail).
+    pub cache_misses: Option<u64>,
+    /// Workspace high-water-mark summary in bytes (measured tail).
+    pub mem_hw: Option<RowStats>,
+}
+
+/// One classify-phase row (no model axis — classification never consults
+/// it). The measured tail is `wall_ns` then `mem_hw`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyRow {
+    /// Family axis label.
+    pub family: String,
+    /// Tag-strategy axis label.
+    pub tags: String,
+    /// Size axis.
+    pub n: u64,
+    /// Tag-span axis.
+    pub span: u64,
+    /// Repetitions folded into this cell.
+    pub runs: u64,
+    /// Runs whose configuration admitted a leader.
+    pub feasible: u64,
+    /// Refinement-iteration summary.
+    pub iterations: RowStats,
+    /// Class-count summary.
+    pub classes: RowStats,
+    /// Relabel-count summary.
+    pub relabels: RowStats,
+    /// Wall-clock summary (measured tail).
+    pub wall_ns: Option<RowStats>,
+    /// Workspace high-water-mark summary in bytes (measured tail).
+    pub mem_hw: Option<RowStats>,
+}
+
+/// A campaign row of either phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignRow {
+    /// An elect-phase row.
+    Elect(ElectRow),
+    /// A classify-phase row.
+    Classify(ClassifyRow),
+}
+
+impl CampaignRow {
+    /// Renders the pinned JSONL form, byte for byte.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(512);
+        match self {
+            CampaignRow::Elect(r) => {
+                out.push_str(&format!(
+                    "{{\"phase\":\"elect\",\
+                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\"model\":\"{}\",\
+                     \"runs\":{},\"feasible\":{},\"elected\":{},\"aborted\":{}",
+                    r.family,
+                    r.tags,
+                    r.n,
+                    r.span,
+                    r.model,
+                    r.runs,
+                    r.feasible,
+                    r.elected,
+                    r.aborted,
+                ));
+                for (key, stats) in [
+                    ("rounds", &r.rounds),
+                    ("transmissions", &r.transmissions),
+                    ("stepped", &r.stepped),
+                    ("leapt", &r.leapt),
+                ] {
+                    out.push_str(&format!(",\"{key}\":"));
+                    stats.render(&mut out);
+                }
+                if let Some(wall) = &r.wall_ns {
+                    out.push_str(",\"wall_ns\":");
+                    wall.render(&mut out);
+                    if let Some(hits) = r.cache_hits {
+                        out.push_str(&format!(",\"cache_hits\":{hits}"));
+                        if let Some(misses) = r.cache_misses {
+                            out.push_str(&format!(",\"cache_misses\":{misses}"));
+                            if let Some(mem) = &r.mem_hw {
+                                out.push_str(",\"mem_hw\":");
+                                mem.render(&mut out);
+                            }
+                        }
+                    }
+                }
+            }
+            CampaignRow::Classify(r) => {
+                out.push_str(&format!(
+                    "{{\"phase\":\"classify\",\
+                     \"family\":\"{}\",\"tags\":\"{}\",\"n\":{},\"span\":{},\
+                     \"runs\":{},\"feasible\":{}",
+                    r.family, r.tags, r.n, r.span, r.runs, r.feasible,
+                ));
+                for (key, stats) in [
+                    ("iterations", &r.iterations),
+                    ("classes", &r.classes),
+                    ("relabels", &r.relabels),
+                ] {
+                    out.push_str(&format!(",\"{key}\":"));
+                    stats.render(&mut out);
+                }
+                if let Some(wall) = &r.wall_ns {
+                    out.push_str(",\"wall_ns\":");
+                    wall.render(&mut out);
+                    if let Some(mem) = &r.mem_hw {
+                        out.push_str(",\"mem_hw\":");
+                        mem.render(&mut out);
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL row produced by [`to_jsonl`](Self::to_jsonl) (or
+    /// any prior schema version — the measured tail may be any prefix).
+    /// The parser is exact, not lenient: field order, spelling, and the
+    /// absence of whitespace are all enforced, matching the contract
+    /// `radio-lint schema` checks.
+    pub fn parse_jsonl(line: &str) -> Result<CampaignRow, RowError> {
+        let mut c = Cursor::new(line);
+        c.expect("{\"phase\":\"")?;
+        let phase = c.string_until_quote()?;
+        let row = match phase.as_str() {
+            "elect" => {
+                c.expect(",\"family\":\"")?;
+                let family = c.string_until_quote()?;
+                c.expect(",\"tags\":\"")?;
+                let tags = c.string_until_quote()?;
+                c.expect(",\"n\":")?;
+                let n = c.u64()?;
+                c.expect(",\"span\":")?;
+                let span = c.u64()?;
+                c.expect(",\"model\":\"")?;
+                let model = c.string_until_quote()?;
+                c.expect(",\"runs\":")?;
+                let runs = c.u64()?;
+                c.expect(",\"feasible\":")?;
+                let feasible = c.u64()?;
+                c.expect(",\"elected\":")?;
+                let elected = c.u64()?;
+                c.expect(",\"aborted\":")?;
+                let aborted = c.u64()?;
+                c.expect(",\"rounds\":")?;
+                let rounds = c.stats()?;
+                c.expect(",\"transmissions\":")?;
+                let transmissions = c.stats()?;
+                c.expect(",\"stepped\":")?;
+                let stepped = c.stats()?;
+                c.expect(",\"leapt\":")?;
+                let leapt = c.stats()?;
+                let mut row = ElectRow {
+                    family,
+                    tags,
+                    n,
+                    span,
+                    model,
+                    runs,
+                    feasible,
+                    elected,
+                    aborted,
+                    rounds,
+                    transmissions,
+                    stepped,
+                    leapt,
+                    wall_ns: None,
+                    cache_hits: None,
+                    cache_misses: None,
+                    mem_hw: None,
+                };
+                if c.eat(",\"wall_ns\":") {
+                    row.wall_ns = Some(c.stats()?);
+                    if c.eat(",\"cache_hits\":") {
+                        row.cache_hits = Some(c.u64()?);
+                        if c.eat(",\"cache_misses\":") {
+                            row.cache_misses = Some(c.u64()?);
+                            if c.eat(",\"mem_hw\":") {
+                                row.mem_hw = Some(c.stats()?);
+                            }
+                        }
+                    }
+                }
+                CampaignRow::Elect(row)
+            }
+            "classify" => {
+                c.expect(",\"family\":\"")?;
+                let family = c.string_until_quote()?;
+                c.expect(",\"tags\":\"")?;
+                let tags = c.string_until_quote()?;
+                c.expect(",\"n\":")?;
+                let n = c.u64()?;
+                c.expect(",\"span\":")?;
+                let span = c.u64()?;
+                c.expect(",\"runs\":")?;
+                let runs = c.u64()?;
+                c.expect(",\"feasible\":")?;
+                let feasible = c.u64()?;
+                c.expect(",\"iterations\":")?;
+                let iterations = c.stats()?;
+                c.expect(",\"classes\":")?;
+                let classes = c.stats()?;
+                c.expect(",\"relabels\":")?;
+                let relabels = c.stats()?;
+                let mut row = ClassifyRow {
+                    family,
+                    tags,
+                    n,
+                    span,
+                    runs,
+                    feasible,
+                    iterations,
+                    classes,
+                    relabels,
+                    wall_ns: None,
+                    mem_hw: None,
+                };
+                if c.eat(",\"wall_ns\":") {
+                    row.wall_ns = Some(c.stats()?);
+                    if c.eat(",\"mem_hw\":") {
+                        row.mem_hw = Some(c.stats()?);
+                    }
+                }
+                CampaignRow::Classify(row)
+            }
+            other => return Err(RowError::new(format!("unknown phase {other:?}"))),
+        };
+        c.expect("}")?;
+        c.end()?;
+        Ok(row)
+    }
+}
+
+/// Exact-match cursor over a JSONL row. No whitespace skipping: the
+/// producer never emits any, and the schema contract forbids drift.
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor { rest: s }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), RowError> {
+        if let Some(rest) = self.rest.strip_prefix(lit) {
+            self.rest = rest;
+            Ok(())
+        } else {
+            let got: String = self.rest.chars().take(lit.len().max(12)).collect();
+            Err(RowError::new(format!("expected {lit:?}, found {got:?}")))
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if let Some(rest) = self.rest.strip_prefix(lit) {
+            self.rest = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end(&self) -> Result<(), RowError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(RowError::new(format!(
+                "trailing content after row: {:?}",
+                &self.rest[..self.rest.len().min(24)]
+            )))
+        }
+    }
+
+    /// Reads up to (and consumes) the closing quote. Axis labels never
+    /// contain escapes, so a backslash is rejected rather than decoded.
+    fn string_until_quote(&mut self) -> Result<String, RowError> {
+        let close = self
+            .rest
+            .find('"')
+            .ok_or_else(|| RowError::new("unterminated string"))?;
+        let s = &self.rest[..close];
+        if s.contains('\\') {
+            return Err(RowError::new("escape sequences are not part of the schema"));
+        }
+        self.rest = &self.rest[close + 1..];
+        Ok(s.to_string())
+    }
+
+    fn u64(&mut self) -> Result<u64, RowError> {
+        let digits = self.rest.len()
+            - self
+                .rest
+                .trim_start_matches(|c: char| c.is_ascii_digit())
+                .len();
+        if digits == 0 {
+            return Err(RowError::new(format!(
+                "expected an integer, found {:?}",
+                &self.rest[..self.rest.len().min(12)]
+            )));
+        }
+        let (num, rest) = self.rest.split_at(digits);
+        self.rest = rest;
+        num.parse()
+            .map_err(|e| RowError::new(format!("integer {num:?}: {e}")))
+    }
+
+    /// A JSON number or `null` (rendered for non-finite floats). `null`
+    /// parses to NaN, which renders back to `null` — exact round-trip.
+    fn f64(&mut self) -> Result<f64, RowError> {
+        if self.eat("null") {
+            return Ok(f64::NAN);
+        }
+        let len = self.rest.len()
+            - self
+                .rest
+                .trim_start_matches(|c: char| c.is_ascii_digit() || "+-.eE".contains(c))
+                .len();
+        if len == 0 {
+            return Err(RowError::new(format!(
+                "expected a number, found {:?}",
+                &self.rest[..self.rest.len().min(12)]
+            )));
+        }
+        let (num, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        num.parse()
+            .map_err(|e| RowError::new(format!("number {num:?}: {e}")))
+    }
+
+    fn stats(&mut self) -> Result<RowStats, RowError> {
+        if self.eat("null") {
+            return Ok(RowStats::Null);
+        }
+        self.expect("{\"count\":")?;
+        let count = self.u64()?;
+        self.expect(",\"mean\":")?;
+        let mean = self.f64()?;
+        self.expect(",\"min\":")?;
+        let min = self.f64()?;
+        self.expect(",\"max\":")?;
+        let max = self.f64()?;
+        self.expect(",\"p50\":")?;
+        let p50 = self.f64()?;
+        self.expect(",\"p95\":")?;
+        let p95 = self.f64()?;
+        self.expect("}")?;
+        Ok(RowStats::Present {
+            count,
+            mean,
+            min,
+            max,
+            p50,
+            p95,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+/// True when `bytes` opens with the binary-row magic — the format sniff
+/// used by `anon-radio rows convert` and `radio-lint schema`.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.starts_with(&BINARY_MAGIC)
+}
+
+/// Encodes a full binary row file: header plus one length-prefixed
+/// payload per row.
+pub fn write_binary(rows: &[CampaignRow]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + rows.len() * 256);
+    out.extend_from_slice(&BINARY_MAGIC);
+    out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+    for row in rows {
+        let payload = encode_row(row);
+        out.extend_from_slice(
+            &u32::try_from(payload.len())
+                .expect("row fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decodes a binary row file, rejecting bad magic, unknown versions,
+/// truncation, and trailing garbage.
+pub fn read_binary(bytes: &[u8]) -> Result<Vec<CampaignRow>, RowError> {
+    if bytes.len() < 6 {
+        return Err(RowError::new("file shorter than the 6-byte header"));
+    }
+    if !is_binary(bytes) {
+        return Err(RowError::new(format!(
+            "bad magic {:?} (expected {:?})",
+            &bytes[..4],
+            BINARY_MAGIC
+        )));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != BINARY_VERSION {
+        return Err(RowError::new(format!(
+            "unsupported binary schema version {version} (reader supports {BINARY_VERSION})"
+        )));
+    }
+    let mut rest = &bytes[6..];
+    let mut rows = Vec::new();
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(RowError::new("truncated row length prefix"));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(RowError::new(format!(
+                "truncated row payload: declared {len} bytes, {} remain",
+                rest.len()
+            )));
+        }
+        let (payload, tail) = rest.split_at(len);
+        rest = tail;
+        let mut d = Decoder { rest: payload };
+        rows.push(d.row()?);
+        if !d.rest.is_empty() {
+            return Err(RowError::new(format!(
+                "{} stray bytes after a decoded row payload",
+                d.rest.len()
+            )));
+        }
+    }
+    Ok(rows)
+}
+
+const PHASE_ELECT: u8 = 1;
+const PHASE_CLASSIFY: u8 = 2;
+const STATS_NULL: u8 = 0;
+const STATS_PRESENT: u8 = 1;
+
+fn encode_row(row: &CampaignRow) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    match row {
+        CampaignRow::Elect(r) => {
+            out.push(PHASE_ELECT);
+            put_str(&mut out, &r.family);
+            put_str(&mut out, &r.tags);
+            put_u64(&mut out, r.n);
+            put_u64(&mut out, r.span);
+            put_str(&mut out, &r.model);
+            for v in [r.runs, r.feasible, r.elected, r.aborted] {
+                put_u64(&mut out, v);
+            }
+            for s in [&r.rounds, &r.transmissions, &r.stepped, &r.leapt] {
+                put_stats(&mut out, s);
+            }
+            let tail_len = [
+                r.wall_ns.is_some(),
+                r.cache_hits.is_some(),
+                r.cache_misses.is_some(),
+                r.mem_hw.is_some(),
+            ]
+            .iter()
+            .take_while(|p| **p)
+            .count();
+            out.push(tail_len as u8);
+            if let Some(wall) = &r.wall_ns {
+                put_stats(&mut out, wall);
+            }
+            if let Some(hits) = r.cache_hits {
+                put_u64(&mut out, hits);
+            }
+            if let Some(misses) = r.cache_misses {
+                put_u64(&mut out, misses);
+            }
+            if let Some(mem) = &r.mem_hw {
+                put_stats(&mut out, mem);
+            }
+        }
+        CampaignRow::Classify(r) => {
+            out.push(PHASE_CLASSIFY);
+            put_str(&mut out, &r.family);
+            put_str(&mut out, &r.tags);
+            put_u64(&mut out, r.n);
+            put_u64(&mut out, r.span);
+            put_u64(&mut out, r.runs);
+            put_u64(&mut out, r.feasible);
+            for s in [&r.iterations, &r.classes, &r.relabels] {
+                put_stats(&mut out, s);
+            }
+            let tail_len = [r.wall_ns.is_some(), r.mem_hw.is_some()]
+                .iter()
+                .take_while(|p| **p)
+                .count();
+            out.push(tail_len as u8);
+            if let Some(wall) = &r.wall_ns {
+                put_stats(&mut out, wall);
+            }
+            if let Some(mem) = &r.mem_hw {
+                put_stats(&mut out, mem);
+            }
+        }
+    }
+    out
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("axis labels are short");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &RowStats) {
+    match s {
+        RowStats::Null => out.push(STATS_NULL),
+        RowStats::Present {
+            count,
+            mean,
+            min,
+            max,
+            p50,
+            p95,
+        } => {
+            out.push(STATS_PRESENT);
+            put_u64(out, *count);
+            for f in [mean, min, max, p50, p95] {
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+        }
+    }
+}
+
+struct Decoder<'a> {
+    rest: &'a [u8],
+}
+
+impl Decoder<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], RowError> {
+        if self.rest.len() < n {
+            return Err(RowError::new(format!(
+                "truncated {what}: needed {n} bytes, {} remain",
+                self.rest.len()
+            )));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, RowError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, RowError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, RowError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, RowError> {
+        let len = u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")) as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| RowError::new(format!("{what} is not UTF-8: {e}")))
+    }
+
+    fn stats(&mut self, what: &str) -> Result<RowStats, RowError> {
+        match self.u8(what)? {
+            STATS_NULL => Ok(RowStats::Null),
+            STATS_PRESENT => Ok(RowStats::Present {
+                count: self.u64(what)?,
+                mean: self.f64(what)?,
+                min: self.f64(what)?,
+                max: self.f64(what)?,
+                p50: self.f64(what)?,
+                p95: self.f64(what)?,
+            }),
+            tag => Err(RowError::new(format!("unknown stats tag {tag} in {what}"))),
+        }
+    }
+
+    fn row(&mut self) -> Result<CampaignRow, RowError> {
+        match self.u8("phase byte")? {
+            PHASE_ELECT => {
+                let family = self.str("family")?;
+                let tags = self.str("tags")?;
+                let n = self.u64("n")?;
+                let span = self.u64("span")?;
+                let model = self.str("model")?;
+                let runs = self.u64("runs")?;
+                let feasible = self.u64("feasible")?;
+                let elected = self.u64("elected")?;
+                let aborted = self.u64("aborted")?;
+                let rounds = self.stats("rounds")?;
+                let transmissions = self.stats("transmissions")?;
+                let stepped = self.stats("stepped")?;
+                let leapt = self.stats("leapt")?;
+                let tail_len = self.u8("tail length")?;
+                if tail_len > 4 {
+                    return Err(RowError::new(format!(
+                        "elect tail length {tail_len} exceeds the 4 defined tail fields"
+                    )));
+                }
+                let wall_ns = (tail_len >= 1).then(|| self.stats("wall_ns")).transpose()?;
+                let cache_hits = (tail_len >= 2)
+                    .then(|| self.u64("cache_hits"))
+                    .transpose()?;
+                let cache_misses = (tail_len >= 3)
+                    .then(|| self.u64("cache_misses"))
+                    .transpose()?;
+                let mem_hw = (tail_len >= 4).then(|| self.stats("mem_hw")).transpose()?;
+                Ok(CampaignRow::Elect(ElectRow {
+                    family,
+                    tags,
+                    n,
+                    span,
+                    model,
+                    runs,
+                    feasible,
+                    elected,
+                    aborted,
+                    rounds,
+                    transmissions,
+                    stepped,
+                    leapt,
+                    wall_ns,
+                    cache_hits,
+                    cache_misses,
+                    mem_hw,
+                }))
+            }
+            PHASE_CLASSIFY => {
+                let family = self.str("family")?;
+                let tags = self.str("tags")?;
+                let n = self.u64("n")?;
+                let span = self.u64("span")?;
+                let runs = self.u64("runs")?;
+                let feasible = self.u64("feasible")?;
+                let iterations = self.stats("iterations")?;
+                let classes = self.stats("classes")?;
+                let relabels = self.stats("relabels")?;
+                let tail_len = self.u8("tail length")?;
+                if tail_len > 2 {
+                    return Err(RowError::new(format!(
+                        "classify tail length {tail_len} exceeds the 2 defined tail fields"
+                    )));
+                }
+                let wall_ns = (tail_len >= 1).then(|| self.stats("wall_ns")).transpose()?;
+                let mem_hw = (tail_len >= 2).then(|| self.stats("mem_hw")).transpose()?;
+                Ok(CampaignRow::Classify(ClassifyRow {
+                    family,
+                    tags,
+                    n,
+                    span,
+                    runs,
+                    feasible,
+                    iterations,
+                    classes,
+                    relabels,
+                    wall_ns,
+                    mem_hw,
+                }))
+            }
+            byte => Err(RowError::new(format!("unknown phase byte {byte}"))),
+        }
+    }
+}
+
+/// Converts JSONL text to a binary row file (exact inverse of
+/// [`binary_to_jsonl`]). Blank lines are skipped.
+pub fn jsonl_to_binary(text: &str) -> Result<Vec<u8>, RowError> {
+    let rows: Vec<CampaignRow> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(CampaignRow::parse_jsonl)
+        .collect::<Result<_, _>>()?;
+    Ok(write_binary(&rows))
+}
+
+/// Converts a binary row file to JSONL text (one row per line, trailing
+/// newline), the exact inverse of [`jsonl_to_binary`].
+pub fn binary_to_jsonl(bytes: &[u8]) -> Result<String, RowError> {
+    let rows = read_binary(bytes)?;
+    let mut out = String::with_capacity(rows.len() * 256);
+    for row in &rows {
+        out.push_str(&row.to_jsonl());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_elect(tail: bool) -> CampaignRow {
+        CampaignRow::Elect(ElectRow {
+            family: "gnp:0.25".into(),
+            tags: "arith:2".into(),
+            n: 1_000_000,
+            span: 3,
+            model: "no-collision-detection".into(),
+            runs: 2,
+            feasible: 2,
+            elected: 2,
+            aborted: 0,
+            rounds: RowStats::Present {
+                count: 2,
+                mean: 13.5,
+                min: 11.0,
+                max: 15.0,
+                p50: 15.0,
+                p95: 15.0,
+            },
+            transmissions: RowStats::Null,
+            stepped: RowStats::Present {
+                count: 2,
+                mean: 10.123456789012345,
+                min: 9.0,
+                max: 12.0,
+                p50: 12.0,
+                p95: 12.0,
+            },
+            leapt: RowStats::Null,
+            wall_ns: tail.then_some(RowStats::Present {
+                count: 2,
+                mean: 1.25e9,
+                min: 1.0e9,
+                max: 1.5e9,
+                p50: 1.5e9,
+                p95: 1.5e9,
+            }),
+            cache_hits: tail.then_some(1),
+            cache_misses: tail.then_some(1),
+            mem_hw: tail.then_some(RowStats::Null),
+        })
+    }
+
+    fn sample_classify() -> CampaignRow {
+        CampaignRow::Classify(ClassifyRow {
+            family: "star".into(),
+            tags: "uniform".into(),
+            n: 6,
+            span: 3,
+            runs: 2,
+            feasible: 2,
+            iterations: RowStats::Present {
+                count: 2,
+                mean: 1.0,
+                min: 1.0,
+                max: 1.0,
+                p50: 1.0,
+                p95: 1.0,
+            },
+            classes: RowStats::Null,
+            relabels: RowStats::Present {
+                count: 2,
+                mean: 6.0,
+                min: 6.0,
+                max: 6.0,
+                p50: 6.0,
+                p95: 6.0,
+            },
+            wall_ns: Some(RowStats::Present {
+                count: 2,
+                mean: 42.0,
+                min: 41.0,
+                max: 43.0,
+                p50: 43.0,
+                p95: 43.0,
+            }),
+            mem_hw: Some(RowStats::Present {
+                count: 2,
+                mean: 65536.0,
+                min: 65536.0,
+                max: 65536.0,
+                p50: 65536.0,
+                p95: 65536.0,
+            }),
+        })
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        for row in [sample_elect(true), sample_elect(false), sample_classify()] {
+            let line = row.to_jsonl();
+            let parsed = CampaignRow::parse_jsonl(&line).expect("parses");
+            assert_eq!(parsed.to_jsonl(), line);
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_exactly() {
+        let rows = vec![sample_elect(true), sample_elect(false), sample_classify()];
+        let bytes = write_binary(&rows);
+        assert!(is_binary(&bytes));
+        let back = read_binary(&bytes).expect("decodes");
+        assert_eq!(back, rows);
+        // and through the text form: jsonl → binary → jsonl is identity
+        let jsonl: String = rows.iter().map(|r| r.to_jsonl() + "\n").collect();
+        let bin = jsonl_to_binary(&jsonl).expect("encodes");
+        assert_eq!(binary_to_jsonl(&bin).expect("decodes"), jsonl);
+    }
+
+    #[test]
+    fn parser_rejects_schema_drift() {
+        // reordered field
+        assert!(CampaignRow::parse_jsonl(
+            "{\"phase\":\"elect\",\"tags\":\"uniform\",\"family\":\"path\"}"
+        )
+        .is_err());
+        // whitespace is drift, not style
+        let line = sample_classify().to_jsonl().replace(":", ": ");
+        assert!(CampaignRow::parse_jsonl(&line).is_err());
+        // truncated tail mid-object
+        let line = sample_elect(true).to_jsonl();
+        assert!(CampaignRow::parse_jsonl(&line[..line.len() - 2]).is_err());
+        // unknown phase
+        assert!(CampaignRow::parse_jsonl("{\"phase\":\"audit\"}").is_err());
+    }
+
+    #[test]
+    fn binary_reader_rejects_corruption() {
+        let good = write_binary(&[sample_classify()]);
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(read_binary(&bad).is_err());
+        // unsupported version
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(read_binary(&bad).is_err());
+        // truncated payload
+        assert!(read_binary(&good[..good.len() - 3]).is_err());
+        // truncated header
+        assert!(read_binary(&good[..5]).is_err());
+        // declared length longer than file
+        let mut bad = good.clone();
+        bad[6] = 0xFF;
+        bad[7] = 0xFF;
+        assert!(read_binary(&bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_and_round_trip() {
+        let row = CampaignRow::Classify(match sample_classify() {
+            CampaignRow::Classify(mut r) => {
+                r.wall_ns = Some(RowStats::Present {
+                    count: 1,
+                    mean: f64::NAN,
+                    min: 0.0,
+                    max: 0.0,
+                    p50: 0.0,
+                    p95: 0.0,
+                });
+                r.mem_hw = None;
+                r
+            }
+            _ => unreachable!(),
+        });
+        let line = row.to_jsonl();
+        assert!(line.contains("\"mean\":null"));
+        let parsed = CampaignRow::parse_jsonl(&line).expect("parses");
+        assert_eq!(parsed.to_jsonl(), line);
+        // binary carries the NaN bits; jsonl render collapses back to null
+        let back = read_binary(&write_binary(&[row])).expect("decodes");
+        assert_eq!(back[0].to_jsonl(), line);
+    }
+}

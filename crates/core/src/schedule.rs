@@ -22,8 +22,8 @@
 use std::sync::Arc;
 
 use radio_classifier::{
-    CanonicalLists, ClassifierWorkspace, ClassifySummary, Engine, Label, ListEntry, ListsSink,
-    Multi, Outcome, Triple,
+    CanonicalLists, ClassifierWorkspace, ClassifySummary, Engine, Label, Level, ListEntry,
+    ListsSink, Multi, Outcome, Triple,
 };
 use radio_graph::Configuration;
 
@@ -37,6 +37,13 @@ pub struct CanonicalSchedule {
     pub lists: CanonicalLists,
     /// `phase_end[j]` = `r_j` for `j = 0..=T` (`phase_end[0] = 0`).
     pub phase_end: Vec<u64>,
+    /// `phase_matchers[j-1]` = the [`MatchAutomaton`] over `L_{j+1}`'s
+    /// entries, for `j = 1..T` — the matcher phase `j`'s observations are
+    /// judged against. Phase `T`'s observations are judged against
+    /// `final_matcher`.
+    phase_matchers: Vec<MatchAutomaton>,
+    /// Matcher over the final would-be list `L_{T+1}`'s entries.
+    final_matcher: MatchAutomaton,
 }
 
 impl CanonicalSchedule {
@@ -88,10 +95,21 @@ impl CanonicalSchedule {
             let prev = *phase_end.last().expect("non-empty");
             phase_end.push(prev + blocks * (2 * sigma + 1) + sigma);
         }
+        let mut phase_matchers = Vec::with_capacity(lists.phases().saturating_sub(1));
+        for j in 2..=lists.phases() {
+            let entries = match lists.level(j) {
+                Level::Blocks(entries) => entries.as_slice(),
+                Level::Terminate => unreachable!("levels 1..=T are block levels"),
+            };
+            phase_matchers.push(MatchAutomaton::compile(entries));
+        }
+        let final_matcher = MatchAutomaton::compile(&lists.final_entries);
         CanonicalSchedule {
             sigma,
             lists,
             phase_end,
+            phase_matchers,
+            final_matcher,
         }
     }
 
@@ -215,6 +233,21 @@ impl CanonicalSchedule {
             None => MatchResult::NoMatch,
         }
     }
+
+    /// The precompiled matcher that phase `j`'s observations are judged
+    /// against at the phase boundary: `L_{j+1}`'s entries for `j < T`, the
+    /// final would-be list for `j = T`. This is the streaming twin of
+    /// [`CanonicalSchedule::match_entries`] — a node feeds its non-silent
+    /// observations into a [`MatchCursor`] as they land and resolves at
+    /// the boundary, never re-reading its history.
+    pub fn matcher_after_phase(&self, j: usize) -> &MatchAutomaton {
+        debug_assert!((1..=self.phases()).contains(&j));
+        if j == self.phases() {
+            &self.final_matcher
+        } else {
+            &self.phase_matchers[j - 1]
+        }
+    }
 }
 
 /// Result of matching a phase history against list entries.
@@ -234,6 +267,130 @@ pub enum MatchResult {
         /// Second matching entry (1-based).
         second: u32,
     },
+}
+
+/// A precompiled trie matcher over one entry list, the streaming
+/// equivalent of [`CanonicalSchedule::match_entries`].
+///
+/// Entries sharing an `old_class` share a root; each root's trie follows
+/// the entry labels triple by triple. Because
+/// [`CanonicalSchedule::observed_triples`] emits a phase's non-silent
+/// observations in ascending `(a, b)` order — exactly the ≺_hist order the
+/// label triples are stored in — sequence equality against a label is a
+/// root-to-leaf walk: advance the cursor once per observed triple, then
+/// read the terminal entries at the final state. A node therefore needs
+/// only a cursor (one `u32`) of per-phase match state instead of its
+/// recorded history, which is what lets million-node elections run with
+/// length-only histories.
+#[derive(Debug, Clone, Default)]
+pub struct MatchAutomaton {
+    /// `roots[c]` = trie root for entries with `old_class == c`
+    /// (`NO_STATE` when no entry has that class).
+    roots: Vec<u32>,
+    states: Vec<MatchState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MatchState {
+    /// Outgoing transitions, sorted by triple (unique keys).
+    children: Vec<(Triple, u32)>,
+    /// 1-based indices of entries whose label ends at this state, in entry
+    /// order.
+    terminal: Vec<u32>,
+}
+
+/// Sentinel for "no such state": a dead cursor, or an absent root.
+const NO_STATE: u32 = u32::MAX;
+
+impl MatchAutomaton {
+    /// Builds the trie over `entries` (each contributes one root-to-leaf
+    /// path under its `old_class` root).
+    pub fn compile(entries: &[ListEntry]) -> MatchAutomaton {
+        let mut a = MatchAutomaton::default();
+        for (idx, entry) in entries.iter().enumerate() {
+            let c = entry.old_class as usize;
+            if a.roots.len() <= c {
+                a.roots.resize(c + 1, NO_STATE);
+            }
+            if a.roots[c] == NO_STATE {
+                a.roots[c] = a.new_state();
+            }
+            let mut s = a.roots[c];
+            for &t in entry.label.triples() {
+                let pos = a.states[s as usize]
+                    .children
+                    .binary_search_by_key(&t, |&(k, _)| k);
+                s = match pos {
+                    Ok(i) => a.states[s as usize].children[i].1,
+                    Err(i) => {
+                        let next = a.new_state();
+                        a.states[s as usize].children.insert(i, (t, next));
+                        next
+                    }
+                };
+            }
+            a.states[s as usize].terminal.push(idx as u32 + 1);
+        }
+        a
+    }
+
+    fn new_state(&mut self) -> u32 {
+        self.states.push(MatchState::default());
+        (self.states.len() - 1) as u32
+    }
+
+    /// A cursor rooted at `old_class` — dead from the start when no entry
+    /// has that class (the `prev_block` filter of
+    /// [`CanonicalSchedule::match_entries`]).
+    pub fn start(&self, old_class: u32) -> MatchCursor {
+        let state = self
+            .roots
+            .get(old_class as usize)
+            .copied()
+            .unwrap_or(NO_STATE);
+        MatchCursor { state }
+    }
+}
+
+/// Incremental match state: one trie position (or dead). `Copy`, so a
+/// node's entire per-phase match state is a single word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchCursor {
+    state: u32,
+}
+
+impl MatchCursor {
+    /// Feeds the next observed triple. A transition miss kills the cursor
+    /// permanently (the observation sequence is not a prefix of any
+    /// entry's label).
+    #[inline]
+    pub fn advance(&mut self, automaton: &MatchAutomaton, triple: Triple) {
+        if self.state == NO_STATE {
+            return;
+        }
+        let children = &automaton.states[self.state as usize].children;
+        self.state = match children.binary_search_by_key(&triple, |&(k, _)| k) {
+            Ok(i) => children[i].1,
+            Err(_) => NO_STATE,
+        };
+    }
+
+    /// Resolves the match at a phase boundary: the entries terminating at
+    /// the current state, reported exactly like
+    /// [`CanonicalSchedule::match_entries`].
+    pub fn resolve(&self, automaton: &MatchAutomaton) -> MatchResult {
+        if self.state == NO_STATE {
+            return MatchResult::NoMatch;
+        }
+        match automaton.states[self.state as usize].terminal.as_slice() {
+            [] => MatchResult::NoMatch,
+            [k] => MatchResult::Unique(*k),
+            [first, second, ..] => MatchResult::Ambiguous {
+                first: *first,
+                second: *second,
+            },
+        }
+    }
 }
 
 fn labels_equal(observed: &[Triple], label: &Label) -> bool {
@@ -442,6 +599,75 @@ mod tests {
             assert_eq!(streamed.sigma, eager.sigma, "{config}");
             assert_eq!(streamed.phase_end, eager.phase_end, "{config}");
             assert_eq!(streamed.lists, eager.lists, "{config}");
+        }
+    }
+
+    #[test]
+    fn automaton_resolves_exactly_like_match_entries() {
+        // On real canonical executions, a cursor fed the observed triples
+        // of each phase must resolve to the same MatchResult as the
+        // eager sequence comparison — for every node, every phase, and
+        // the final would-be list, on feasible and infeasible configs.
+        use crate::canonical::CanonicalFactory;
+        use radio_sim::{Executor, RunOpts};
+        use radio_util::rng::rng_from;
+        use std::sync::Arc;
+        let mut rng = rng_from(23);
+        let mut configs = vec![
+            families::h_m(3),
+            families::g_m(3),
+            families::s_m(2),
+            families::h_m(1),
+        ];
+        for _ in 0..6 {
+            let g = radio_graph::generators::gnp_connected(9, 0.35, &mut rng);
+            configs.push(radio_graph::tags::random_in_span(g, 5, &mut rng));
+        }
+        for config in configs {
+            let (_, s) = CanonicalSchedule::build(&config);
+            let shared = Arc::new(s);
+            let factory = CanonicalFactory::new(shared.clone());
+            let ex = Executor::run(&config, &factory, RunOpts::default()).unwrap();
+            let s = &*shared;
+            for v in 0..config.size() as u32 {
+                let h = ex.history(v).view();
+                let mut t_block = 1u32;
+                for j in 1..=s.phases() {
+                    let entries = if j == s.phases() {
+                        &s.lists.final_entries
+                    } else {
+                        match s.lists.level(j + 1) {
+                            radio_classifier::Level::Blocks(e) => e,
+                            radio_classifier::Level::Terminate => unreachable!(),
+                        }
+                    };
+                    let expected = s.match_entries(h, j, t_block, entries);
+                    let automaton = s.matcher_after_phase(j);
+                    let mut cursor = automaton.start(t_block);
+                    for triple in s.observed_triples(h, j) {
+                        cursor.advance(automaton, triple);
+                    }
+                    assert_eq!(
+                        cursor.resolve(automaton),
+                        expected,
+                        "{config}: node {v} phase {j}"
+                    );
+                    // a foreign previous block must miss in both
+                    let mut foreign = automaton.start(u32::MAX - 1);
+                    for triple in s.observed_triples(h, j) {
+                        foreign.advance(automaton, triple);
+                    }
+                    assert_eq!(
+                        foreign.resolve(automaton),
+                        s.match_entries(h, j, u32::MAX - 1, entries),
+                        "{config}: node {v} phase {j} foreign block"
+                    );
+                    match expected {
+                        MatchResult::Unique(k) => t_block = k,
+                        _ => break,
+                    }
+                }
+            }
         }
     }
 

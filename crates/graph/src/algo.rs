@@ -35,6 +35,31 @@ pub fn is_connected(g: &Graph) -> bool {
     bfs_distances(g, 0).iter().all(|&d| d != u32::MAX)
 }
 
+/// True iff the CSR graph is connected — the validation path for
+/// CSR-direct configurations, which never materialize a [`Graph`]. Same
+/// convention as [`is_connected`]: empty and singleton count as connected.
+pub fn is_connected_csr(csr: &crate::csr::Csr) -> bool {
+    let n = csr.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    seen[0] = true;
+    queue.push_back(0 as NodeId);
+    let mut visited = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &v in csr.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                visited += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    visited == n
+}
+
 /// Number of connected components.
 pub fn component_count(g: &Graph) -> usize {
     let n = g.node_count();

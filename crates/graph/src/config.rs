@@ -10,8 +10,9 @@
 //! zero, after which the span equals the largest tag.
 
 use std::fmt;
+use std::sync::OnceLock;
 
-use crate::algo::is_connected;
+use crate::algo::{is_connected, is_connected_csr};
 use crate::csr::Csr;
 use crate::graph::{Graph, NodeId};
 
@@ -50,12 +51,29 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// A radio-network configuration: connected graph + wake-up tags.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The authoritative adjacency is the frozen [`Csr`] — everything on the
+/// campaign hot path (simulator, classifier, fingerprinting) iterates it
+/// directly. The mutable-form [`Graph`] is **lazy**: configurations built
+/// from a graph carry it along, while CSR-direct configurations (the
+/// million-node scale path, [`Configuration::from_csr`]) thaw one on first
+/// [`Configuration::graph`] call and never pay for it otherwise.
+#[derive(Debug, Clone)]
 pub struct Configuration {
-    graph: Graph,
     csr: Csr,
     tags: Vec<Tag>,
+    graph: OnceLock<Graph>,
 }
+
+/// Equality is semantic over the frozen form: same CSR adjacency + same
+/// tags. Whether the lazy [`Graph`] has been thawed is unobservable.
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Configuration) -> bool {
+        self.csr == other.csr && self.tags == other.tags
+    }
+}
+
+impl Eq for Configuration {}
 
 impl Configuration {
     /// Builds a configuration, validating connectivity and tag arity.
@@ -73,7 +91,37 @@ impl Configuration {
             return Err(ConfigError::Disconnected);
         }
         let csr = Csr::from_graph(&graph);
-        Ok(Configuration { graph, csr, tags })
+        let lock = OnceLock::new();
+        let _ = lock.set(graph);
+        Ok(Configuration {
+            csr,
+            tags,
+            graph: lock,
+        })
+    }
+
+    /// Builds a configuration straight from a frozen [`Csr`] — the
+    /// CSR-direct scale path. Validation (non-empty, tag arity,
+    /// connectivity) runs on the CSR itself; no adjacency-list graph is
+    /// materialized unless [`Configuration::graph`] is later called.
+    pub fn from_csr(csr: Csr, tags: Vec<Tag>) -> Result<Configuration, ConfigError> {
+        if csr.node_count() == 0 {
+            return Err(ConfigError::Empty);
+        }
+        if tags.len() != csr.node_count() {
+            return Err(ConfigError::TagArity {
+                nodes: csr.node_count(),
+                tags: tags.len(),
+            });
+        }
+        if !is_connected_csr(&csr) {
+            return Err(ConfigError::Disconnected);
+        }
+        Ok(Configuration {
+            csr,
+            tags,
+            graph: OnceLock::new(),
+        })
     }
 
     /// Builds a configuration where every node has the same tag.
@@ -86,29 +134,31 @@ impl Configuration {
     /// frozen CSR — no clone, no connectivity re-check. The cheap path
     /// for sweeps that draw many tag assignments over one graph.
     pub fn retag(self, tags: Vec<Tag>) -> Result<Configuration, ConfigError> {
-        if tags.len() != self.graph.node_count() {
+        if tags.len() != self.csr.node_count() {
             return Err(ConfigError::TagArity {
-                nodes: self.graph.node_count(),
+                nodes: self.csr.node_count(),
                 tags: tags.len(),
             });
         }
         Ok(Configuration {
-            graph: self.graph,
             csr: self.csr,
             tags,
+            graph: self.graph,
         })
     }
 
     /// Number of nodes `n`.
     #[inline]
     pub fn size(&self) -> usize {
-        self.graph.node_count()
+        self.csr.node_count()
     }
 
-    /// The underlying mutable-form graph.
+    /// The mutable-form graph, thawed from the CSR on first use for
+    /// CSR-direct configurations (enumeration, IO, and tests only — the
+    /// campaign hot path never calls this).
     #[inline]
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.graph.get_or_init(|| self.csr.to_graph())
     }
 
     /// The frozen CSR adjacency (what the simulator and classifier iterate).
@@ -165,9 +215,9 @@ impl Configuration {
         }
         let tags = self.tags.iter().map(|t| t - lo).collect();
         Configuration {
-            graph: self.graph.clone(),
             csr: self.csr.clone(),
             tags,
+            graph: self.graph.clone(),
         }
     }
 
@@ -176,9 +226,9 @@ impl Configuration {
     pub fn shift_tags(&self, delta: Tag) -> Configuration {
         let tags = self.tags.iter().map(|t| t + delta).collect();
         Configuration {
-            graph: self.graph.clone(),
             csr: self.csr.clone(),
             tags,
+            graph: self.graph.clone(),
         }
     }
 
@@ -186,7 +236,7 @@ impl Configuration {
     /// `perm[v]`), carrying tags along. Feasibility is invariant under
     /// relabelling since nodes are anonymous.
     pub fn relabel(&self, perm: &[NodeId]) -> Configuration {
-        let graph = self.graph.relabel(perm).expect("valid permutation");
+        let graph = self.graph().relabel(perm).expect("valid permutation");
         let mut tags = vec![0; self.tags.len()];
         for (v, &t) in self.tags.iter().enumerate() {
             tags[perm[v] as usize] = t;
@@ -225,10 +275,13 @@ impl Configuration {
         if (0..n).any(|v| self.tags[v] != self.tags[perm[v] as usize]) {
             return false;
         }
-        // adjacency preserved (bijectivity makes one direction sufficient)
-        for (u, v) in self.graph.edges() {
-            if !self.csr.has_edge(perm[u as usize], perm[v as usize]) {
-                return false;
+        // adjacency preserved (bijectivity makes one direction sufficient);
+        // iterate the CSR so CSR-direct configurations stay graph-free
+        for u in 0..n as NodeId {
+            for &v in self.csr.neighbors(u) {
+                if u < v && !self.csr.has_edge(perm[u as usize], perm[v as usize]) {
+                    return false;
+                }
             }
         }
         true
@@ -285,7 +338,7 @@ impl fmt::Display for Configuration {
             f,
             "Configuration(n={}, m={}, σ={}, Δ={})",
             self.size(),
-            self.graph.edge_count(),
+            self.csr.edge_count(),
             self.span(),
             self.max_degree()
         )
@@ -316,6 +369,36 @@ mod tests {
         disconnected.add_edge(2, 3).unwrap();
         assert_eq!(
             Configuration::new(disconnected, vec![0; 4]).unwrap_err(),
+            ConfigError::Disconnected
+        );
+    }
+
+    #[test]
+    fn from_csr_matches_graph_construction() {
+        let g = generators::path(4);
+        let via_graph = Configuration::new(g.clone(), vec![3, 0, 0, 4]).unwrap();
+        let via_csr = Configuration::from_csr(Csr::from_graph(&g), vec![3, 0, 0, 4]).unwrap();
+        assert_eq!(via_graph, via_csr);
+        // the lazy graph thaws to the same adjacency
+        assert_eq!(via_csr.graph().edges(), g.edges());
+        assert_eq!(format!("{via_csr}"), format!("{via_graph}"));
+    }
+
+    #[test]
+    fn from_csr_validates_like_new() {
+        assert_eq!(
+            Configuration::from_csr(Csr::from_graph(&Graph::new(0)), vec![]).unwrap_err(),
+            ConfigError::Empty
+        );
+        assert_eq!(
+            Configuration::from_csr(Csr::from_graph(&generators::path(3)), vec![0, 1]).unwrap_err(),
+            ConfigError::TagArity { nodes: 3, tags: 2 }
+        );
+        let mut disconnected = Graph::new(4);
+        disconnected.add_edge(0, 1).unwrap();
+        disconnected.add_edge(2, 3).unwrap();
+        assert_eq!(
+            Configuration::from_csr(Csr::from_graph(&disconnected), vec![0; 4]).unwrap_err(),
             ConfigError::Disconnected
         );
     }

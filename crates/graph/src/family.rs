@@ -45,6 +45,7 @@ use std::fmt;
 
 use radio_util::rng::{derive, rng_from};
 
+use crate::csr::Csr;
 use crate::generators;
 use crate::graph::Graph;
 
@@ -313,6 +314,108 @@ impl FamilySpec {
                 generators::complete_bipartite(left as usize, right as usize)
             }
         })
+    }
+
+    /// Builds the family member on exactly `n` nodes **directly in CSR
+    /// form** — the million-node scale path. No intermediate adjacency-list
+    /// [`Graph`] is materialized: deterministic families stream their edges
+    /// into a degree-pre-counted [`CsrBuilder`](crate::csr::CsrBuilder),
+    /// and seed-derived families run the identical positional RNG stream
+    /// twice (count, then fill), so the result is byte-identical to
+    /// `build(n, seed)` followed by [`Csr::from_graph`].
+    pub fn build_csr(&self, n: usize, seed: u64) -> Result<Csr, FamilyError> {
+        use crate::generators::stream;
+        self.check_size(n)?;
+        Ok(match *self {
+            FamilySpec::Path => stream::path_csr(n),
+            FamilySpec::Cycle => stream::cycle_csr(n),
+            FamilySpec::Star => stream::star_csr(n),
+            FamilySpec::Complete => stream::complete_csr(n),
+            FamilySpec::Wheel => stream::wheel_csr(n),
+            FamilySpec::Ladder => stream::ladder_csr(n / 2),
+            FamilySpec::Tree { arity } => stream::balanced_tree_csr(n, arity as usize),
+            FamilySpec::RandomTree => stream::random_tree_csr(n, derive(seed, "rtree")),
+            FamilySpec::Gnp { ppm } => {
+                let p = match ppm {
+                    Some(ppm) => f64::from(ppm) / 1e6,
+                    None => (8.0 / n as f64).min(1.0),
+                };
+                stream::gnp_connected_csr(n, p, derive(seed, "gnp"))
+            }
+            FamilySpec::RandomConnected { extra } => {
+                stream::random_connected_csr(n, extra as usize, derive(seed, "rconn"))
+            }
+            FamilySpec::Grid { rows, cols } => stream::grid_csr(rows as usize, cols as usize),
+            FamilySpec::Torus { rows, cols } => stream::torus_csr(rows as usize, cols as usize),
+            FamilySpec::Hypercube { dim } => stream::hypercube_csr(dim),
+            FamilySpec::Caterpillar { spine, legs } => {
+                stream::caterpillar_csr(spine as usize, legs as usize)
+            }
+            FamilySpec::RandomCaterpillar { spine, leaves } => stream::random_caterpillar_csr(
+                spine as usize,
+                leaves as usize,
+                derive(seed, "rcat"),
+            ),
+            FamilySpec::Spider { legs, len } => stream::spider_csr(legs as usize, len as usize),
+            FamilySpec::Barbell { clique, bridge } => {
+                stream::barbell_csr(clique as usize, bridge as usize)
+            }
+            FamilySpec::Lollipop { clique, tail } => {
+                stream::lollipop_csr(clique as usize, tail as usize)
+            }
+            FamilySpec::DoubleStar { left, right } => {
+                stream::double_star_csr(left as usize, right as usize)
+            }
+            FamilySpec::Bipartite { left, right } => {
+                stream::complete_bipartite_csr(left as usize, right as usize)
+            }
+        })
+    }
+
+    /// Edge count of the family member on `n` nodes, as a `u128` safe for
+    /// overflow arithmetic. Exact for every family except [`FamilySpec::Gnp`]
+    /// with `0 < p < 1`, where it is the *expected* count (the backbone tree
+    /// plus `p` times the remaining pairs) — campaign validation uses this
+    /// to reject grids whose CSR `targets` could not fit `u32` offsets.
+    pub fn edge_count_hint(&self, n: usize) -> u128 {
+        let n = n as u128;
+        let tree = n.saturating_sub(1);
+        let pairs = n * n.saturating_sub(1) / 2;
+        match *self {
+            FamilySpec::Path | FamilySpec::Star | FamilySpec::Tree { .. } => tree,
+            FamilySpec::RandomTree => tree,
+            FamilySpec::Cycle => n,
+            FamilySpec::Complete => pairs,
+            FamilySpec::Wheel => 2 * tree,
+            FamilySpec::Ladder => 3 * (n / 2) - 2,
+            FamilySpec::Gnp { ppm } => {
+                let p = match ppm {
+                    Some(ppm) => f64::from(ppm) / 1e6,
+                    None => (8.0 / n.max(1) as f64).min(1.0),
+                };
+                tree + ((pairs - tree) as f64 * p).ceil() as u128
+            }
+            FamilySpec::RandomConnected { extra } => tree + extra as u128,
+            FamilySpec::Grid { rows, cols } => {
+                let (r, c) = (rows as u128, cols as u128);
+                r * (c - 1) + c * (r - 1)
+            }
+            FamilySpec::Torus { rows, cols } => 2 * rows as u128 * cols as u128,
+            FamilySpec::Hypercube { dim } => dim as u128 * (1u128 << (dim - 1)),
+            FamilySpec::Caterpillar { .. }
+            | FamilySpec::RandomCaterpillar { .. }
+            | FamilySpec::Spider { .. }
+            | FamilySpec::DoubleStar { .. } => tree,
+            FamilySpec::Barbell { clique, bridge } => {
+                let k = clique as u128;
+                k * (k - 1) + bridge as u128 + 1
+            }
+            FamilySpec::Lollipop { clique, tail } => {
+                let k = clique as u128;
+                k * (k - 1) / 2 + tail as u128
+            }
+            FamilySpec::Bipartite { left, right } => left as u128 * right as u128,
+        }
     }
 
     /// The registered base names, one per family, in grammar-table order —
@@ -688,6 +791,45 @@ mod tests {
         let a = FamilySpec::Gnp { ppm: None }.build(9, 77).unwrap();
         let b = generators::gnp_connected(9, 8.0 / 9.0, &mut rng_from(derive(77, "gnp")));
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn build_csr_is_byte_identical_to_graph_route() {
+        for spec in FamilySpec::zoo() {
+            let n = spec.default_size();
+            for seed in [0u64, 42, 0xFEED] {
+                let direct = spec.build_csr(n, seed).unwrap_or_else(|e| panic!("{e}"));
+                let via_graph = Csr::from_graph(&spec.build(n, seed).unwrap());
+                assert_eq!(direct, via_graph, "{spec} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_csr_rejects_the_same_sizes_as_build() {
+        assert_eq!(
+            FamilySpec::Cycle.build_csr(2, 0).unwrap_err(),
+            FamilySpec::Cycle.build(2, 0).unwrap_err()
+        );
+        assert!(FamilySpec::Ladder.build_csr(7, 0).is_err());
+        let grid = FamilySpec::Grid { rows: 4, cols: 3 };
+        assert!(grid.build_csr(11, 0).is_err());
+    }
+
+    #[test]
+    fn edge_count_hint_is_exact_for_non_gnp_families() {
+        for spec in FamilySpec::zoo() {
+            if matches!(spec, FamilySpec::Gnp { .. }) {
+                continue;
+            }
+            let n = spec.default_size();
+            let g = spec.build(n, 3).unwrap();
+            assert_eq!(
+                spec.edge_count_hint(n),
+                g.edge_count() as u128,
+                "{spec} at n={n}"
+            );
+        }
     }
 
     #[test]

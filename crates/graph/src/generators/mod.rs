@@ -11,6 +11,7 @@
 
 mod deterministic;
 mod random;
+pub mod stream;
 
 pub use deterministic::{
     balanced_tree, barbell, caterpillar, complete, complete_bipartite, cycle, double_star, grid,

@@ -1,0 +1,457 @@
+//! CSR-direct streaming generators: every family as an edge *stream*
+//! consumed twice — once to pre-count degrees, once to fill a
+//! [`CsrBuilder`] — so million-node configurations freeze straight into
+//! CSR form without an intermediate adjacency-list [`Graph`](crate::Graph).
+//!
+//! The contract mirrored by the `csr_direct_matches_graph_route` property
+//! suite: for every family and seed, the [`Csr`] produced here is
+//! byte-identical (offsets + targets) to `Graph` construction followed by
+//! [`Csr::from_graph`]. For the seeded families that means **seed-stream
+//! equivalence**: each pass re-creates the RNG from the same derived seed
+//! and consumes draws in exactly the order the `Graph` generator does,
+//! including the `has_edge` short-circuits that skip coin flips (tracked
+//! here with an explicit edge set, since there is no graph to query).
+//!
+//! The four simplest families skip the dry pass entirely — their degree
+//! sequences are closed-form.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use radio_util::rng::rng_from;
+use radio_util::FxHashSet;
+
+use crate::csr::{Csr, CsrBuilder};
+use crate::graph::NodeId;
+
+/// Builds a CSR from an edge stream in two passes: a counting pass into a
+/// degree vector, then a fill pass into the exact-size builder. `stream`
+/// must emit the identical edge multiset on both invocations.
+fn csr_two_pass(n: usize, stream: impl Fn(&mut dyn FnMut(NodeId, NodeId))) -> Csr {
+    let mut degrees = vec![0u32; n];
+    stream(&mut |u, v| {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+    });
+    let mut b = CsrBuilder::from_degrees(&degrees);
+    stream(&mut |u, v| b.push_edge(u, v));
+    b.finish()
+}
+
+/// Builds a CSR from a closed-form degree sequence and a single fill pass.
+fn csr_counted(degrees: &[u32], stream: impl FnOnce(&mut dyn FnMut(NodeId, NodeId))) -> Csr {
+    let mut b = CsrBuilder::from_degrees(degrees);
+    stream(&mut |u, v| b.push_edge(u, v));
+    b.finish()
+}
+
+// --- deterministic families (closed-form degrees where trivial) ---
+
+/// CSR path `P_n`.
+pub fn path_csr(n: usize) -> Csr {
+    let mut degrees = vec![2u32; n];
+    if n >= 1 {
+        degrees[0] = if n == 1 { 0 } else { 1 };
+        degrees[n - 1] = if n == 1 { 0 } else { 1 };
+    }
+    csr_counted(&degrees, |emit| {
+        for v in 1..n {
+            emit((v - 1) as NodeId, v as NodeId);
+        }
+    })
+}
+
+/// CSR cycle `C_n` (`n ≥ 3`).
+pub fn cycle_csr(n: usize) -> Csr {
+    assert!(n >= 3, "cycle requires n >= 3, got {n}");
+    csr_counted(&vec![2u32; n], |emit| {
+        for v in 1..n {
+            emit((v - 1) as NodeId, v as NodeId);
+        }
+        emit(0, (n - 1) as NodeId);
+    })
+}
+
+/// CSR star `K_{1,n-1}`.
+pub fn star_csr(n: usize) -> Csr {
+    let mut degrees = vec![1u32; n];
+    if n >= 1 {
+        degrees[0] = (n - 1) as u32;
+    }
+    csr_counted(&degrees, |emit| {
+        for v in 1..n {
+            emit(0, v as NodeId);
+        }
+    })
+}
+
+/// CSR complete graph `K_n`.
+pub fn complete_csr(n: usize) -> Csr {
+    csr_counted(&vec![n.saturating_sub(1) as u32; n], |emit| {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                emit(u as NodeId, v as NodeId);
+            }
+        }
+    })
+}
+
+/// CSR wheel `W_n` (`n ≥ 4`).
+pub fn wheel_csr(n: usize) -> Csr {
+    assert!(n >= 4, "wheel requires n >= 4, got {n}");
+    csr_two_pass(n, |emit| {
+        for v in 1..n {
+            emit(0, v as NodeId);
+            let next = if v == n - 1 { 1 } else { v + 1 };
+            emit(v as NodeId, next as NodeId);
+        }
+    })
+}
+
+/// CSR ladder on `2·len` nodes (`len ≥ 1`).
+pub fn ladder_csr(len: usize) -> Csr {
+    assert!(len >= 1, "ladder requires len >= 1");
+    csr_two_pass(2 * len, |emit| {
+        for i in 0..len {
+            if i + 1 < len {
+                emit(i as NodeId, (i + 1) as NodeId);
+                emit((len + i) as NodeId, (len + i + 1) as NodeId);
+            }
+            emit(i as NodeId, (len + i) as NodeId);
+        }
+    })
+}
+
+/// CSR balanced `k`-ary tree (`k ≥ 1`).
+pub fn balanced_tree_csr(n: usize, k: usize) -> Csr {
+    assert!(k > 0, "arity must be positive");
+    csr_two_pass(n, |emit| {
+        for v in 1..n {
+            emit(((v - 1) / k) as NodeId, v as NodeId);
+        }
+    })
+}
+
+/// CSR `rows × cols` grid.
+pub fn grid_csr(rows: usize, cols: usize) -> Csr {
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    csr_two_pass(rows * cols, |emit| {
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    emit(id(r, c), id(r, c + 1));
+                }
+                if r + 1 < rows {
+                    emit(id(r, c), id(r + 1, c));
+                }
+            }
+        }
+    })
+}
+
+/// CSR `rows × cols` torus (`rows, cols ≥ 3`).
+pub fn torus_csr(rows: usize, cols: usize) -> Csr {
+    assert!(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    csr_two_pass(rows * cols, |emit| {
+        for r in 0..rows {
+            for c in 0..cols {
+                emit(id(r, c), id(r, (c + 1) % cols));
+                emit(id(r, c), id((r + 1) % rows, c));
+            }
+        }
+    })
+}
+
+/// CSR `d`-dimensional hypercube.
+pub fn hypercube_csr(d: u32) -> Csr {
+    let n = 1usize << d;
+    csr_two_pass(n, |emit| {
+        for v in 0..n {
+            for bit in 0..d {
+                let w = v ^ (1usize << bit);
+                if v < w {
+                    emit(v as NodeId, w as NodeId);
+                }
+            }
+        }
+    })
+}
+
+/// CSR caterpillar: spine of `spine` nodes, `legs` leaves each.
+pub fn caterpillar_csr(spine: usize, legs: usize) -> Csr {
+    csr_two_pass(spine * (1 + legs), |emit| {
+        for s in 1..spine {
+            emit((s - 1) as NodeId, s as NodeId);
+        }
+        let mut next = spine;
+        for s in 0..spine {
+            for _ in 0..legs {
+                emit(s as NodeId, next as NodeId);
+                next += 1;
+            }
+        }
+    })
+}
+
+/// CSR spider: `legs` paths of length `len` glued at node 0.
+pub fn spider_csr(legs: usize, len: usize) -> Csr {
+    csr_two_pass(1 + legs * len, |emit| {
+        for i in 0..legs {
+            let base = (1 + i * len) as NodeId;
+            if len > 0 {
+                emit(0, base);
+                for j in 1..len {
+                    emit(base + (j - 1) as NodeId, base + j as NodeId);
+                }
+            }
+        }
+    })
+}
+
+/// CSR barbell: two `K_k` cliques joined by a `bridge`-node path (`k ≥ 1`).
+pub fn barbell_csr(k: usize, bridge: usize) -> Csr {
+    assert!(k >= 1, "clique size must be at least 1");
+    let n = 2 * k + bridge;
+    csr_two_pass(n, |emit| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                emit(u as NodeId, v as NodeId);
+            }
+        }
+        let right0 = k + bridge;
+        for u in right0..n {
+            for v in (u + 1)..n {
+                emit(u as NodeId, v as NodeId);
+            }
+        }
+        let mut prev = (k - 1) as NodeId;
+        for b in 0..bridge {
+            let cur = (k + b) as NodeId;
+            emit(prev, cur);
+            prev = cur;
+        }
+        emit(prev, right0 as NodeId);
+    })
+}
+
+/// CSR lollipop: `K_k` clique with a `tail`-node pendant path (`k ≥ 1`).
+pub fn lollipop_csr(k: usize, tail: usize) -> Csr {
+    assert!(k >= 1, "clique size must be at least 1");
+    csr_two_pass(k + tail, |emit| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                emit(u as NodeId, v as NodeId);
+            }
+        }
+        let mut prev = (k - 1) as NodeId;
+        for t in 0..tail {
+            let cur = (k + t) as NodeId;
+            emit(prev, cur);
+            prev = cur;
+        }
+    })
+}
+
+/// CSR double star: adjacent hubs 0 and 1 with `a`/`b` leaves.
+pub fn double_star_csr(a: usize, b: usize) -> Csr {
+    csr_two_pass(2 + a + b, |emit| {
+        emit(0, 1);
+        for leaf in 0..a {
+            emit(0, (2 + leaf) as NodeId);
+        }
+        for leaf in 0..b {
+            emit(1, (2 + a + leaf) as NodeId);
+        }
+    })
+}
+
+/// CSR complete bipartite `K_{a,b}`.
+pub fn complete_bipartite_csr(a: usize, b: usize) -> Csr {
+    let mut degrees = vec![b as u32; a];
+    degrees.resize(a + b, a as u32);
+    csr_counted(&degrees, |emit| {
+        for u in 0..a {
+            for v in 0..b {
+                emit(u as NodeId, (a + v) as NodeId);
+            }
+        }
+    })
+}
+
+// --- seeded families (two-pass over the same positional RNG stream) ---
+
+#[inline]
+fn edge_key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Streams the random-attachment tree (shuffle + uniform earlier parent),
+/// consuming draws exactly like [`random_tree`](crate::generators::random_tree).
+fn stream_random_tree(
+    n: usize,
+    rng: &mut impl Rng,
+    emit: &mut impl FnMut(NodeId, NodeId),
+) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let parent = order[rng.random_range(0..i)];
+        emit(parent, order[i]);
+    }
+    order
+}
+
+/// CSR random attachment tree, stream-equivalent to
+/// [`random_tree`](crate::generators::random_tree) under `rng_from(seed)`.
+pub fn random_tree_csr(n: usize, seed: u64) -> Csr {
+    csr_two_pass(n, |emit| {
+        let mut rng = rng_from(seed);
+        stream_random_tree(n, &mut rng, &mut |u, v| emit(u, v));
+    })
+}
+
+/// CSR connected `G(n, p)`, stream-equivalent to
+/// [`gnp_connected`](crate::generators::gnp_connected): the tree backbone's
+/// edge set replicates the `!g.has_edge(u, v)` short-circuit — a coin is
+/// only flipped for pairs that are not already tree edges.
+pub fn gnp_connected_csr(n: usize, p: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    csr_two_pass(n, |emit| {
+        let mut rng = rng_from(seed);
+        let mut tree: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+        stream_random_tree(n, &mut rng, &mut |u, v| {
+            tree.insert(edge_key(u, v));
+            emit(u, v);
+        });
+        if p > 0.0 {
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    if !tree.contains(&(u, v)) && rng.random_bool(p) {
+                        emit(u, v);
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// CSR tree + `extra` rejection-sampled extra edges, stream-equivalent to
+/// [`random_connected`](crate::generators::random_connected): the growing
+/// edge set stands in for the graph's `has_edge` in the rejection test.
+pub fn random_connected_csr(n: usize, extra: usize, seed: u64) -> Csr {
+    let max_extra = n * (n - 1) / 2 - (n.saturating_sub(1));
+    assert!(
+        extra <= max_extra,
+        "requested {extra} extra edges, only {max_extra} available"
+    );
+    csr_two_pass(n, |emit| {
+        let mut rng = rng_from(seed);
+        let mut edges: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+        stream_random_tree(n, &mut rng, &mut |u, v| {
+            edges.insert(edge_key(u, v));
+            emit(u, v);
+        });
+        let mut added = 0;
+        while added < extra {
+            let u = rng.random_range(0..n) as NodeId;
+            let v = rng.random_range(0..n) as NodeId;
+            if u != v && edges.insert(edge_key(u, v)) {
+                emit(u, v);
+                added += 1;
+            }
+        }
+    })
+}
+
+/// CSR random caterpillar, stream-equivalent to
+/// [`random_caterpillar`](crate::generators::random_caterpillar).
+pub fn random_caterpillar_csr(spine: usize, leaves: usize, seed: u64) -> Csr {
+    assert!(spine >= 1, "spine must be non-empty");
+    let n = spine + leaves;
+    csr_two_pass(n, |emit| {
+        let mut rng = rng_from(seed);
+        for s in 1..spine {
+            emit((s - 1) as NodeId, s as NodeId);
+        }
+        for leaf in spine..n {
+            let s = rng.random_range(0..spine) as NodeId;
+            emit(s, leaf as NodeId);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    fn via_graph(g: &Graph) -> Csr {
+        Csr::from_graph(g)
+    }
+
+    #[test]
+    fn deterministic_streams_match_graph_route() {
+        assert_eq!(path_csr(6), via_graph(&generators::path(6)));
+        assert_eq!(path_csr(1), via_graph(&generators::path(1)));
+        assert_eq!(cycle_csr(5), via_graph(&generators::cycle(5)));
+        assert_eq!(star_csr(7), via_graph(&generators::star(7)));
+        assert_eq!(complete_csr(6), via_graph(&generators::complete(6)));
+        assert_eq!(wheel_csr(6), via_graph(&generators::wheel(6)));
+        assert_eq!(ladder_csr(4), via_graph(&generators::ladder(4)));
+        assert_eq!(
+            balanced_tree_csr(10, 2),
+            via_graph(&generators::balanced_tree(10, 2))
+        );
+        assert_eq!(grid_csr(3, 4), via_graph(&generators::grid(3, 4)));
+        assert_eq!(torus_csr(3, 4), via_graph(&generators::torus(3, 4)));
+        assert_eq!(hypercube_csr(4), via_graph(&generators::hypercube(4)));
+        assert_eq!(
+            caterpillar_csr(4, 2),
+            via_graph(&generators::caterpillar(4, 2))
+        );
+        assert_eq!(spider_csr(3, 4), via_graph(&generators::spider(3, 4)));
+        assert_eq!(barbell_csr(4, 2), via_graph(&generators::barbell(4, 2)));
+        assert_eq!(barbell_csr(3, 0), via_graph(&generators::barbell(3, 0)));
+        assert_eq!(lollipop_csr(4, 3), via_graph(&generators::lollipop(4, 3)));
+        assert_eq!(
+            double_star_csr(3, 2),
+            via_graph(&generators::double_star(3, 2))
+        );
+        assert_eq!(
+            complete_bipartite_csr(3, 4),
+            via_graph(&generators::complete_bipartite(3, 4))
+        );
+    }
+
+    #[test]
+    fn seeded_streams_match_graph_route() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            assert_eq!(
+                random_tree_csr(20, seed),
+                via_graph(&generators::random_tree(20, &mut rng_from(seed))),
+                "random_tree seed {seed}"
+            );
+            assert_eq!(
+                gnp_connected_csr(14, 0.3, seed),
+                via_graph(&generators::gnp_connected(14, 0.3, &mut rng_from(seed))),
+                "gnp seed {seed}"
+            );
+            assert_eq!(
+                random_connected_csr(12, 6, seed),
+                via_graph(&generators::random_connected(12, 6, &mut rng_from(seed))),
+                "random_connected seed {seed}"
+            );
+            assert_eq!(
+                random_caterpillar_csr(5, 7, seed),
+                via_graph(&generators::random_caterpillar(5, 7, &mut rng_from(seed))),
+                "random_caterpillar seed {seed}"
+            );
+        }
+    }
+}

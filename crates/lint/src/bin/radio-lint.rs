@@ -20,7 +20,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use radio_lint::{report::Report, schema, ALL_RULES, DEFAULT_ROOTS};
+use radio_lint::{binary, report::Report, schema, ALL_RULES, DEFAULT_ROOTS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -117,9 +117,23 @@ fn schema_command(args: &[String]) -> Result<ExitCode, String> {
     };
     let mut report = Report::default();
     for file in &files {
-        let contents = std::fs::read_to_string(file)
-            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let bytes = std::fs::read(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
         let label = display_path(&common.root, file);
+        // Binary row files are decoded to canonical JSONL first, then run
+        // through the same field-order checks as text output.
+        let contents = if binary::is_binary(&bytes) {
+            match binary::decode_to_jsonl(&label, &bytes) {
+                Ok(jsonl) => jsonl,
+                Err(finding) => {
+                    report.findings.push(finding);
+                    report.files_scanned += 1;
+                    continue;
+                }
+            }
+        } else {
+            String::from_utf8(bytes)
+                .map_err(|e| format!("{}: not UTF-8 and not binary rows: {e}", file.display()))?
+        };
         report
             .findings
             .extend(schema::check_rows(&label, &contents));

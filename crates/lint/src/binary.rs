@@ -1,0 +1,311 @@
+//! Standalone decoder for the compact binary campaign-row format.
+//!
+//! `anon-radio campaign --row-format binary` writes rows as a magic-and-
+//! version header followed by length-prefixed payloads (layout documented
+//! in `crates/core/src/row.rs`). `radio-lint schema` accepts those files
+//! directly: this module decodes them back to the canonical JSONL text,
+//! which then flows through the ordinary [`crate::schema`] field-order
+//! checks.
+//!
+//! The decoder is written against the *wire layout*, not against the
+//! `anon-radio` crate — the linter stays dependency-free and therefore
+//! cross-checks the producer rather than trusting it. The workspace's
+//! root tests round-trip the golden corpus through both implementations
+//! and diff the text.
+
+use crate::rules::Finding;
+use crate::schema::ROW_SCHEMA;
+
+/// Magic bytes opening every binary row file.
+pub const MAGIC: [u8; 4] = *b"ARBR";
+/// The one binary schema version this decoder understands.
+pub const VERSION: u16 = 1;
+
+/// True when the bytes open with the binary-row magic — the sniff the
+/// `schema` command uses to pick a decoder per file.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.starts_with(&MAGIC)
+}
+
+/// Decodes a binary row file to canonical JSONL text (one row per line).
+/// Returns a [`Finding`] labelled with `file` on any structural defect:
+/// bad magic, unknown version, truncation, stray bytes, non-UTF-8 labels.
+/// The `line` of a decode finding is the 1-based row being decoded (0 for
+/// header-level defects).
+pub fn decode_to_jsonl(file: &str, bytes: &[u8]) -> Result<String, Finding> {
+    let fail = |line: u32, message: String| Finding {
+        file: file.to_string(),
+        line,
+        col: 1,
+        rule: ROW_SCHEMA,
+        message,
+    };
+    if bytes.len() < 6 {
+        return Err(fail(
+            0,
+            "binary row file shorter than the 6-byte header".into(),
+        ));
+    }
+    if !is_binary(bytes) {
+        return Err(fail(
+            0,
+            format!("bad magic {:?} (expected {MAGIC:?})", &bytes[..4]),
+        ));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(fail(
+            0,
+            format!("unsupported binary schema version {version} (decoder supports {VERSION})"),
+        ));
+    }
+    let mut rest = &bytes[6..];
+    let mut out = String::new();
+    let mut row_num = 0u32;
+    while !rest.is_empty() {
+        row_num += 1;
+        if rest.len() < 4 {
+            return Err(fail(row_num, "truncated row length prefix".into()));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(fail(
+                row_num,
+                format!(
+                    "truncated row payload: declared {len} bytes, {} remain",
+                    rest.len()
+                ),
+            ));
+        }
+        let (payload, tail) = rest.split_at(len);
+        rest = tail;
+        let mut d = Decoder { rest: payload };
+        let line = d.row().map_err(|m| fail(row_num, m))?;
+        if !d.rest.is_empty() {
+            return Err(fail(
+                row_num,
+                format!("{} stray bytes after the decoded payload", d.rest.len()),
+            ));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+const PHASE_ELECT: u8 = 1;
+const PHASE_CLASSIFY: u8 = 2;
+const STATS_NULL: u8 = 0;
+const STATS_PRESENT: u8 = 1;
+
+struct Decoder<'a> {
+    rest: &'a [u8],
+}
+
+impl Decoder<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], String> {
+        if self.rest.len() < n {
+            return Err(format!(
+                "truncated {what}: needed {n} bytes, {} remain",
+                self.rest.len()
+            ));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, String> {
+        let len = u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")) as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|e| format!("{what} is not UTF-8: {e}"))
+    }
+
+    /// Renders a stats object exactly as the producer's JSONL path does:
+    /// `null` when empty, shortest-round-trip floats, NaN bits as `null`.
+    fn stats(&mut self, what: &str) -> Result<String, String> {
+        match self.u8(what)? {
+            STATS_NULL => Ok("null".to_string()),
+            STATS_PRESENT => {
+                let count = self.u64(what)?;
+                let mut vals = [0.0f64; 5];
+                for v in &mut vals {
+                    *v = f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes"));
+                }
+                let f = |x: f64| {
+                    if x.is_finite() {
+                        format!("{x}")
+                    } else {
+                        "null".to_string()
+                    }
+                };
+                Ok(format!(
+                    "{{\"count\":{count},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                    f(vals[0]),
+                    f(vals[1]),
+                    f(vals[2]),
+                    f(vals[3]),
+                    f(vals[4]),
+                ))
+            }
+            tag => Err(format!("unknown stats tag {tag} in {what}")),
+        }
+    }
+
+    fn row(&mut self) -> Result<String, String> {
+        match self.u8("phase byte")? {
+            PHASE_ELECT => {
+                let family = self.str("family")?;
+                let tags = self.str("tags")?;
+                let n = self.u64("n")?;
+                let span = self.u64("span")?;
+                let model = self.str("model")?;
+                let runs = self.u64("runs")?;
+                let feasible = self.u64("feasible")?;
+                let elected = self.u64("elected")?;
+                let aborted = self.u64("aborted")?;
+                let mut line = format!(
+                    "{{\"phase\":\"elect\",\"family\":\"{family}\",\"tags\":\"{tags}\",\
+                     \"n\":{n},\"span\":{span},\"model\":\"{model}\",\"runs\":{runs},\
+                     \"feasible\":{feasible},\"elected\":{elected},\"aborted\":{aborted}"
+                );
+                for key in ["rounds", "transmissions", "stepped", "leapt"] {
+                    line.push_str(&format!(",\"{key}\":{}", self.stats(key)?));
+                }
+                let tail_len = self.u8("tail length")?;
+                if tail_len > 4 {
+                    return Err(format!(
+                        "elect tail length {tail_len} exceeds the 4 defined tail fields"
+                    ));
+                }
+                if tail_len >= 1 {
+                    line.push_str(&format!(",\"wall_ns\":{}", self.stats("wall_ns")?));
+                }
+                if tail_len >= 2 {
+                    line.push_str(&format!(",\"cache_hits\":{}", self.u64("cache_hits")?));
+                }
+                if tail_len >= 3 {
+                    line.push_str(&format!(",\"cache_misses\":{}", self.u64("cache_misses")?));
+                }
+                if tail_len >= 4 {
+                    line.push_str(&format!(",\"mem_hw\":{}", self.stats("mem_hw")?));
+                }
+                line.push('}');
+                Ok(line)
+            }
+            PHASE_CLASSIFY => {
+                let family = self.str("family")?;
+                let tags = self.str("tags")?;
+                let n = self.u64("n")?;
+                let span = self.u64("span")?;
+                let runs = self.u64("runs")?;
+                let feasible = self.u64("feasible")?;
+                let mut line = format!(
+                    "{{\"phase\":\"classify\",\"family\":\"{family}\",\"tags\":\"{tags}\",\
+                     \"n\":{n},\"span\":{span},\"runs\":{runs},\"feasible\":{feasible}"
+                );
+                for key in ["iterations", "classes", "relabels"] {
+                    line.push_str(&format!(",\"{key}\":{}", self.stats(key)?));
+                }
+                let tail_len = self.u8("tail length")?;
+                if tail_len > 2 {
+                    return Err(format!(
+                        "classify tail length {tail_len} exceeds the 2 defined tail fields"
+                    ));
+                }
+                if tail_len >= 1 {
+                    line.push_str(&format!(",\"wall_ns\":{}", self.stats("wall_ns")?));
+                }
+                if tail_len >= 2 {
+                    line.push_str(&format!(",\"mem_hw\":{}", self.stats("mem_hw")?));
+                }
+                line.push('}');
+                Ok(line)
+            }
+            byte => Err(format!("unknown phase byte {byte}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::check_rows;
+
+    /// Hand-assembles a one-row binary file (classify, empty tail) so the
+    /// decoder is tested against the documented layout, not a producer.
+    fn tiny_file() -> Vec<u8> {
+        let mut payload = vec![PHASE_CLASSIFY];
+        for s in ["star", "uniform"] {
+            payload.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            payload.extend_from_slice(s.as_bytes());
+        }
+        for v in [6u64, 3, 2, 2] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for _ in 0..3 {
+            payload.push(STATS_PRESENT);
+            payload.extend_from_slice(&2u64.to_le_bytes());
+            for f in [1.0f64, 1.0, 1.0, 1.0, 1.0] {
+                payload.extend_from_slice(&f.to_le_bytes());
+            }
+        }
+        payload.push(0); // empty measured tail
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file
+    }
+
+    #[test]
+    fn decodes_a_hand_assembled_row_to_schema_clean_jsonl() {
+        let jsonl = decode_to_jsonl("x.bin", &tiny_file()).expect("decodes");
+        assert!(jsonl.starts_with("{\"phase\":\"classify\",\"family\":\"star\""));
+        assert!(jsonl.contains("\"relabels\":{\"count\":2,\"mean\":1,"));
+        assert!(check_rows("x.bin", &jsonl).is_empty());
+    }
+
+    #[test]
+    fn rejects_header_and_payload_corruption() {
+        let good = tiny_file();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(decode_to_jsonl("x", &bad)
+            .unwrap_err()
+            .message
+            .contains("bad magic"));
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(decode_to_jsonl("x", &bad)
+            .unwrap_err()
+            .message
+            .contains("unsupported binary schema version"));
+        assert!(decode_to_jsonl("x", &good[..good.len() - 2])
+            .unwrap_err()
+            .message
+            .contains("truncated row payload"));
+        assert!(decode_to_jsonl("x", &good[..5])
+            .unwrap_err()
+            .message
+            .contains("shorter than the 6-byte header"));
+        // payload declares one byte more than the row actually holds
+        let mut bad = good.clone();
+        let declared = u32::from_le_bytes(bad[6..10].try_into().unwrap());
+        bad[6..10].copy_from_slice(&(declared - 1).to_le_bytes());
+        assert!(decode_to_jsonl("x", &bad).is_err());
+    }
+}

@@ -12,14 +12,14 @@
 //!
 //! * elect rows: exactly `phase family tags n span model runs feasible
 //!   elected aborted rounds transmissions stepped leapt`, then an optional
-//!   tail that must be a prefix of `wall_ns cache_hits cache_misses` in
-//!   that order — an interleaving-dependent field may never precede a
-//!   deterministic one;
+//!   tail that must be a prefix of `wall_ns cache_hits cache_misses
+//!   mem_hw` in that order — an interleaving-dependent field may never
+//!   precede a deterministic one;
 //! * classify rows: exactly `phase family tags n span runs feasible
-//!   iterations classes relabels` then optionally `wall_ns`; the phase
-//!   never consults the model or the simulator, so `model`, `rounds`,
-//!   `transmissions`, `stepped`, `leapt`, and the cache counters must not
-//!   appear at all.
+//!   iterations classes relabels` then optionally a prefix of `wall_ns
+//!   mem_hw`; the phase never consults the model or the simulator, so
+//!   `model`, `rounds`, `transmissions`, `stepped`, `leapt`, and the
+//!   cache counters must not appear at all.
 //!
 //! Checked files may be live CLI output (full tail) or the checked-in
 //! golden corpus (tail stripped); both shapes are valid instances of the
@@ -46,7 +46,7 @@ const ELECT_PREFIX: &[&str] = &[
     "stepped",
     "leapt",
 ];
-const ELECT_TAIL: &[&str] = &["wall_ns", "cache_hits", "cache_misses"];
+const ELECT_TAIL: &[&str] = &["wall_ns", "cache_hits", "cache_misses", "mem_hw"];
 
 const CLASSIFY_PREFIX: &[&str] = &[
     "phase",
@@ -60,7 +60,7 @@ const CLASSIFY_PREFIX: &[&str] = &[
     "classes",
     "relabels",
 ];
-const CLASSIFY_TAIL: &[&str] = &["wall_ns"];
+const CLASSIFY_TAIL: &[&str] = &["wall_ns", "mem_hw"];
 
 /// Fields a classify row must never carry (simulation/cache surface).
 const CLASSIFY_FORBIDDEN: &[&str] = &[
@@ -285,6 +285,23 @@ mod tests {
         let one_tail = CLASSIFY_STRIPPED.strip_suffix('}').unwrap().to_string()
             + ",\"wall_ns\":{\"count\":2}}";
         assert!(check_rows("x.jsonl", &one_tail).is_empty());
+        // full measured tail including the mem_hw high-water column
+        let full_elect =
+            ELECT_FULL.strip_suffix('}').unwrap().to_string() + ",\"mem_hw\":{\"count\":2}}";
+        assert!(check_rows("x.jsonl", &full_elect).is_empty());
+        let full_classify =
+            one_tail.strip_suffix('}').unwrap().to_string() + ",\"mem_hw\":{\"count\":2}}";
+        assert!(check_rows("x.jsonl", &full_classify).is_empty());
+    }
+
+    #[test]
+    fn mem_hw_requires_the_earlier_tail_fields() {
+        // mem_hw straight after leapt (no wall_ns) is out of order
+        let stripped = ELECT_FULL.split(",\"wall_ns\"").next().unwrap().to_string();
+        let bad = stripped + ",\"mem_hw\":{\"count\":2}}";
+        let findings = check_rows("x.jsonl", &bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("\"mem_hw\" where \"wall_ns\""));
     }
 
     #[test]
@@ -318,7 +335,13 @@ mod tests {
     fn unknown_phase_missing_phase_and_trailing_junk() {
         assert_eq!(check_rows("x", "{\"phase\":\"mystery\",\"n\":1}").len(), 1);
         assert_eq!(check_rows("x", "{\"family\":\"path\"}").len(), 1);
+        // a stray field inside the tail is caught by the pinned order...
         let junk = ELECT_FULL.trim_end_matches('}').to_string() + ",\"extra\":1}";
+        let findings = check_rows("x", &junk);
+        assert!(findings[0].message.contains("\"extra\" where \"mem_hw\""));
+        // ...and one past the full tail is flagged as trailing
+        let junk =
+            ELECT_FULL.trim_end_matches('}').to_string() + ",\"mem_hw\":{\"count\":2},\"extra\":1}";
         let findings = check_rows("x", &junk);
         assert!(findings[0]
             .message

@@ -213,6 +213,35 @@ impl BatchWorkspace {
         BatchWorkspace::default()
     }
 
+    /// Approximate footprint of the batch planes in bytes (capacities, not
+    /// lengths — the high-water mark across every batch this workspace has
+    /// run; boxed node and trace internals excluded). Feeds the campaign
+    /// `mem_hw` column.
+    pub fn mem_bytes(&self) -> u64 {
+        fn plane<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        self.arena.mem_bytes()
+            + plane(&self.nodes)
+            + plane(&self.wake)
+            + plane(&self.done)
+            + plane(&self.by_tag)
+            + plane(&self.cnt)
+            + plane(&self.cnt_stamp)
+            + plane(&self.heard_msg)
+            + plane(&self.quiet_horizon)
+            + plane(&self.adj_mask)
+            + plane(&self.members)
+            + plane(&self.active)
+            + self.active.iter().map(plane).sum::<u64>()
+            + plane(&self.traces)
+            + plane(&self.actions)
+            + plane(&self.transmitters)
+            + plane(&self.touched)
+            + plane(&self.runnable)
+            + plane(&self.sweep)
+    }
+
     /// Runs every member under the paper's channel model and returns
     /// their materialized [`Execution`]s in member order.
     pub fn run(

@@ -62,6 +62,33 @@ pub trait DripNode {
         let _ = history;
         None
     }
+
+    /// Streaming-observation hook: the engine calls this whenever a
+    /// *non-silent* observation is recorded for this node, with `t` the
+    /// local round the entry lands at (`H[t] = obs`). Silence — including
+    /// the bulk `(∅)` stretches a time-leap appends — is never reported;
+    /// a node that cares about silent rounds reads them off the growing
+    /// `history.len()` in [`DripNode::decide`].
+    ///
+    /// The default is a no-op. Implementations that fold their history
+    /// incrementally (e.g. the canonical DRIP's streaming mode) use this
+    /// to avoid ever re-reading history content, which lets the engine
+    /// run them with length-only histories
+    /// ([`RunOpts::len_only`](crate::RunOpts::len_only)) — no observation
+    /// storage at all.
+    fn observe(&mut self, t: u64, obs: crate::msg::Obs) {
+        let _ = (t, obs);
+    }
+
+    /// After termination: whether this node elected itself, if the
+    /// implementation tracks that itself. `None` (the default) means the
+    /// caller must derive leadership from the recorded history (the
+    /// classic decision-function route). Nodes that fold their history
+    /// online return `Some(..)` from the round they terminate, which is
+    /// what lets a length-only run still produce an election outcome.
+    fn leader_claim(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// Spawns identical [`DripNode`]s — one per node of the network.

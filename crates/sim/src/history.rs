@@ -42,9 +42,7 @@ impl History {
     /// Borrowed read-only view of the whole history.
     #[inline]
     pub fn view(&self) -> HistoryView<'_> {
-        HistoryView {
-            entries: &self.entries,
-        }
+        HistoryView::new(&self.entries)
     }
 
     /// Number of recorded rounds. When the engine asks a DRIP for the action
@@ -146,94 +144,207 @@ impl<'a> IntoIterator for &'a History {
 
 /// A borrowed read-only history — what the engine hands a DRIP each round.
 ///
-/// `Copy`-cheap (a fat pointer into the engine's observation arena).
-/// Mirrors every read accessor of [`History`]; [`HistoryView::to_history`]
-/// materializes an owned copy when one is needed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Copy`-cheap. Mirrors every read accessor of [`History`];
+/// [`HistoryView::to_history`] materializes an owned copy when one is
+/// needed.
+///
+/// Two backing representations exist, indistinguishable through the
+/// accessors:
+///
+/// * **dense** — a fat pointer into a contiguous `[Obs]` run (the owned
+///   form, the batch engine, the default workspace arena);
+/// * **sparse** — the non-silent entries only, as sorted
+///   `(local_round, obs)` events plus a virtual length; every other round
+///   reads as `(∅)`. Produced by the engine's silence-virtualizing arena
+///   ([`RunOpts::sparse_histories`](crate::RunOpts::sparse_histories)),
+///   where million-node histories dominated by silence would otherwise
+///   dwarf the configuration they came from.
+///
+/// The one dense-only accessor is [`HistoryView::as_slice`], which
+/// panics on a sparse view — code meant to run under the sparse arena
+/// must read through `get`/`iter`/the query methods.
+#[derive(Debug, Clone, Copy)]
 pub struct HistoryView<'a> {
-    entries: &'a [Obs],
+    repr: Repr<'a>,
 }
 
+#[derive(Debug, Clone, Copy)]
+enum Repr<'a> {
+    Dense(&'a [Obs]),
+    Sparse {
+        /// Non-silent entries as `(absolute_round, obs)`, sorted by round,
+        /// all within `[base, base + len)`.
+        events: &'a [(u64, Obs)],
+        /// Absolute round of the view's entry 0 (non-zero after
+        /// [`HistoryView::window`]).
+        base: u64,
+        /// Virtual length: rounds `0..len` exist, silence unless an event
+        /// says otherwise.
+        len: u64,
+    },
+}
+
+/// The `&Obs` the sparse `Index` impl returns for virtual entries.
+static SILENCE: Obs = Obs::Silence;
+
 impl<'a> HistoryView<'a> {
-    /// View over raw entries.
+    /// Dense view over raw entries.
     #[inline]
     pub fn new(entries: &'a [Obs]) -> HistoryView<'a> {
-        HistoryView { entries }
+        HistoryView {
+            repr: Repr::Dense(entries),
+        }
+    }
+
+    /// Sparse view: `len` rounds of silence except the given sorted
+    /// `(round, obs)` events. Only the engine's arena constructs these.
+    #[inline]
+    pub(crate) fn sparse(events: &'a [(u64, Obs)], len: u64) -> HistoryView<'a> {
+        HistoryView {
+            repr: Repr::Sparse {
+                events,
+                base: 0,
+                len,
+            },
+        }
     }
 
     /// Number of recorded rounds (see [`History::len`]).
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match self.repr {
+            Repr::Dense(entries) => entries.len(),
+            Repr::Sparse { len, .. } => len as usize,
+        }
     }
 
     /// True before wake-up.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// All entries as a slice.
+    /// All entries as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics on a sparse view (silence is virtual there — no contiguous
+    /// run exists). Use `get`/`iter` or [`HistoryView::to_history`].
     #[inline]
     pub fn as_slice(&self) -> &'a [Obs] {
-        self.entries
+        match self.repr {
+            Repr::Dense(entries) => entries,
+            Repr::Sparse { .. } => {
+                panic!("HistoryView::as_slice on a sparse view; use get()/iter()/to_history()")
+            }
+        }
     }
 
     /// Entry accessor returning `None` out of range.
     #[inline]
     pub fn get(&self, r: usize) -> Option<Obs> {
-        self.entries.get(r).copied()
+        match self.repr {
+            Repr::Dense(entries) => entries.get(r).copied(),
+            Repr::Sparse { events, base, len } => {
+                if (r as u64) >= len {
+                    return None;
+                }
+                let abs = base + r as u64;
+                match events.binary_search_by_key(&abs, |&(p, _)| p) {
+                    Ok(i) => Some(events[i].1),
+                    Err(_) => Some(Obs::Silence),
+                }
+            }
+        }
     }
 
     /// Iterator over `(local_round, Obs)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, Obs)> + 'a {
-        self.entries.iter().copied().enumerate()
+        let me = *self;
+        (0..me.len()).map(move |r| (r, me.get(r).expect("r < len")))
     }
 
     /// The local round of the first non-silent entry, if any.
     pub fn first_nonsilent(&self) -> Option<usize> {
-        self.entries.iter().position(|o| !o.is_silence())
+        match self.repr {
+            Repr::Dense(entries) => entries.iter().position(|o| !o.is_silence()),
+            Repr::Sparse { events, base, .. } => events.first().map(|&(p, _)| (p - base) as usize),
+        }
     }
 
     /// The local round of the first received message, if any (the paper's
     /// `rcv_w`). Collisions do not count.
     pub fn first_message(&self) -> Option<usize> {
-        self.entries.iter().position(|o| o.is_message())
+        match self.repr {
+            Repr::Dense(entries) => entries.iter().position(|o| o.is_message()),
+            Repr::Sparse { events, base, .. } => events
+                .iter()
+                .find(|(_, o)| o.is_message())
+                .map(|&(p, _)| (p - base) as usize),
+        }
     }
 
     /// The message received in local round `r`, if entry `r` is `Heard`.
     pub fn message_at(&self, r: usize) -> Option<Msg> {
-        match self.entries.get(r) {
-            Some(Obs::Heard(m)) => Some(*m),
+        match self.get(r) {
+            Some(Obs::Heard(m)) => Some(m),
             _ => None,
         }
     }
 
     /// True when every entry is silence.
     pub fn all_silent(&self) -> bool {
-        self.entries.iter().all(|o| o.is_silence())
+        match self.repr {
+            Repr::Dense(entries) => entries.iter().all(|o| o.is_silence()),
+            Repr::Sparse { events, .. } => events.is_empty(),
+        }
     }
 
     /// Sub-view `H[from .. from+len]` — no allocation.
     pub fn window(&self, from: usize, len: usize) -> HistoryView<'a> {
-        HistoryView {
-            entries: &self.entries[from..from + len],
+        match self.repr {
+            Repr::Dense(entries) => HistoryView::new(&entries[from..from + len]),
+            Repr::Sparse {
+                events,
+                base,
+                len: total,
+            } => {
+                assert!(from + len <= total as usize, "window out of range");
+                let lo = base + from as u64;
+                let hi = lo + len as u64;
+                let a = events.partition_point(|&(p, _)| p < lo);
+                let b = events.partition_point(|&(p, _)| p < hi);
+                HistoryView {
+                    repr: Repr::Sparse {
+                        events: &events[a..b],
+                        base: lo,
+                        len: len as u64,
+                    },
+                }
+            }
         }
     }
 
     /// Materializes an owned [`History`].
     pub fn to_history(&self) -> History {
-        History {
-            entries: self.entries.to_vec(),
+        match self.repr {
+            Repr::Dense(entries) => History {
+                entries: entries.to_vec(),
+            },
+            Repr::Sparse { events, base, len } => {
+                let mut entries = vec![Obs::Silence; len as usize];
+                for &(p, o) in events {
+                    entries[(p - base) as usize] = o;
+                }
+                History { entries }
+            }
         }
     }
 
     /// Compact single-line rendering, e.g. `[∅ ∅ '1' ∗ ∅]`.
     pub fn render(&self) -> String {
         let cells: Vec<String> = self
-            .entries
             .iter()
-            .map(|o| match o {
+            .map(|(_, o)| match o {
                 Obs::Silence => "∅".to_string(),
                 Obs::Heard(m) => format!("'{}'", m.0),
                 Obs::Collision => "∗".to_string(),
@@ -244,11 +355,48 @@ impl<'a> HistoryView<'a> {
     }
 }
 
+/// Equality is semantic — a dense view and a sparse view of the same
+/// history compare equal regardless of representation.
+impl PartialEq for HistoryView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            _ => {
+                self.len() == other.len()
+                    && self.iter().zip(other.iter()).all(|((_, a), (_, b))| a == b)
+            }
+        }
+    }
+}
+
+impl Eq for HistoryView<'_> {}
+
+/// Hashes the full logical entry sequence (length-prefixed), so equal
+/// views hash equally across representations.
+impl std::hash::Hash for HistoryView<'_> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for (_, o) in self.iter() {
+            o.hash(state);
+        }
+    }
+}
+
 impl Index<usize> for HistoryView<'_> {
     type Output = Obs;
 
     fn index(&self, r: usize) -> &Obs {
-        &self.entries[r]
+        match self.repr {
+            Repr::Dense(entries) => &entries[r],
+            Repr::Sparse { events, base, len } => {
+                assert!((r as u64) < len, "index {r} out of range (len {len})");
+                let abs = base + r as u64;
+                match events.binary_search_by_key(&abs, |&(p, _)| p) {
+                    Ok(i) => &events[i].1,
+                    Err(_) => &SILENCE,
+                }
+            }
+        }
     }
 }
 

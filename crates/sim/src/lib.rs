@@ -101,12 +101,12 @@ pub mod workspace;
 pub use batch::{BatchRun, BatchWorkspace, MemberView};
 pub use drip::{DripFactory, DripNode, PureDrip, PureFactory};
 pub use election::{
-    run_election, run_election_in, run_election_model, run_election_under, ElectionOutcome,
-    LeaderAlgorithm,
+    run_election, run_election_in, run_election_model, run_election_resident, run_election_under,
+    ElectionOutcome, LeaderAlgorithm, ResidentOutcome,
 };
 pub use engine::{ExecStats, Execution, Executor, RunOpts, SimError};
 pub use history::{History, HistoryView};
 pub use model::{Beeping, CollisionDetection, ModelKind, NoCollisionDetection, RadioModel};
 pub use msg::{Action, Msg, Obs};
 pub use patient::PatientFactory;
-pub use workspace::SimWorkspace;
+pub use workspace::{ResidentRun, SimWorkspace};

@@ -37,17 +37,117 @@ use crate::trace::{RoundEvent, Trace};
 /// `(offset, len, capacity)` segment of a single flat `Vec<Obs>`.
 ///
 /// Appending into a full segment relocates it to the end of the arena with
-/// doubled capacity (amortized O(1), total memory ≤ ~2× the live
-/// observations); the backing vector itself grows geometrically, so
-/// steady-state rounds perform no allocation at all. [`ObsArena::reset`]
-/// clears the segments while keeping the backing vector's capacity — how a
-/// [`SimWorkspace`] carries its warmed-up arena from run to run.
+/// doubled capacity (amortized O(1)); the backing vector itself grows
+/// geometrically, so steady-state rounds perform no allocation at all.
+/// Relocation abandons the old segment in place; once that garbage would
+/// exceed the live observations the arena compacts itself (an O(live)
+/// rewrite, amortized against the pushes that created the garbage), so the
+/// buffer never holds more than ~2× the live observations. At million-node
+/// scale this is the difference between the arena tracking the histories
+/// and the arena dwarfing them. [`ObsArena::reset`] clears the segments
+/// while keeping the backing vector's capacity — how a [`SimWorkspace`]
+/// carries its warmed-up arena from run to run.
+///
+/// # Sparse mode
+///
+/// Under [`RunOpts::sparse_histories`](crate::RunOpts::sparse_histories)
+/// the arena stores only the *non-silent* observations, as
+/// `(local_round, obs)` events in a second segmented buffer; silence —
+/// which dominates canonical-schedule histories utterly — exists only as
+/// a per-node virtual length. Views answer `get`/`iter` identically in
+/// both modes (the sparse [`HistoryView`] synthesizes `(∅)` on the fly),
+/// so results are bit-identical; only
+/// [`HistoryView::as_slice`] is unavailable. A leap's bulk silence
+/// ([`ObsArena::push_silence_n`]) becomes a counter bump — O(1) time
+/// *and* memory — which is what lets a 10⁶-node election run within a
+/// small multiple of its configuration footprint.
 #[derive(Debug, Default)]
 pub(crate) struct ObsArena {
+    /// Sparse mode: silence is virtual, only events are stored.
+    sparse: bool,
+    /// Length-only mode: nothing is stored, histories exist purely as
+    /// per-node virtual lengths (`vlen`). See [`RunOpts::len_only_histories`].
+    len_only: bool,
+    /// Dense-mode backing buffer (one `Obs` per recorded round).
     data: Vec<Obs>,
+    /// Sparse-mode backing buffer (non-silent entries only).
+    events: Vec<(u64, Obs)>,
+    /// Per-node segment offsets into the active backing buffer.
     off: Vec<usize>,
+    /// Per-node count of *stored* elements (obs or events).
     len: Vec<u32>,
+    /// Per-node segment capacities.
     cap: Vec<u32>,
+    /// Sparse mode: per-node virtual history length in rounds.
+    vlen: Vec<u64>,
+    /// Slots abandoned by segment relocations since the last compaction.
+    dead: usize,
+}
+
+/// Relocates segment `v` of a segmented buffer to the end with capacity
+/// `max(2×cap, FIRST_CAP, need)`, compacting the whole buffer first when
+/// relocation garbage would outweigh the live data. Shared by the arena's
+/// dense (`Obs`) and sparse (`(round, Obs)`) buffers.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn seg_grow<T: Copy>(
+    buf: &mut Vec<T>,
+    off: &mut [usize],
+    len: &[u32],
+    cap: &mut [u32],
+    dead: &mut usize,
+    v: usize,
+    need: usize,
+    fill: T,
+) {
+    // At least double (amortization), but satisfy big jumps — a
+    // time-leap can demand millions of slots at once — exactly, so a
+    // huge silent run is not over-allocated (and over-filled) by up
+    // to 2×.
+    let new_cap = (cap[v] as usize * 2)
+        .max(ObsArena::FIRST_CAP as usize)
+        .max(need);
+    // The whole abandoned segment (live prefix and unused tail alike)
+    // becomes garbage; compact once garbage would outweigh the live
+    // data, keeping the buffer within ~2× of the live elements.
+    *dead += cap[v] as usize;
+    if *dead * 2 > buf.len() {
+        seg_compact(buf, off, len, cap);
+        // Compaction shrank `v`'s segment to its live length; the
+        // relocation below abandons exactly those slots.
+        *dead = len[v] as usize;
+    }
+    let new_off = buf.len();
+    let old_off = off[v];
+    let live = len[v] as usize;
+    // Relocate by appending: the live prefix is copied once (not
+    // fill-initialized first and then overwritten), only the fresh tail
+    // is filled — establishing the all-`fill`-beyond-`len` invariant
+    // the dense `push_silence_n` relies on.
+    buf.extend_from_within(old_off..old_off + live);
+    buf.resize(new_off + new_cap, fill);
+    off[v] = new_off;
+    cap[v] = u32::try_from(new_cap).expect("history exceeds u32 capacity");
+}
+
+/// Rewrites every segment contiguously at the front of the buffer,
+/// dropping all relocation garbage. Segments keep their contents;
+/// capacities shrink to the live lengths, so the next append per segment
+/// relocates — which the doubling policy amortizes as usual.
+#[cold]
+fn seg_compact<T: Copy>(buf: &mut Vec<T>, off: &mut [usize], len: &[u32], cap: &mut [u32]) {
+    let mut order: Vec<u32> = (0..off.len() as u32).collect();
+    order.sort_unstable_by_key(|&v| off[v as usize]);
+    let mut write = 0usize;
+    for &v in &order {
+        let vi = v as usize;
+        let live = len[vi] as usize;
+        buf.copy_within(off[vi]..off[vi] + live, write);
+        off[vi] = write;
+        cap[vi] = len[vi];
+        write += live;
+    }
+    buf.truncate(write);
 }
 
 impl ObsArena {
@@ -61,78 +161,156 @@ impl ObsArena {
         arena
     }
 
+    /// Backing-buffer footprint in bytes (capacities, not lengths). The
+    /// arena never shrinks, so this is its high-water mark.
+    pub(crate) fn mem_bytes(&self) -> u64 {
+        (self.data.capacity() * std::mem::size_of::<Obs>()
+            + self.events.capacity() * std::mem::size_of::<(u64, Obs)>()
+            + self.off.capacity() * std::mem::size_of::<usize>()
+            + self.len.capacity() * std::mem::size_of::<u32>()
+            + self.cap.capacity() * std::mem::size_of::<u32>()
+            + self.vlen.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Selects the storage mode for the *next* [`ObsArena::reset`]. Must
+    /// not be flipped mid-run. `len_only` wins over `sparse`.
+    pub(crate) fn set_mode(&mut self, sparse: bool, len_only: bool) {
+        self.sparse = sparse;
+        self.len_only = len_only;
+    }
+
+    /// The virtual length of node `v`'s history — the local round index
+    /// the *next* recorded entry will land at, in any storage mode.
+    #[inline]
+    pub(crate) fn pos(&self, v: usize) -> u64 {
+        if self.sparse || self.len_only {
+            self.vlen[v]
+        } else {
+            u64::from(self.len[v])
+        }
+    }
+
     /// Re-dimensions for `n` empty segments, retaining all buffer capacity.
     pub(crate) fn reset(&mut self, n: usize) {
         self.data.clear();
+        self.events.clear();
         self.off.clear();
         self.off.resize(n, 0);
         self.len.clear();
         self.len.resize(n, 0);
         self.cap.clear();
         self.cap.resize(n, 0);
+        self.vlen.clear();
+        self.vlen.resize(n, 0);
+        self.dead = 0;
     }
 
     #[inline]
     pub(crate) fn push(&mut self, v: usize, obs: Obs) {
+        if self.len_only {
+            self.vlen[v] += 1;
+            return;
+        }
+        if self.sparse {
+            let pos = self.vlen[v];
+            self.vlen[v] = pos + 1;
+            if !obs.is_silence() {
+                self.push_event(v, (pos, obs));
+            }
+            return;
+        }
         if self.len[v] == self.cap[v] {
-            self.grow(v, self.len[v] as usize + 1);
+            seg_grow(
+                &mut self.data,
+                &mut self.off,
+                &self.len,
+                &mut self.cap,
+                &mut self.dead,
+                v,
+                self.len[v] as usize + 1,
+                Obs::Silence,
+            );
         }
         self.data[self.off[v] + self.len[v] as usize] = obs;
         self.len[v] += 1;
     }
 
+    /// Appends a non-silent entry to node `v`'s sparse event segment.
+    fn push_event(&mut self, v: usize, e: (u64, Obs)) {
+        if self.len[v] == self.cap[v] {
+            seg_grow(
+                &mut self.events,
+                &mut self.off,
+                &self.len,
+                &mut self.cap,
+                &mut self.dead,
+                v,
+                self.len[v] as usize + 1,
+                (0, Obs::Silence),
+            );
+        }
+        self.events[self.off[v] + self.len[v] as usize] = e;
+        self.len[v] += 1;
+    }
+
     /// Appends `k` `(∅)` entries to segment `v` in one go — how the
-    /// time-leap scheduler materializes a skipped silent stretch.
+    /// time-leap scheduler delivers a skipped silent stretch.
     ///
-    /// O(1) past capacity checks: a segment's unused tail `[len..cap)`
-    /// still holds the `Obs::Silence` the backing vector was resized with
-    /// (pushes only ever write at `len`), so appending silence is just a
-    /// length bump.
+    /// Sparse mode: a pure counter bump, O(1) time and memory — a leap
+    /// over a million quiet rounds costs nothing per node. Dense mode:
+    /// O(1) past capacity checks, because a segment's unused tail
+    /// `[len..cap)` still holds the `Obs::Silence` the backing vector was
+    /// resized with (pushes only ever write at `len`), so appending
+    /// silence is just a length bump.
     pub(crate) fn push_silence_n(&mut self, v: usize, k: usize) {
+        if self.len_only || self.sparse {
+            self.vlen[v] += k as u64;
+            return;
+        }
         let need = self.len[v] as usize + k;
         if need > self.cap[v] as usize {
-            self.grow(v, need);
+            seg_grow(
+                &mut self.data,
+                &mut self.off,
+                &self.len,
+                &mut self.cap,
+                &mut self.dead,
+                v,
+                need,
+                Obs::Silence,
+            );
         }
         self.len[v] += k as u32;
     }
 
-    #[cold]
-    fn grow(&mut self, v: usize, need: usize) {
-        // At least double (amortization), but satisfy big jumps — a
-        // time-leap can demand millions of slots at once — exactly, so a
-        // huge silent run is not over-allocated (and over-filled) by up
-        // to 2×.
-        let new_cap = (self.cap[v] as usize * 2)
-            .max(Self::FIRST_CAP as usize)
-            .max(need);
-        let new_off = self.data.len();
-        let old_off = self.off[v];
-        let live = self.len[v] as usize;
-        // Relocate by appending: the live prefix is copied once (not
-        // silence-filled first and then overwritten), only the fresh tail
-        // is filled — establishing the all-`Silence`-beyond-`len`
-        // invariant `push_silence_n` relies on.
-        self.data.extend_from_within(old_off..old_off + live);
-        self.data.resize(new_off + new_cap, Obs::Silence);
-        self.off[v] = new_off;
-        self.cap[v] = u32::try_from(new_cap).expect("history exceeds u32 capacity");
-    }
-
+    /// Node `v`'s recorded entries as a contiguous slice (dense mode only).
     #[inline]
     pub(crate) fn slice(&self, v: usize) -> &[Obs] {
+        debug_assert!(!self.sparse, "slice() on a sparse arena");
         &self.data[self.off[v]..self.off[v] + self.len[v] as usize]
     }
 
     #[inline]
     pub(crate) fn view(&self, v: usize) -> HistoryView<'_> {
-        HistoryView::new(self.slice(v))
+        if self.len_only {
+            // Length-only views have the right `len()` but report every
+            // entry as silence; sound only under the `observe`-folding
+            // DRIP contract of `RunOpts::len_only_histories`.
+            return HistoryView::sparse(&[], self.vlen[v]);
+        }
+        if self.sparse {
+            let events = &self.events[self.off[v]..self.off[v] + self.len[v] as usize];
+            HistoryView::sparse(events, self.vlen[v])
+        } else {
+            HistoryView::new(self.slice(v))
+        }
     }
 
     /// Materializes all segments as owned histories, leaving the arena
     /// intact for the next run.
     pub(crate) fn histories(&self) -> Vec<History> {
         (0..self.off.len())
-            .map(|v| History::from_entries(self.slice(v).to_vec()))
+            .map(|v| self.view(v).to_history())
             .collect()
     }
 }
@@ -180,6 +358,29 @@ impl SimWorkspace {
     /// An empty workspace; buffers are dimensioned lazily by the first run.
     pub fn new() -> SimWorkspace {
         SimWorkspace::default()
+    }
+
+    /// Approximate footprint of the workspace's backing buffers in bytes.
+    /// Counts plane *capacities* — capacities never shrink across runs, so
+    /// this is the high-water mark of everything the workspace ever held
+    /// (boxed node internals excluded). Feeds the campaign `mem_hw` column.
+    pub fn mem_bytes(&self) -> u64 {
+        fn plane<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        self.arena.mem_bytes()
+            + plane(&self.nodes)
+            + plane(&self.wake)
+            + plane(&self.done)
+            + plane(&self.by_tag)
+            + plane(&self.active)
+            + plane(&self.cnt)
+            + plane(&self.cnt_stamp)
+            + plane(&self.quiet_horizon)
+            + plane(&self.actions)
+            + plane(&self.transmitters)
+            + plane(&self.touched)
+            + plane(&self.heard_msg)
     }
 
     /// Re-dimensions every buffer for `config` without freeing capacity:
@@ -251,6 +452,81 @@ impl SimWorkspace {
         factory: &dyn DripFactory,
         opts: RunOpts,
     ) -> Result<Execution, SimError> {
+        debug_assert!(
+            !opts.len_only_histories,
+            "length-only histories cannot be materialized into an Execution"
+        );
+        let run = self.run_model_resident::<M>(config, factory, opts)?;
+        Ok(Execution {
+            wake_round: std::mem::take(&mut self.wake),
+            done_round: std::mem::take(&mut self.done),
+            histories: self.arena.histories(),
+            rounds: run.rounds,
+            rounds_stepped: run.rounds_stepped,
+            rounds_leapt: run.rounds_leapt,
+            stats: run.stats,
+            trace: run.trace,
+        })
+    }
+
+    /// [`SimWorkspace::run_kind`] without materializing an [`Execution`]:
+    /// the run's histories stay resident in the workspace arena, readable
+    /// through [`SimWorkspace::history_view`] until the next run resets it.
+    ///
+    /// This is the engine's million-node path. Materializing a 10⁶-node
+    /// execution clones every observation into per-node vectors — for
+    /// history-heavy runs that clone alone can exceed the configuration
+    /// footprint by an order of magnitude. Callers that only *read* final
+    /// histories (a decision function, a metrics pass) should run resident
+    /// and view the arena in place; the summary carries everything else an
+    /// [`Execution`] would.
+    pub fn run_kind_resident(
+        &mut self,
+        model: ModelKind,
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<ResidentRun, SimError> {
+        match model {
+            ModelKind::NoCollisionDetection => {
+                self.run_model_resident::<NoCollisionDetection>(config, factory, opts)
+            }
+            ModelKind::CollisionDetection => {
+                self.run_model_resident::<CollisionDetection>(config, factory, opts)
+            }
+            ModelKind::Beeping => self.run_model_resident::<Beeping>(config, factory, opts),
+        }
+    }
+
+    /// Final history of node `v` from the last run, viewed in place (no
+    /// copy). Valid after [`SimWorkspace::run_kind_resident`] until the
+    /// next run or reset re-dimensions the arena.
+    #[inline]
+    pub fn history_view(&self, v: NodeId) -> crate::history::HistoryView<'_> {
+        self.arena.view(v as usize)
+    }
+
+    /// Leader verdict of node `v`'s DRIP from the last run, if the
+    /// algorithm resolved one at termination (see
+    /// [`DripNode::leader_claim`](crate::drip::DripNode::leader_claim)).
+    /// This is how length-only runs report
+    /// election outcomes without stored histories.
+    #[inline]
+    pub fn leader_claim(&self, v: NodeId) -> Option<bool> {
+        self.nodes[v as usize].leader_claim()
+    }
+
+    /// [`SimWorkspace::run_kind_resident`] under an explicit channel model
+    /// `M`. This is the run loop itself; [`SimWorkspace::run_model`] wraps
+    /// it and materializes the [`Execution`].
+    pub fn run_model_resident<M: RadioModel>(
+        &mut self,
+        config: &Configuration,
+        factory: &dyn DripFactory,
+        opts: RunOpts,
+    ) -> Result<ResidentRun, SimError> {
+        self.arena
+            .set_mode(opts.sparse_histories, opts.len_only_histories);
         self.reset_for(config);
         let n = config.size();
         let csr = config.csr();
@@ -407,7 +683,14 @@ impl SimWorkspace {
                                 Obs::Silence => {}
                             }
                         }
+                        let t = self.arena.pos(vi);
                         self.arena.push(vi, obs);
+                        if !matches!(obs, Obs::Silence) {
+                            // Streaming hook: non-silent entries are fed
+                            // to the node as they land (see
+                            // `DripNode::observe`).
+                            self.nodes[vi].observe(t, obs);
+                        }
                     }
                     Action::Terminate => {
                         self.done[vi] = r;
@@ -437,7 +720,11 @@ impl SimWorkspace {
                     };
                     if let Some(obs) = M::wake_obs(self.cnt[wi], msg) {
                         self.wake[wi] = r;
+                        let t = self.arena.pos(wi);
                         self.arena.push(wi, obs);
+                        if !matches!(obs, Obs::Silence) {
+                            self.nodes[wi].observe(t, obs);
+                        }
                         self.active.push(w);
                         stats.forced_wakeups += 1;
                         if trace.is_some() {
@@ -478,17 +765,36 @@ impl SimWorkspace {
             r += 1;
         }
 
-        Ok(Execution {
-            wake_round: std::mem::take(&mut self.wake),
-            done_round: std::mem::take(&mut self.done),
-            histories: self.arena.histories(),
+        Ok(ResidentRun {
             rounds: rounds_executed,
             rounds_stepped,
             rounds_leapt,
+            completion_round: self.done.iter().copied().max().unwrap_or(0),
             stats,
             trace,
         })
     }
+}
+
+/// Summary of a run whose histories stayed resident in the workspace
+/// arena (see [`SimWorkspace::run_kind_resident`]): everything an
+/// [`Execution`] reports except the materialized per-node vectors.
+#[derive(Debug, Clone)]
+pub struct ResidentRun {
+    /// Number of global rounds simulated (identical to
+    /// [`Execution::rounds`], leap or no leap).
+    pub rounds: u64,
+    /// Global rounds executed one by one.
+    pub rounds_stepped: u64,
+    /// Global rounds the time-leap scheduler skipped as provably quiet.
+    pub rounds_leapt: u64,
+    /// Global round by which every node had terminated (`max` over the
+    /// done plane; 0 for an empty configuration).
+    pub completion_round: u64,
+    /// Aggregate counters.
+    pub stats: ExecStats,
+    /// Recorded trace, when requested via [`RunOpts::record_trace`].
+    pub trace: Option<Trace>,
 }
 
 #[cfg(test)]
@@ -533,6 +839,28 @@ mod tests {
         assert_eq!(hs[0].message_at(1001), Some(Msg(2)));
         assert_eq!(hs[1].len(), 3);
         assert!(hs[1].all_silent());
+    }
+
+    #[test]
+    fn arena_len_only_mode_counts_without_storing() {
+        let mut arena = ObsArena::default();
+        arena.set_mode(false, true);
+        arena.reset(2);
+        arena.push(0, Obs::Heard(Msg(7)));
+        arena.push_silence_n(0, 1000);
+        arena.push(0, Obs::Collision);
+        arena.push_silence_n(1, 3);
+        // Lengths are exact in every accessor…
+        assert_eq!(arena.pos(0), 1002);
+        assert_eq!(arena.pos(1), 3);
+        assert_eq!(arena.view(0).len(), 1002);
+        assert_eq!(arena.view(1).len(), 3);
+        // …but nothing was stored: views report silence everywhere and no
+        // backing buffer grew.
+        assert_eq!(arena.view(0).message_at(0), None);
+        assert_eq!(arena.view(0).get(1001), Some(Obs::Silence));
+        assert_eq!(arena.data.capacity(), 0);
+        assert_eq!(arena.events.capacity(), 0);
     }
 
     #[test]

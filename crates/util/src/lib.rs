@@ -15,11 +15,14 @@
 //!   every experiment in `radio-bench` reports through it.
 //! * [`rng`] — deterministic seed derivation so that every workload in the
 //!   repository is reproducible bit-for-bit from a single root seed.
+//! * [`mem`] — best-effort process memory probes (Linux peak RSS) backing
+//!   the campaign `mem_hw` observability column and the scale benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fxhash;
+pub mod mem;
 pub mod rng;
 pub mod stats;
 pub mod table;

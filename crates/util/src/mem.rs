@@ -1,0 +1,50 @@
+//! Process-level memory probes for the scale path.
+//!
+//! Workspace high-water marks (`mem_bytes()` on the sim/batch/classifier
+//! workspaces) track what the engine *allocated on purpose*; the peak-RSS
+//! probe here tracks what the process actually held, allocator slack and
+//! all. The campaign CLI and the `scale_path` bench row report both, so a
+//! regression in either shows up in the same trajectory as time.
+
+/// Peak resident set size of the current process in bytes, read from the
+/// kernel's `VmHWM` accounting in `/proc/self/status`. Returns `None` on
+/// non-Linux platforms or if the probe fails — callers treat the probe as
+/// best-effort observability, never as input to computation.
+pub fn peak_rss_bytes() -> Option<u64> {
+    if cfg!(target_os = "linux") {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    } else {
+        None
+    }
+}
+
+/// Parses the `VmHWM:  12345 kB` line out of a `/proc/<pid>/status` dump.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_format() {
+        let status = "Name:\tcargo\nVmPeak:\t  999 kB\nVmHWM:\t   5124 kB\nVmRSS:\t 400 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(5124 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tcargo\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn probe_reports_a_plausible_peak() {
+        let peak = peak_rss_bytes().expect("probe works on linux");
+        // any real test process holds between 1 MiB and 1 TiB
+        assert!(peak > 1 << 20 && peak < 1 << 40, "peak {peak}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Binary ↔ JSONL round-trip on the golden corpus.
+//!
+//! The compact binary row format has two independent implementations:
+//! the encoder/decoder pair in `anon_radio::row` and the dependency-free
+//! decoder in `radio_lint::binary` (used by `radio-lint schema` to
+//! validate binary row files). These tests pin three contracts on the
+//! golden corpus under `tests/golden/`:
+//!
+//! 1. `jsonl_to_binary` → `binary_to_jsonl` reproduces the corpus text
+//!    byte for byte (the corpus is canonical JSONL, so no normalization
+//!    step hides drift);
+//! 2. corrupt headers and truncated payloads are rejected, not decoded
+//!    into garbage rows;
+//! 3. the linter's standalone decoder agrees with the core decoder on
+//!    every corpus row — the two implementations cross-check each other
+//!    rather than one trusting the other.
+
+use anon_radio::row::{binary_to_jsonl, is_binary, jsonl_to_binary, read_binary};
+
+const GOLDEN: [(&str, &str); 2] = [
+    (
+        "tests/golden/campaign_elect.jsonl",
+        include_str!("golden/campaign_elect.jsonl"),
+    ),
+    (
+        "tests/golden/campaign_classify.jsonl",
+        include_str!("golden/campaign_classify.jsonl"),
+    ),
+];
+
+#[test]
+fn golden_corpus_round_trips_through_binary_exactly() {
+    for (name, text) in GOLDEN {
+        let bytes = jsonl_to_binary(text)
+            .unwrap_or_else(|e| panic!("{name}: corpus failed to encode: {e}"));
+        assert!(is_binary(&bytes), "{name}: encoded file missing magic");
+        let back = binary_to_jsonl(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: encoded corpus failed to decode: {e}"));
+        assert_eq!(back, text, "{name}: binary round-trip is not the identity");
+        let rows = read_binary(&bytes).unwrap();
+        assert_eq!(
+            rows.len(),
+            text.lines().filter(|l| !l.trim().is_empty()).count(),
+            "{name}: row count drifted through the binary format"
+        );
+    }
+}
+
+#[test]
+fn corrupt_binary_files_are_rejected() {
+    let (_, text) = GOLDEN[0];
+    let bytes = jsonl_to_binary(text).unwrap();
+
+    // Bad magic: first byte flipped.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(!is_binary(&bad_magic));
+    assert!(
+        read_binary(&bad_magic).is_err(),
+        "bad magic must be rejected"
+    );
+
+    // Unknown schema version.
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 0xfe;
+    bad_version[5] = 0xca;
+    assert!(
+        read_binary(&bad_version).is_err(),
+        "unknown version must be rejected"
+    );
+
+    // Header truncated mid-version.
+    assert!(
+        read_binary(&bytes[..5]).is_err(),
+        "truncated header must be rejected"
+    );
+
+    // Payload truncated: drop the final byte of the last row.
+    assert!(
+        read_binary(&bytes[..bytes.len() - 1]).is_err(),
+        "truncated payload must be rejected"
+    );
+
+    // Truncated length prefix: header plus two stray bytes.
+    let mut stray = bytes[..6].to_vec();
+    stray.extend_from_slice(&[1, 0]);
+    assert!(
+        read_binary(&stray).is_err(),
+        "truncated length prefix must be rejected"
+    );
+
+    // The intact file still decodes — the corruption above was the
+    // problem, not the corpus.
+    assert!(read_binary(&bytes).is_ok());
+}
+
+#[test]
+fn lint_decoder_agrees_with_the_core_decoder_on_the_corpus() {
+    for (name, text) in GOLDEN {
+        let bytes = jsonl_to_binary(text).unwrap();
+        assert!(radio_lint::binary::is_binary(&bytes));
+        let via_lint = radio_lint::binary::decode_to_jsonl(name, &bytes)
+            .unwrap_or_else(|f| panic!("{name}: lint decoder rejected a valid file: {f:?}"));
+        let via_core = binary_to_jsonl(&bytes).unwrap();
+        assert_eq!(
+            via_lint, via_core,
+            "{name}: lint and core decoders disagree on the same bytes"
+        );
+        assert_eq!(via_lint, text, "{name}: lint decoder is not the identity");
+    }
+}
+
+#[test]
+fn lint_decoder_rejects_what_the_core_decoder_rejects() {
+    let (name, text) = GOLDEN[0];
+    let bytes = jsonl_to_binary(text).unwrap();
+    for (label, mutate) in [
+        ("bad magic", {
+            let mut b = bytes.clone();
+            b[0] ^= 0xff;
+            b
+        }),
+        ("bad version", {
+            let mut b = bytes.clone();
+            b[4] = 0xfe;
+            b
+        }),
+        ("truncated payload", bytes[..bytes.len() - 1].to_vec()),
+        ("short header", bytes[..5].to_vec()),
+    ] {
+        assert!(
+            read_binary(&mutate).is_err(),
+            "core decoder accepted a {label} file"
+        );
+        assert!(
+            radio_lint::binary::decode_to_jsonl(name, &mutate).is_err(),
+            "lint decoder accepted a {label} file"
+        );
+    }
+}
