@@ -26,7 +26,17 @@ impl std::error::Error for Infeasible {}
 /// Failure while running a dedicated election.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElectError {
-    /// The simulator aborted (round limit).
+    /// The simulator hit its round budget before every node terminated —
+    /// the structured deadline surface (`RunOpts::max_rounds` is the
+    /// per-job deadline knob of the serve layer).
+    RoundLimit {
+        /// The budget that ran out.
+        max_rounds: u64,
+        /// Nodes still running when it did.
+        still_running: usize,
+    },
+    /// The simulator aborted for any other reason (e.g. the configuration
+    /// turned out infeasible at solve time).
     Simulation(String),
     /// The decision function did not mark exactly one node — a broken
     /// invariant for a feasible configuration.
@@ -47,6 +57,14 @@ pub enum ElectError {
 impl std::fmt::Display for ElectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ElectError::RoundLimit {
+                max_rounds,
+                still_running,
+            } => write!(
+                f,
+                "simulation failed: round limit {max_rounds} reached with {still_running} \
+                 node(s) still running"
+            ),
             ElectError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             ElectError::Contract { leaders } => {
                 write!(

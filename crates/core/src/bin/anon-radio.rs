@@ -42,6 +42,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("rows") {
         std::process::exit(rows_command(&args[1..]));
     }
+    // `serve` owns its flag grammar too (transport, pool sizing).
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(serve_command(&args[1..]));
+    }
     let model = match extract_model(&mut args) {
         Ok(model) => model,
         Err(msg) => {
@@ -388,6 +392,19 @@ fn campaign_command(args: &[String]) -> i32 {
     }
     let total = spec.total_runs();
     let mut runner = CampaignRunner::new(spec, shards);
+    // An out-of-range cursor is a usage error, not a no-op: silently
+    // clamping used to exit 0 with a garbled resume note and an all-null
+    // `runs:0` row per cell — rows that poison a merged checkpoint.
+    if resume_from >= runner.shard_count() {
+        eprintln!(
+            "error: --resume-from {resume_from} is out of range — this campaign has {} \
+             shard(s), so valid resume cursors are 0..{} (the cursor is the shard number \
+             printed by the interrupted run's last checkpoint line)",
+            runner.shard_count(),
+            runner.shard_count()
+        );
+        return 2;
+    }
     runner.skip_to(resume_from);
     eprintln!(
         "campaign ({phase} phase): {} cells × {reps} rep(s) = {total} runs over {} shard(s), \
@@ -475,6 +492,175 @@ fn campaign_command(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// `anon-radio serve` — the resident election service: long-lived workers
+/// with warm workspaces and a shared schedule cache answering
+/// `elect`/`classify`/`campaign-cell` jobs over line-delimited JSON.
+/// Protocol and supervision semantics live in [`anon_radio::serve`].
+fn serve_command(args: &[String]) -> i32 {
+    use anon_radio::serve::{serve_session, serve_tcp, ServeOptions};
+
+    let mut stdin_stdout = false;
+    let mut tcp: Option<String> = None;
+    let mut unix_path: Option<String> = None;
+    let mut threads = radio_sim::parallel::default_threads();
+    let mut queue = 16usize;
+    let mut no_cache = false;
+    let mut cache_capacity: Option<usize> = None;
+    let parsed: Result<(), String> = (|| {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--stdin-stdout" => stdin_stdout = true,
+                "--tcp" => tcp = Some(value("--tcp")?),
+                "--unix" => unix_path = Some(value("--unix")?),
+                "--threads" => {
+                    threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--queue" => {
+                    queue = value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?
+                }
+                "--no-cache" => no_cache = true,
+                "--cache-capacity" => {
+                    cache_capacity = Some(
+                        value("--cache-capacity")?
+                            .parse()
+                            .map_err(|e| format!("--cache-capacity: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown serve argument `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("error: {msg}");
+        return 2;
+    }
+    let transports =
+        usize::from(stdin_stdout) + usize::from(tcp.is_some()) + usize::from(unix_path.is_some());
+    if transports != 1 {
+        eprintln!("error: pass exactly one transport: --stdin-stdout, --tcp ADDR, or --unix PATH");
+        return 2;
+    }
+    if threads == 0 || queue == 0 {
+        eprintln!("error: --threads and --queue must be at least 1");
+        return 2;
+    }
+    let cache = match (no_cache, cache_capacity) {
+        (true, Some(_)) => {
+            eprintln!("error: --cache-capacity conflicts with --no-cache");
+            return 2;
+        }
+        (true, None) => anon_radio::cache::CacheConfig::disabled(),
+        (false, Some(0)) => {
+            eprintln!("error: --cache-capacity must be at least 1 (or pass --no-cache)");
+            return 2;
+        }
+        (false, Some(capacity)) => anon_radio::cache::CacheConfig::with_capacity(capacity),
+        (false, None) => anon_radio::cache::CacheConfig::default(),
+    };
+    let opts = ServeOptions {
+        threads,
+        queue,
+        cache,
+    };
+    if stdin_stdout {
+        // `Stdout` (not the lock) goes to the writer thread: the handle is
+        // Send and line-buffers exactly like the campaign row stream.
+        let mut out = std::io::stdout();
+        let summary = serve_session(std::io::stdin().lock(), &mut out, &opts);
+        eprintln!(
+            "serve: {} reply line(s), {} written, {} dropped ({})",
+            summary.jobs,
+            summary.answered,
+            summary.dropped,
+            if summary.shutdown {
+                "shutdown job"
+            } else {
+                "input closed"
+            }
+        );
+        return 0;
+    }
+    if let Some(addr) = tcp {
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("error: cannot bind tcp {addr}: {e}");
+                return 2;
+            }
+        };
+        if let Ok(local) = listener.local_addr() {
+            eprintln!("serve: listening on tcp {local} ({threads} worker(s), queue {queue})");
+        }
+        return match serve_tcp(listener, &opts) {
+            Ok(()) => {
+                eprintln!("serve: shut down");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: serve failed: {e}");
+                1
+            }
+        };
+    }
+    let path = unix_path.expect("transport count was checked");
+    serve_unix_at(&path, &opts)
+}
+
+#[cfg(unix)]
+fn serve_unix_at(path: &str, opts: &anon_radio::serve::ServeOptions) -> i32 {
+    // A stale socket file from a previous run would make bind fail; a
+    // *live* one should. Only remove paths that are sockets.
+    if let Ok(meta) = std::fs::symlink_metadata(path) {
+        use std::os::unix::fs::FileTypeExt as _;
+        if !meta.file_type().is_socket() {
+            eprintln!("error: {path} exists and is not a socket");
+            return 2;
+        }
+    }
+    let listener = match std::os::unix::net::UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!(
+                "error: cannot bind unix socket {path}: {e} (remove the file if it is stale)"
+            );
+            return 2;
+        }
+    };
+    eprintln!(
+        "serve: listening on unix {path} ({} worker(s), queue {})",
+        opts.threads, opts.queue
+    );
+    let result = anon_radio::serve::serve_unix(listener, opts);
+    let _ = std::fs::remove_file(path);
+    match result {
+        Ok(()) => {
+            eprintln!("serve: shut down");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_unix_at(_path: &str, _opts: &anon_radio::serve::ServeOptions) -> i32 {
+    eprintln!("error: --unix sockets are only available on unix platforms (use --tcp)");
+    2
 }
 
 /// Writes the campaign's rows to `path` in the selected format (whole-file
@@ -788,6 +974,17 @@ fn usage() -> i32 {
          \u{20}  anon-radio rows convert <in> <out>  flip a row file between JSONL and the\n\
          \u{20}                                 compact binary encoding (direction sniffed\n\
          \u{20}                                 from the magic bytes; lossless both ways)\n\
+         \u{20}  anon-radio serve [flags]       resident election service: long-lived\n\
+         \u{20}                                 workers with warm workspaces + shared\n\
+         \u{20}                                 schedule cache answer line-delimited JSON\n\
+         \u{20}                                 jobs (elect, classify, campaign-cell,\n\
+         \u{20}                                 shutdown); replies stream in submission\n\
+         \u{20}                                 order, one line each\n\
+         \u{20}      --stdin-stdout   serve one session over stdin/stdout (CI mode)\n\
+         \u{20}      --tcp ADDR       listen on a TCP address (e.g. 127.0.0.1:7878)\n\
+         \u{20}      --unix PATH      listen on a Unix-domain socket\n\
+         \u{20}      --threads T --queue Q  worker pool size and bounded job-queue depth\n\
+         \u{20}      --no-cache / --cache-capacity N  shared schedule-cache policy\n\
          \n\
          configuration file format: see `radio-graph::io` docs"
     );

@@ -1041,14 +1041,26 @@ impl CampaignRunner {
     /// process skips the shards a previous run already reported.
     /// Run seeds are positional, so the remaining shards produce exactly
     /// what they would have in the original process.
-    pub fn skip_to(&mut self, shard: usize) {
+    ///
+    /// Returns the cursor actually installed. A `shard` beyond
+    /// [`shard_count`](Self::shard_count) is clamped to it (the runner is
+    /// then [`is_done`](Self::is_done) and will execute nothing), and the
+    /// clamped value is returned so callers can *see* the adjustment
+    /// instead of silently reporting a cursor the runner never adopted —
+    /// the CLI rejects out-of-range resume cursors up front on this
+    /// contract.
+    pub fn skip_to(&mut self, shard: usize) -> usize {
         self.next_shard = shard.min(self.shards);
+        self.next_shard
     }
 
     /// The run-index range `[start, end)` of shard `k` — the single
-    /// source of the shard-splitting arithmetic (the CLI's resume note
-    /// reports ranges through this, so it can never drift from what the
-    /// runner actually skips).
+    /// source of the shard-splitting arithmetic shared by execution and
+    /// the CLI's resume note. The note can still describe a shard that
+    /// does not exist if its caller passes an unvalidated cursor: `k ≥`
+    /// [`shard_count`](Self::shard_count) yields the empty range
+    /// `(total, total)`, so validate resume cursors (see
+    /// [`skip_to`](Self::skip_to)) before reporting ranges.
     pub fn shard_range(&self, k: usize) -> (usize, usize) {
         let total = self.cells.len() * self.spec.reps;
         let per = total.div_ceil(self.shards).max(1);
@@ -1204,44 +1216,81 @@ impl CampaignRunner {
     /// full measured tail populated. Feed these to the binary codec in
     /// [`crate::row`] for the compact on-disk format.
     pub fn rows(&self) -> Vec<crate::row::CampaignRow> {
-        use crate::row::{CampaignRow, ClassifyRow, ElectRow, RowStats};
         self.aggregates()
-            .map(|(cell, agg)| match self.spec.phase {
-                Phase::Elect => CampaignRow::Elect(ElectRow {
-                    family: cell.family.to_string(),
-                    tags: cell.tags.to_string(),
-                    n: cell.n as u64,
-                    span: cell.span,
-                    model: cell.model.to_string(),
-                    runs: agg.runs,
-                    feasible: agg.feasible,
-                    elected: agg.elected,
-                    aborted: agg.aborted,
-                    rounds: RowStats::from(&agg.rounds),
-                    transmissions: RowStats::from(&agg.transmissions),
-                    stepped: RowStats::from(&agg.stepped),
-                    leapt: RowStats::from(&agg.leapt),
-                    wall_ns: Some(RowStats::from(&agg.wall_ns)),
-                    cache_hits: Some(agg.cache_hits),
-                    cache_misses: Some(agg.cache_misses),
-                    mem_hw: Some(RowStats::from(&agg.mem_hw)),
-                }),
-                Phase::Classify => CampaignRow::Classify(ClassifyRow {
-                    family: cell.family.to_string(),
-                    tags: cell.tags.to_string(),
-                    n: cell.n as u64,
-                    span: cell.span,
-                    runs: agg.runs,
-                    feasible: agg.feasible,
-                    iterations: RowStats::from(&agg.iterations),
-                    classes: RowStats::from(&agg.classes),
-                    relabels: RowStats::from(&agg.relabels),
-                    wall_ns: Some(RowStats::from(&agg.wall_ns)),
-                    mem_hw: Some(RowStats::from(&agg.mem_hw)),
-                }),
-            })
+            .map(|(cell, agg)| cell_row(self.spec.phase, cell, agg))
             .collect()
     }
+}
+
+/// Renders one cell's aggregate as its [`CampaignRow`](crate::row::CampaignRow)
+/// — the single source of the row shape, shared by [`CampaignRunner::rows`]
+/// (per-shard campaigns) and the serve layer's per-job dispatch
+/// ([`crate::serve`]), so a served `campaign-cell` reply and a one-shot
+/// `campaign` run render bit-identical deterministic prefixes from equal
+/// aggregates.
+pub fn cell_row(phase: Phase, cell: &CellKey, agg: &CellAggregate) -> crate::row::CampaignRow {
+    use crate::row::{CampaignRow, ClassifyRow, ElectRow, RowStats};
+    match phase {
+        Phase::Elect => CampaignRow::Elect(ElectRow {
+            family: cell.family.to_string(),
+            tags: cell.tags.to_string(),
+            n: cell.n as u64,
+            span: cell.span,
+            model: cell.model.to_string(),
+            runs: agg.runs,
+            feasible: agg.feasible,
+            elected: agg.elected,
+            aborted: agg.aborted,
+            rounds: RowStats::from(&agg.rounds),
+            transmissions: RowStats::from(&agg.transmissions),
+            stepped: RowStats::from(&agg.stepped),
+            leapt: RowStats::from(&agg.leapt),
+            wall_ns: Some(RowStats::from(&agg.wall_ns)),
+            cache_hits: Some(agg.cache_hits),
+            cache_misses: Some(agg.cache_misses),
+            mem_hw: Some(RowStats::from(&agg.mem_hw)),
+        }),
+        Phase::Classify => CampaignRow::Classify(ClassifyRow {
+            family: cell.family.to_string(),
+            tags: cell.tags.to_string(),
+            n: cell.n as u64,
+            span: cell.span,
+            runs: agg.runs,
+            feasible: agg.feasible,
+            iterations: RowStats::from(&agg.iterations),
+            classes: RowStats::from(&agg.classes),
+            relabels: RowStats::from(&agg.relabels),
+            wall_ns: Some(RowStats::from(&agg.wall_ns)),
+            mem_hw: Some(RowStats::from(&agg.mem_hw)),
+        }),
+    }
+}
+
+/// Executes every repetition of one grid cell through `workspace`,
+/// folding the per-run metrics into a fresh [`CellAggregate`] — the serve
+/// layer's per-*job* unit of dispatch, where a whole [`CampaignRunner`]
+/// per request would rebuild workspaces the resident worker already keeps
+/// warm. Seeds come from [`CampaignSpec::configuration`], which is
+/// positional, so the aggregate (and therefore the deterministic prefix
+/// of [`cell_row`]) is bit-identical to a full campaign over the same
+/// single-cell spec regardless of shard/thread geometry. Runs execute
+/// one at a time ([`election_metrics`] / [`classify_metrics`]); batching
+/// only changes the measured tail.
+pub fn run_cell(
+    workspace: &mut CampaignWorkspace,
+    spec: &CampaignSpec,
+    cell: &CellKey,
+) -> CellAggregate {
+    let mut agg = CellAggregate::default();
+    for rep in 0..spec.reps {
+        let config = spec.configuration(cell, rep);
+        let metrics = match spec.phase {
+            Phase::Elect => election_metrics(workspace, &config, cell.model, spec.opts),
+            Phase::Classify => classify_metrics(workspace, &config, cell.model, spec.opts),
+        };
+        agg.fold(&metrics);
+    }
+    agg
 }
 
 #[cfg(test)]
@@ -1506,6 +1555,57 @@ mod tests {
             assert_eq!(f.runs, ra.runs + rb.runs);
             assert_eq!(f.feasible, ra.feasible + rb.feasible);
             assert_eq!(f.elected, ra.elected + rb.elected);
+        }
+    }
+
+    #[test]
+    fn skip_to_returns_the_installed_cursor_and_clamps() {
+        let mut runner = CampaignRunner::new(tiny_spec(), 4);
+        assert_eq!(runner.skip_to(2), 2);
+        assert_eq!(runner.cursor(), 2);
+        // Out-of-range cursors clamp to the shard count (done, nothing to
+        // run) and the clamp is visible in the return value.
+        assert_eq!(runner.skip_to(99), 4);
+        assert!(runner.is_done());
+        assert!(runner.run_next_shard(1).is_none());
+        // A nonexistent shard's range is empty — callers reporting ranges
+        // must validate cursors first.
+        let (start, end) = runner.shard_range(99);
+        assert_eq!(start, end);
+    }
+
+    #[test]
+    fn run_cell_matches_a_single_cell_campaign() {
+        for phase in [Phase::Elect, Phase::Classify] {
+            let spec = CampaignSpec {
+                phase,
+                families: vec![FamilySpec::Path],
+                tags: vec![TagStrategy::Uniform],
+                sizes: vec![6],
+                spans: vec![3],
+                models: vec![ModelKind::NoCollisionDetection],
+                reps: 3,
+                seed: 17,
+                opts: RunOpts::default(),
+                cache: CacheConfig::default(),
+                batch: BatchConfig::default(),
+            };
+            let cells = spec.cells();
+            assert_eq!(cells.len(), 1);
+            let mut ws = CampaignWorkspace::new();
+            let agg = run_cell(&mut ws, &spec, &cells[0]);
+            let served = cell_row(phase, &cells[0], &agg).to_jsonl();
+
+            let mut runner = CampaignRunner::new(spec, 2);
+            runner.run_to_completion(2);
+            let campaign = runner.jsonl_rows().remove(0);
+
+            let strip = |row: &str| row.split(",\"wall_ns\"").next().unwrap().to_string();
+            assert_eq!(
+                strip(&served),
+                strip(&campaign),
+                "{phase}: per-job dispatch must render the same deterministic prefix"
+            );
         }
     }
 

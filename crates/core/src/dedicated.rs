@@ -126,7 +126,15 @@ impl CompiledElection {
         let decide = move |h: radio_sim::HistoryView<'_>| decision.is_leader_view(h);
         let opts = opts.len_only();
         let outcome = run_election_resident(workspace, model, config, &factory, &decide, opts)
-            .map_err(|e: SimError| ElectError::Simulation(e.to_string()))?;
+            .map_err(|e: SimError| match e {
+                SimError::RoundLimit {
+                    max_rounds,
+                    still_running,
+                } => ElectError::RoundLimit {
+                    max_rounds,
+                    still_running,
+                },
+            })?;
         let leader = outcome.elected().ok_or_else(|| ElectError::Contract {
             leaders: outcome.leaders.clone(),
         })?;

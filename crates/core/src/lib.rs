@@ -50,6 +50,7 @@ pub mod explain;
 pub mod lower_bounds;
 pub mod row;
 pub mod schedule;
+pub mod serve;
 pub mod universal;
 pub mod verify;
 
@@ -66,6 +67,7 @@ pub use canonical::CanonicalFactory;
 pub use dedicated::{CompiledElection, DedicatedElection};
 pub use row::{CampaignRow, RowError, RowStats};
 pub use schedule::CanonicalSchedule;
+pub use serve::{serve_session, serve_tcp, JobRequest, ServeOptions, SessionSummary};
 
 #[cfg(test)]
 mod proptests;

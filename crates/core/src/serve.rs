@@ -1,0 +1,1380 @@
+//! `anon-radio serve` — the resident election service (ROADMAP item 1).
+//!
+//! The reuse machinery of the campaign layer — warm [`SimWorkspace`]s,
+//! warm [`ClassifierWorkspace`]s, the process-wide [`ScheduleCache`] —
+//! only pays off when workers survive across requests. This module is the
+//! long-running process that makes that true: a supervised daemon
+//! accepting **jobs** over a line-delimited JSON protocol and streaming
+//! one **reply** line back per job.
+//!
+//! # Protocol
+//!
+//! Every request is one line holding one flat JSON object; every reply is
+//! one line holding one flat JSON object (`campaign-cell` replies embed
+//! the nested row object). Requests are answered **in submission order**
+//! per connection, whatever order the worker pool finishes them in.
+//!
+//! ```text
+//! {"op":"elect","id":1,"family":"path","n":8,"span":4,"seed":42,"model":"no-cd"}
+//! {"op":"classify","id":2,"family":"star","n":6,"span":3,"seed":7}
+//! {"op":"campaign-cell","id":3,"phase":"elect","family":"path","n":8,"span":4,"reps":3,"seed":9}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! * `op` (required): `elect`, `classify`, `campaign-cell`, `shutdown`.
+//! * `id` (optional, unsigned): echoed verbatim in the reply; defaults to
+//!   the connection-local sequence number.
+//! * `elect`/`classify` name a configuration either **drawn** — `family`
+//!   (a [`FamilySpec`] string) with optional `n` (default 8), `span`
+//!   (default 4), `tags` (a [`TagStrategy`], default `uniform`), `seed`
+//!   (default the root seed) — or **inline** via `config` holding a
+//!   `radio-graph` text-format document. The drawn route uses exactly the
+//!   `elect --family` derivation streams (`derive(seed, "graph")` /
+//!   `derive(seed, "tags")`), so a served reply is bit-identical to the
+//!   one-shot CLI on the same spec.
+//! * `elect` additionally takes `model` (default `no-cd`), and the
+//!   per-job deadline knobs `max_rounds` (unsigned; the existing
+//!   [`RunOpts::max_rounds`] plumbing) and `no_leap` (bool).
+//! * `campaign-cell` takes `phase` (default `elect`), `family` (required),
+//!   `n`/`span`/`tags`/`seed`, `reps` (default 1), and for the elect
+//!   phase `model`/`max_rounds`/`no_leap`. It executes one grid cell
+//!   through [`run_cell`] — positional seeds, same as a full `campaign`
+//!   over the single-cell spec — and embeds the cell's row (the PR 6/PR 9
+//!   row schema, full measured tail) under `"row"`.
+//! * Unknown fields, unknown ops, type mismatches, and malformed JSON are
+//!   answered with a structured error reply — never by closing the
+//!   connection.
+//!
+//! Replies: `{"ok":true,"id":…,"op":…,…}` on success — elect replies
+//! carry the election report plus the cache verdict for *this* job
+//! (`"cache":"exact-hit"|"canonical-hit"|"miss"|"off"`) and the shared
+//! cache's cumulative `cache_hits`/`cache_misses` counters — or
+//! `{"ok":false,"id":…,"error":…,"message":…}` with `error` one of
+//! `bad-request` (unparseable or invalid job), `deadline` (the round
+//! budget ran out; [`ElectError::RoundLimit`]), `election` (contract or
+//! prediction violation), `shutting-down`, or `internal` (a worker
+//! panicked; the job's reply reports it and the worker rebuilds its
+//! workspace — a panic never takes down the daemon).
+//!
+//! # Supervision
+//!
+//! One **bounded** job queue ([`std::sync::mpsc::sync_channel`], capacity
+//! [`ServeOptions::queue`]) provides backpressure: readers block instead
+//! of buffering unbounded work. A fixed pool of long-lived workers
+//! ([`ServeOptions::threads`]) each owns a warm [`CampaignWorkspace`]
+//! wired to one shared [`ScheduleCache`]; a per-connection writer thread
+//! reorders replies into submission order and treats write failures
+//! (client gone, broken pipe) as *per-connection* events — it keeps
+//! draining and discarding so workers never block on a dead client, and
+//! the process never exits on EPIPE. `{"op":"shutdown"}` (or EOF on
+//! stdin) stops intake, drains every queued job, emits the shutdown ack
+//! last, then joins workers.
+//!
+//! [`SimWorkspace`]: radio_sim::SimWorkspace
+//! [`ClassifierWorkspace`]: radio_classifier::ClassifierWorkspace
+//! [`ElectError::RoundLimit`]: crate::api::ElectError::RoundLimit
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+
+use radio_graph::Configuration;
+use radio_sim::{ModelKind, RunOpts};
+use radio_util::rng::{derive, rng_from, DEFAULT_ROOT_SEED};
+
+use crate::api::ElectError;
+use crate::cache::{CacheConfig, CacheLookup, ScheduleCache};
+use crate::campaign::{
+    cell_row, run_cell, BatchConfig, CampaignSpec, CampaignWorkspace, FamilySpec, Phase,
+    TagStrategy,
+};
+use crate::dedicated::CompiledElection;
+
+/// Supervisor knobs for a serve session or daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads, each owning one warm [`CampaignWorkspace`]
+    /// (clamped to ≥ 1). The CLI defaults this to
+    /// [`radio_sim::parallel::default_threads`].
+    pub threads: usize,
+    /// Bounded job-queue capacity (clamped to ≥ 1): readers block once
+    /// this many jobs are in flight — backpressure instead of unbounded
+    /// buffering.
+    pub queue: usize,
+    /// Schedule-cache policy for the process-wide cache every worker
+    /// shares ([`CacheConfig::disabled`] runs uncached).
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 4,
+            queue: 16,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// What one connection did, reported when it ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Reply lines produced (jobs executed + parse-error replies + the
+    /// shutdown ack).
+    pub jobs: u64,
+    /// Replies actually written to the client.
+    pub answered: u64,
+    /// Replies discarded because the client was gone (write failure) —
+    /// per-connection failures, never process exits.
+    pub dropped: u64,
+    /// The session ended on `{"op":"shutdown"}` (as opposed to EOF).
+    pub shutdown: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Request grammar
+// ---------------------------------------------------------------------------
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen correlation id (echoed in the reply; defaults to the
+    /// connection-local sequence number when absent).
+    pub id: Option<u64>,
+    /// The work itself.
+    pub kind: JobKind,
+}
+
+/// The operation a request names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Full election pipeline on one configuration.
+    Elect(OneShotJob),
+    /// Decision phase only on one configuration.
+    Classify(OneShotJob),
+    /// One campaign grid cell (`reps` positional runs, one row back).
+    CampaignCell(CellJob),
+    /// Stop intake, drain the queue, join workers.
+    Shutdown,
+}
+
+/// Where an `elect`/`classify` job's configuration comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigSource {
+    /// A `radio-graph` text-format document sent inline.
+    Inline(String),
+    /// Drawn from a scenario spec with the `elect --family` derivation
+    /// streams.
+    Drawn {
+        /// Graph family.
+        family: FamilySpec,
+        /// Node count.
+        n: usize,
+        /// Tag span σ.
+        span: u64,
+        /// Tag-placement strategy.
+        tags: TagStrategy,
+        /// Root seed of the draw.
+        seed: u64,
+    },
+}
+
+/// An `elect` or `classify` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneShotJob {
+    /// The configuration to run on.
+    pub source: ConfigSource,
+    /// Channel model (elect only; always the default for classify).
+    pub model: ModelKind,
+    /// Per-job deadline: round budget override (elect only).
+    pub max_rounds: Option<u64>,
+    /// Disable the time-leap scheduler (elect only).
+    pub no_leap: bool,
+}
+
+/// A `campaign-cell` request: one grid cell, `reps` positional runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellJob {
+    /// Which pipeline stage each run executes.
+    pub phase: Phase,
+    /// Graph family (required — positional seeding needs the spec).
+    pub family: FamilySpec,
+    /// Node count.
+    pub n: usize,
+    /// Tag span σ.
+    pub span: u64,
+    /// Tag-placement strategy.
+    pub tags: TagStrategy,
+    /// Channel model (elect phase only).
+    pub model: ModelKind,
+    /// Runs in the cell.
+    pub reps: usize,
+    /// Campaign root seed.
+    pub seed: u64,
+    /// Per-job deadline: round budget override.
+    pub max_rounds: Option<u64>,
+    /// Disable the time-leap scheduler.
+    pub no_leap: bool,
+}
+
+fn run_opts(max_rounds: Option<u64>, no_leap: bool) -> RunOpts {
+    let mut opts = if no_leap {
+        RunOpts::default().no_leap()
+    } else {
+        RunOpts::default()
+    };
+    if let Some(budget) = max_rounds {
+        opts.max_rounds = budget;
+    }
+    opts
+}
+
+/// A request that failed to parse — carries the `id` when one was
+/// readable, so even a rejected job's error reply correlates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobParseError {
+    /// The request's `id` field, when the line parsed far enough to have
+    /// one.
+    pub id: Option<u64>,
+    /// What was wrong.
+    pub message: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    UInt(u64),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::UInt(_) => "unsigned integer",
+            Value::Bool(_) => "boolean",
+            Value::Null => "null",
+        }
+    }
+}
+
+/// Byte scanner for the flat-object request grammar (strings, unsigned
+/// integers, booleans, null — nothing nested, nothing signed or
+/// fractional).
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Scanner<'a> {
+        Scanner {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                want as char, self.pos, b as char
+            )),
+            None => Err(format!("expected `{}` but the line ended", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("\\u{hex} is not a scalar value"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Continuation bytes of multi-byte characters ride
+                    // along: the line is valid UTF-8 (it came in as &str)
+                    // and escapes are ASCII, so byte-wise copying is safe.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while self.bytes.get(end).is_some_and(|&b| b >= 0x80) {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                match self.bytes.get(self.pos) {
+                    Some(b'.') | Some(b'e') | Some(b'E') => {
+                        Err("numbers must be unsigned integers".to_string())
+                    }
+                    _ => std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("digits are ASCII")
+                        .parse::<u64>()
+                        .map(Value::UInt)
+                        .map_err(|e| format!("bad integer: {e}")),
+                }
+            }
+            Some(b'-') => Err("numbers must be unsigned integers".to_string()),
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects/arrays are not part of the job grammar".to_string())
+            }
+            Some(b) => Err(format!("unexpected `{}` where a value belongs", b as char)),
+            None => Err("line ended where a value belongs".to_string()),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+
+    fn done(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "trailing content after the object at byte {}",
+                self.pos
+            ))
+        }
+    }
+}
+
+/// `{"k":v,…}` → ordered `(key, value)` pairs.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut s = Scanner::new(line);
+    s.eat(b'{')?;
+    let mut fields = Vec::new();
+    if s.peek() == Some(b'}') {
+        s.pos += 1;
+        s.done()?;
+        return Ok(fields);
+    }
+    loop {
+        let key = s.string()?;
+        s.eat(b':')?;
+        let value = s.value()?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate field \"{key}\""));
+        }
+        fields.push((key, value));
+        match s.peek() {
+            Some(b',') => s.pos += 1,
+            Some(b'}') => {
+                s.pos += 1;
+                s.done()?;
+                return Ok(fields);
+            }
+            _ => return Err("expected `,` or `}` after a field".to_string()),
+        }
+    }
+}
+
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn take(&mut self, name: &str) -> Option<Value> {
+        let idx = self.0.iter().position(|(k, _)| k == name)?;
+        Some(self.0.remove(idx).1)
+    }
+
+    fn take_u64(&mut self, name: &str) -> Result<Option<u64>, String> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(Value::UInt(v)) => Ok(Some(v)),
+            Some(other) => Err(format!(
+                "\"{name}\" must be an unsigned integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn take_str(&mut self, name: &str) -> Result<Option<String>, String> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(Value::Str(v)) => Ok(Some(v)),
+            Some(other) => Err(format!(
+                "\"{name}\" must be a string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn take_bool(&mut self, name: &str) -> Result<bool, String> {
+        match self.take(name) {
+            None => Ok(false),
+            Some(Value::Bool(v)) => Ok(v),
+            Some(other) => Err(format!(
+                "\"{name}\" must be a boolean, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn reject_leftovers(&self, op: &str) -> Result<(), String> {
+        match self.0.first() {
+            None => Ok(()),
+            Some((name, _)) => Err(format!("\"{name}\" is not a field of \"{op}\" jobs")),
+        }
+    }
+}
+
+impl JobRequest {
+    /// Parses one request line. Errors carry the request's `id` whenever
+    /// the line parsed far enough to expose one, so the error reply still
+    /// correlates.
+    pub fn parse(line: &str) -> Result<JobRequest, JobParseError> {
+        let mut fields =
+            Fields(parse_object(line).map_err(|message| JobParseError { id: None, message })?);
+        let id = fields
+            .take_u64("id")
+            .map_err(|message| JobParseError { id: None, message })?;
+        let fail = |message: String| JobParseError { id, message };
+        let op = fields
+            .take_str("op")
+            .map_err(&fail)?
+            .ok_or_else(|| fail("every job needs an \"op\" field".to_string()))?;
+        let kind = match op.as_str() {
+            "elect" => JobKind::Elect(OneShotJob::from_fields(&mut fields, true).map_err(&fail)?),
+            "classify" => {
+                JobKind::Classify(OneShotJob::from_fields(&mut fields, false).map_err(&fail)?)
+            }
+            "campaign-cell" => {
+                JobKind::CampaignCell(CellJob::from_fields(&mut fields).map_err(&fail)?)
+            }
+            "shutdown" => JobKind::Shutdown,
+            other => {
+                return Err(fail(format!(
+                    "unknown op \"{other}\" (expected elect, classify, campaign-cell, or \
+                     shutdown)"
+                )))
+            }
+        };
+        fields.reject_leftovers(&op).map_err(&fail)?;
+        Ok(JobRequest { id, kind })
+    }
+}
+
+impl OneShotJob {
+    fn from_fields(fields: &mut Fields, is_elect: bool) -> Result<OneShotJob, String> {
+        let source = ConfigSource::from_fields(fields)?;
+        let (model, max_rounds, no_leap) = if is_elect {
+            (
+                parse_model(fields.take_str("model")?)?,
+                fields.take_u64("max_rounds")?,
+                fields.take_bool("no_leap")?,
+            )
+        } else {
+            for knob in ["model", "max_rounds", "no_leap"] {
+                if fields.take(knob).is_some() {
+                    return Err(format!(
+                        "\"{knob}\" does not apply to \"classify\" jobs (no simulation runs)"
+                    ));
+                }
+            }
+            (ModelKind::default(), None, false)
+        };
+        Ok(OneShotJob {
+            source,
+            model,
+            max_rounds,
+            no_leap,
+        })
+    }
+
+    /// Builds the configuration — inline text or the `elect --family`
+    /// derivation streams.
+    pub fn configuration(&self) -> Result<Configuration, String> {
+        match &self.source {
+            ConfigSource::Inline(text) => {
+                radio_graph::io::from_text(text).map_err(|e| format!("invalid inline config: {e}"))
+            }
+            ConfigSource::Drawn {
+                family,
+                n,
+                span,
+                tags,
+                seed,
+            } => {
+                let csr = family
+                    .build_csr(*n, derive(*seed, "graph"))
+                    .map_err(|e| e.to_string())?;
+                let tag_values = tags.draw(*n, *span, &mut rng_from(derive(*seed, "tags")));
+                Configuration::from_csr(csr, tag_values).map_err(|e| {
+                    format!("{family} with {tags} tags is not a valid configuration: {e}")
+                })
+            }
+        }
+    }
+}
+
+impl ConfigSource {
+    fn from_fields(fields: &mut Fields) -> Result<ConfigSource, String> {
+        if let Some(text) = fields.take_str("config")? {
+            for drawn in ["family", "n", "span", "tags", "seed"] {
+                if fields.take(drawn).is_some() {
+                    return Err(format!(
+                        "\"config\" is self-contained — it cannot combine with \"{drawn}\""
+                    ));
+                }
+            }
+            return Ok(ConfigSource::Inline(text));
+        }
+        let family = fields
+            .take_str("family")?
+            .ok_or("jobs need a \"family\" spec (or an inline \"config\")")?
+            .parse::<FamilySpec>()?;
+        Ok(ConfigSource::Drawn {
+            family,
+            n: fields.take_u64("n")?.unwrap_or(8) as usize,
+            span: fields.take_u64("span")?.unwrap_or(4),
+            tags: parse_tags(fields.take_str("tags")?)?,
+            seed: fields.take_u64("seed")?.unwrap_or(DEFAULT_ROOT_SEED),
+        })
+    }
+}
+
+impl CellJob {
+    fn from_fields(fields: &mut Fields) -> Result<CellJob, String> {
+        if fields.take("config").is_some() {
+            return Err(
+                "\"campaign-cell\" draws its configurations positionally from the spec — \
+                 inline \"config\" does not apply"
+                    .to_string(),
+            );
+        }
+        let phase = match fields.take_str("phase")? {
+            Some(p) => p.parse::<Phase>()?,
+            None => Phase::Elect,
+        };
+        let model_field = fields.take_str("model")?;
+        if phase == Phase::Classify && model_field.is_some() {
+            return Err(
+                "\"model\" does not apply to classify-phase cells (no simulation runs)".to_string(),
+            );
+        }
+        Ok(CellJob {
+            phase,
+            family: fields
+                .take_str("family")?
+                .ok_or("\"campaign-cell\" jobs need a \"family\" spec")?
+                .parse::<FamilySpec>()?,
+            n: fields.take_u64("n")?.unwrap_or(8) as usize,
+            span: fields.take_u64("span")?.unwrap_or(4),
+            tags: parse_tags(fields.take_str("tags")?)?,
+            model: parse_model(model_field)?,
+            reps: fields.take_u64("reps")?.unwrap_or(1) as usize,
+            seed: fields.take_u64("seed")?.unwrap_or(DEFAULT_ROOT_SEED),
+            max_rounds: fields.take_u64("max_rounds")?,
+            no_leap: fields.take_bool("no_leap")?,
+        })
+    }
+
+    /// The single-cell [`CampaignSpec`] this job names. Runs route
+    /// through the worker's shared cache when one is attached; the cache
+    /// only ever changes the measured tail.
+    pub fn spec(&self, cached: bool) -> CampaignSpec {
+        CampaignSpec {
+            phase: self.phase,
+            families: vec![self.family],
+            tags: vec![self.tags],
+            sizes: vec![self.n],
+            spans: vec![self.span],
+            models: vec![self.model],
+            reps: self.reps,
+            seed: self.seed,
+            opts: run_opts(self.max_rounds, self.no_leap),
+            cache: if cached {
+                CacheConfig::default()
+            } else {
+                CacheConfig::disabled()
+            },
+            batch: BatchConfig::disabled(),
+        }
+    }
+}
+
+fn parse_model(value: Option<String>) -> Result<ModelKind, String> {
+    match value {
+        Some(m) => m.parse(),
+        None => Ok(ModelKind::default()),
+    }
+}
+
+fn parse_tags(value: Option<String>) -> Result<TagStrategy, String> {
+    match value {
+        Some(t) => t.parse(),
+        None => Ok(TagStrategy::Uniform),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply rendering
+// ---------------------------------------------------------------------------
+
+fn push_json_escaped(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+struct Reply {
+    buf: String,
+}
+
+impl Reply {
+    fn ok(id: u64, op: &str) -> Reply {
+        Reply {
+            buf: format!("{{\"ok\":true,\"id\":{id},\"op\":\"{op}\""),
+        }
+    }
+
+    fn u64(mut self, name: &str, value: u64) -> Reply {
+        self.buf.push_str(&format!(",\"{name}\":{value}"));
+        self
+    }
+
+    fn bool(mut self, name: &str, value: bool) -> Reply {
+        self.buf.push_str(&format!(",\"{name}\":{value}"));
+        self
+    }
+
+    fn str(mut self, name: &str, value: &str) -> Reply {
+        self.buf.push_str(&format!(",\"{name}\":\""));
+        push_json_escaped(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Raw pre-rendered JSON (the embedded campaign row).
+    fn raw(mut self, name: &str, json: &str) -> Reply {
+        self.buf.push_str(&format!(",\"{name}\":{json}"));
+        self
+    }
+
+    fn opt_u64(mut self, name: &str, value: Option<u64>) -> Reply {
+        match value {
+            Some(v) => self.buf.push_str(&format!(",\"{name}\":{v}")),
+            None => self.buf.push_str(&format!(",\"{name}\":null")),
+        }
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn error_reply(id: u64, code: &str, message: &str) -> String {
+    let mut buf = format!("{{\"ok\":false,\"id\":{id},\"error\":\"{code}\",\"message\":\"");
+    push_json_escaped(&mut buf, message);
+    buf.push_str("\"}");
+    buf
+}
+
+fn lookup_name(lookup: Option<CacheLookup>) -> &'static str {
+    match lookup {
+        None => "off",
+        Some(CacheLookup::ExactHit) => "exact-hit",
+        Some(CacheLookup::CanonicalHit) => "canonical-hit",
+        Some(CacheLookup::Miss) => "miss",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job execution (worker side)
+// ---------------------------------------------------------------------------
+
+fn compile_with_cache(
+    ws: &mut CampaignWorkspace,
+    config: &Configuration,
+) -> (CompiledElection, Option<CacheLookup>) {
+    match &ws.cache {
+        Some(cache) => {
+            let (compiled, lookup) = cache.compile_in(&mut ws.classifier, config);
+            (compiled, Some(lookup))
+        }
+        None => (
+            CompiledElection::compile_in(&mut ws.classifier, config),
+            None,
+        ),
+    }
+}
+
+/// Appends the per-job cache verdict and the shared cache's cumulative
+/// counters — the reply-visible form of the campaign rows' cache columns.
+fn with_cache_fields(
+    mut reply: Reply,
+    ws: &CampaignWorkspace,
+    lookup: Option<CacheLookup>,
+) -> Reply {
+    reply = reply.str("cache", lookup_name(lookup));
+    if let Some(cache) = &ws.cache {
+        let stats = cache.stats();
+        reply = reply
+            .u64("cache_hits", stats.hits)
+            .u64("cache_misses", stats.misses);
+    }
+    reply
+}
+
+fn run_elect_job(ws: &mut CampaignWorkspace, job: &OneShotJob, id: u64) -> String {
+    let config = match job.configuration() {
+        Ok(config) => config,
+        Err(msg) => return error_reply(id, "bad-request", &msg),
+    };
+    let (compiled, lookup) = compile_with_cache(ws, &config);
+    if !compiled.feasible() {
+        let reply = Reply::ok(id, "elect")
+            .bool("feasible", false)
+            .u64("iterations", compiled.summary().iterations as u64);
+        return with_cache_fields(reply, ws, lookup).finish();
+    }
+    match compiled.run_in(
+        &mut ws.sim,
+        &config,
+        job.model,
+        run_opts(job.max_rounds, job.no_leap),
+    ) {
+        Ok(report) => {
+            let reply = Reply::ok(id, "elect")
+                .bool("feasible", true)
+                .str("model", &job.model.to_string())
+                .u64("leader", u64::from(report.leader))
+                .u64("phases", report.phases as u64)
+                .u64("rounds_local", report.rounds_local)
+                .u64("completion_round", report.completion_round)
+                .u64("transmissions", report.transmissions)
+                .u64("rounds_stepped", report.rounds_stepped)
+                .u64("rounds_leapt", report.rounds_leapt);
+            with_cache_fields(reply, ws, lookup).finish()
+        }
+        Err(e @ ElectError::RoundLimit { .. }) => error_reply(id, "deadline", &e.to_string()),
+        Err(e) => error_reply(id, "election", &e.to_string()),
+    }
+}
+
+fn run_classify_job(ws: &mut CampaignWorkspace, job: &OneShotJob, id: u64) -> String {
+    let config = match job.configuration() {
+        Ok(config) => config,
+        Err(msg) => return error_reply(id, "bad-request", &msg),
+    };
+    let summary = ws.classifier.summarize_in(&config);
+    Reply::ok(id, "classify")
+        .bool("feasible", summary.feasible)
+        .u64("iterations", summary.iterations as u64)
+        .u64("classes", u64::from(summary.num_classes))
+        .opt_u64("leader", summary.leader.map(u64::from))
+        .u64("relabels", summary.relabels)
+        .finish()
+}
+
+fn run_cell_job(ws: &mut CampaignWorkspace, job: &CellJob, id: u64) -> String {
+    let spec = job.spec(ws.cache.is_some());
+    if let Err(msg) = spec.validate() {
+        return error_reply(id, "bad-request", &msg);
+    }
+    let cells = spec.cells();
+    debug_assert_eq!(cells.len(), 1, "single-value axes name one cell");
+    let agg = run_cell(ws, &spec, &cells[0]);
+    let row = cell_row(spec.phase, &cells[0], &agg);
+    Reply::ok(id, "campaign-cell")
+        .u64("reps", spec.reps as u64)
+        .raw("row", &row.to_jsonl())
+        .finish()
+}
+
+fn execute_job(ws: &mut CampaignWorkspace, id: u64, job: &JobKind) -> String {
+    match job {
+        JobKind::Elect(j) => run_elect_job(ws, j, id),
+        JobKind::Classify(j) => run_classify_job(ws, j, id),
+        JobKind::CampaignCell(j) => run_cell_job(ws, j, id),
+        // Shutdown is intercepted by the reader; a worker never sees it.
+        JobKind::Shutdown => error_reply(id, "internal", "shutdown reached a worker"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: queue, workers, ordered writer
+// ---------------------------------------------------------------------------
+
+struct Task {
+    /// Connection-local submission index — the writer's ordering key.
+    seq: u64,
+    /// Effective correlation id (explicit `id` or `seq`).
+    id: u64,
+    job: JobKind,
+    reply: Sender<(u64, String)>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// One long-lived worker: owns a warm [`CampaignWorkspace`] wired to the
+/// shared cache, executes jobs until the queue closes. A panicking job is
+/// answered with an `internal` error and the workspace is rebuilt — the
+/// daemon survives.
+fn worker_loop(jobs: &Mutex<Receiver<Task>>, cache: &Option<Arc<ScheduleCache>>) {
+    let mut ws = CampaignWorkspace::with_cache(cache.clone());
+    loop {
+        let task = {
+            let Ok(rx) = jobs.lock() else { return };
+            match rx.recv() {
+                Ok(task) => task,
+                Err(_) => return, // queue closed: drain complete
+            }
+        };
+        let line = match catch_unwind(AssertUnwindSafe(|| {
+            execute_job(&mut ws, task.id, &task.job)
+        })) {
+            Ok(line) => line,
+            Err(payload) => {
+                // The workspace may be mid-mutation; discard it rather
+                // than trust its invariants.
+                ws = CampaignWorkspace::with_cache(cache.clone());
+                error_reply(
+                    task.id,
+                    "internal",
+                    &format!(
+                        "job panicked ({}); worker workspace rebuilt",
+                        panic_message(payload.as_ref())
+                    ),
+                )
+            }
+        };
+        let _ = task.reply.send((task.seq, line));
+    }
+}
+
+/// Reorders replies into submission order and writes one line each. A
+/// write failure marks the client dead: the loop keeps draining (so
+/// workers never block on a gone consumer) and counts drops. Returns
+/// `(answered, dropped)`.
+fn writer_loop<W: Write>(out: &mut W, replies: Receiver<(u64, String)>) -> (u64, u64) {
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut dead = false;
+    let mut answered = 0u64;
+    let mut dropped = 0u64;
+    for (seq, line) in replies {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            next += 1;
+            if !dead {
+                let wrote = out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush());
+                match wrote {
+                    Ok(()) => {
+                        answered += 1;
+                        continue;
+                    }
+                    Err(_) => dead = true, // broken pipe or peer gone
+                }
+            }
+            dropped += 1;
+        }
+    }
+    (answered, dropped)
+}
+
+/// Reads request lines, parses, and feeds the bounded queue (blocking on
+/// a full queue — that *is* the backpressure). Parse failures are
+/// answered directly with `bad-request` replies; `{"op":"shutdown"}`
+/// acknowledges, raises the flag, and stops intake. Returns
+/// `(reply_lines, saw_shutdown)`.
+fn reader_loop<R: BufRead>(
+    input: R,
+    jobs: &SyncSender<Task>,
+    replies: &Sender<(u64, String)>,
+    shutdown: &AtomicBool,
+) -> (u64, bool) {
+    let mut seq = 0u64;
+    let mut saw_shutdown = false;
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // Another connection shut the daemon down; refuse new work
+            // (structured, not a dropped connection) and stop reading.
+            let _ = replies.send((
+                seq,
+                error_reply(seq, "shutting-down", "the daemon is draining; job refused"),
+            ));
+            seq += 1;
+            break;
+        }
+        match JobRequest::parse(&line) {
+            Ok(request) => {
+                let id = request.id.unwrap_or(seq);
+                if matches!(request.kind, JobKind::Shutdown) {
+                    saw_shutdown = true;
+                    shutdown.store(true, Ordering::SeqCst);
+                    // The ack takes the highest sequence number, so the
+                    // in-order writer emits it only after every earlier
+                    // job has drained through the queue and workers.
+                    let ack = Reply::ok(id, "shutdown").u64("jobs", seq).finish();
+                    let _ = replies.send((seq, ack));
+                    seq += 1;
+                    break;
+                }
+                let task = Task {
+                    seq,
+                    id,
+                    job: request.kind,
+                    reply: replies.clone(),
+                };
+                if jobs.send(task).is_err() {
+                    break; // worker pool gone — nothing can execute
+                }
+                seq += 1;
+            }
+            Err(e) => {
+                let id = e.id.unwrap_or(seq);
+                let _ = replies.send((seq, error_reply(id, "bad-request", &e.message)));
+                seq += 1;
+            }
+        }
+    }
+    (seq, saw_shutdown)
+}
+
+fn make_cache(config: &CacheConfig) -> Option<Arc<ScheduleCache>> {
+    config
+        .enabled
+        .then(|| Arc::new(ScheduleCache::new(config.capacity.max(1))))
+}
+
+/// Serves one connection's worth of jobs from `input` to `output` — the
+/// `--stdin-stdout` mode, and the library surface the end-to-end tests
+/// drive over in-memory streams. Spawns its own worker pool (each worker
+/// a warm [`CampaignWorkspace`] on one shared [`ScheduleCache`]), reads
+/// until EOF or `{"op":"shutdown"}`, drains every accepted job, writes
+/// replies in submission order, and joins everything before returning.
+pub fn serve_session<R, W>(input: R, output: &mut W, opts: &ServeOptions) -> SessionSummary
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let cache = make_cache(&opts.cache);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Task>(opts.queue.max(1));
+    let job_rx = Mutex::new(job_rx);
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let job_rx = &job_rx;
+        let cache = &cache;
+        for _ in 0..opts.threads.max(1) {
+            scope.spawn(move || worker_loop(job_rx, cache));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel::<(u64, String)>();
+        let writer = scope.spawn(move || writer_loop(output, reply_rx));
+        let (jobs, saw_shutdown) = reader_loop(input, &job_tx, &reply_tx, &shutdown);
+        // Closing the reply sender and the queue lets workers drain to
+        // completion and the writer flush every reply, in that order —
+        // the graceful-shutdown join.
+        drop(reply_tx);
+        drop(job_tx);
+        let (answered, dropped) = writer.join().unwrap_or((0, 0));
+        SessionSummary {
+            jobs,
+            answered,
+            dropped,
+            shutdown: saw_shutdown,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Socket daemon (TCP / Unix)
+// ---------------------------------------------------------------------------
+
+/// A connection stream that can hand out an independently-owned read half
+/// (`try_clone` on both socket types).
+pub trait Splittable {
+    /// The read half.
+    type Reader: Read + Send;
+    /// Clones out the read half.
+    fn split(&self) -> std::io::Result<Self::Reader>;
+}
+
+impl Splittable for std::net::TcpStream {
+    type Reader = std::net::TcpStream;
+    fn split(&self) -> std::io::Result<std::net::TcpStream> {
+        self.try_clone()
+    }
+}
+
+#[cfg(unix)]
+impl Splittable for std::os::unix::net::UnixStream {
+    type Reader = std::os::unix::net::UnixStream;
+    fn split(&self) -> std::io::Result<std::os::unix::net::UnixStream> {
+        self.try_clone()
+    }
+}
+
+enum Accept<S> {
+    Conn(S),
+    Idle,
+    Fatal(std::io::Error),
+}
+
+/// Serves a pre-bound TCP listener until a client sends
+/// `{"op":"shutdown"}`: one persistent worker pool (shared queue, shared
+/// cache) across all connections, one reader + ordered-writer pair per
+/// connection. Binding is the caller's job so tests can bind port 0 and
+/// the CLI can report the address before handing over.
+pub fn serve_tcp(listener: std::net::TcpListener, opts: &ServeOptions) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    serve_listener(opts, || match listener.accept() {
+        Ok((stream, _)) => {
+            // Connections block on reads; only the accept loop polls.
+            let _ = stream.set_nonblocking(false);
+            Accept::Conn(stream)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Accept::Idle,
+        Err(e) => Accept::Fatal(e),
+    })
+}
+
+/// [`serve_tcp`] over a Unix-domain socket listener.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: std::os::unix::net::UnixListener,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    serve_listener(opts, || match listener.accept() {
+        Ok((stream, _)) => {
+            let _ = stream.set_nonblocking(false);
+            Accept::Conn(stream)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Accept::Idle,
+        Err(e) => Accept::Fatal(e),
+    })
+}
+
+fn serve_listener<S, A>(opts: &ServeOptions, mut accept: A) -> std::io::Result<()>
+where
+    S: Splittable + Write + Send,
+    A: FnMut() -> Accept<S>,
+{
+    let cache = make_cache(&opts.cache);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Task>(opts.queue.max(1));
+    let mut job_tx = Some(job_tx);
+    let job_rx = Mutex::new(job_rx);
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let job_rx = &job_rx;
+        let cache = &cache;
+        let shutdown = &shutdown;
+        for _ in 0..opts.threads.max(1) {
+            scope.spawn(move || worker_loop(job_rx, cache));
+        }
+        let result = loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            match accept() {
+                Accept::Conn(stream) => {
+                    let Ok(read_half) = stream.split() else {
+                        continue;
+                    };
+                    let jobs = job_tx.as_ref().expect("accept loop owns a sender").clone();
+                    scope.spawn(move || {
+                        let (reply_tx, reply_rx) = mpsc::channel::<(u64, String)>();
+                        let writer = scope.spawn(move || {
+                            let mut out = stream;
+                            writer_loop(&mut out, reply_rx)
+                        });
+                        reader_loop(BufReader::new(read_half), &jobs, &reply_tx, shutdown);
+                        drop(reply_tx);
+                        drop(jobs);
+                        let _ = writer.join();
+                    });
+                }
+                Accept::Idle => std::thread::sleep(std::time::Duration::from_millis(20)),
+                Accept::Fatal(e) => break Err(e),
+            }
+        };
+        // Shutdown drain: dropping the queue sender lets workers finish
+        // every queued job and exit; scope exit joins workers and any
+        // still-open connection threads (which stop at their next line).
+        job_tx.take();
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> JobRequest {
+        JobRequest::parse(line).expect(line)
+    }
+
+    fn parse_err(line: &str) -> JobParseError {
+        JobRequest::parse(line).expect_err(line)
+    }
+
+    #[test]
+    fn parses_the_job_grammar() {
+        let req = parse_ok(
+            r#"{"op":"elect","id":7,"family":"path","n":6,"span":3,"tags":"uniform","seed":9,"model":"beep","max_rounds":100,"no_leap":true}"#,
+        );
+        assert_eq!(req.id, Some(7));
+        let JobKind::Elect(job) = req.kind else {
+            panic!("not elect")
+        };
+        assert_eq!(job.model, ModelKind::Beeping);
+        assert_eq!(job.max_rounds, Some(100));
+        assert!(job.no_leap);
+        assert_eq!(
+            job.source,
+            ConfigSource::Drawn {
+                family: FamilySpec::Path,
+                n: 6,
+                span: 3,
+                tags: TagStrategy::Uniform,
+                seed: 9
+            }
+        );
+
+        let req = parse_ok(r#"{"op":"classify","family":"star"}"#);
+        assert_eq!(req.id, None);
+        assert!(matches!(req.kind, JobKind::Classify(_)));
+
+        let req = parse_ok(r#"{"op":"campaign-cell","family":"path","reps":3,"phase":"classify"}"#);
+        let JobKind::CampaignCell(cell) = req.kind else {
+            panic!("not a cell")
+        };
+        assert_eq!(cell.phase, Phase::Classify);
+        assert_eq!(cell.reps, 3);
+
+        assert!(matches!(
+            parse_ok(r#"{"op":"shutdown"}"#).kind,
+            JobKind::Shutdown
+        ));
+    }
+
+    #[test]
+    fn inline_configs_parse_with_escapes() {
+        let req = parse_ok(r#"{"op":"classify","config":"config 2 1\ntags 0 5\nedge 0 1\n"}"#);
+        let JobKind::Classify(job) = req.kind else {
+            panic!("not classify")
+        };
+        let config = job.configuration().expect("valid inline config");
+        assert_eq!(config.size(), 2);
+    }
+
+    #[test]
+    fn structured_errors_name_the_problem() {
+        assert!(parse_err("not json").message.contains("expected `{`"));
+        assert!(parse_err(r#"{"id":1}"#).message.contains("\"op\""));
+        let e = parse_err(r#"{"op":"frobnicate","id":4}"#);
+        assert_eq!(e.id, Some(4), "id survives an unknown op");
+        assert!(e.message.contains("unknown op"));
+        let e = parse_err(r#"{"op":"elect","id":5,"family":"path","bogus":1}"#);
+        assert_eq!(e.id, Some(5));
+        assert!(e.message.contains("\"bogus\""));
+        assert!(parse_err(r#"{"op":"elect","family":"path","n":-3}"#)
+            .message
+            .contains("unsigned"));
+        assert!(parse_err(r#"{"op":"elect"}"#)
+            .message
+            .contains("\"family\""));
+        assert!(
+            parse_err(r#"{"op":"classify","family":"path","model":"cd"}"#)
+                .message
+                .contains("does not apply")
+        );
+        assert!(parse_err(r#"{"op":"elect","config":"x","family":"path"}"#)
+            .message
+            .contains("self-contained"));
+        assert!(parse_err(r#"{"op":"elect","op":"elect"}"#)
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn writer_reorders_replies_into_submission_order() {
+        let (tx, rx) = mpsc::channel();
+        tx.send((2, "two".to_string())).unwrap();
+        tx.send((0, "zero".to_string())).unwrap();
+        tx.send((1, "one".to_string())).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        let (answered, dropped) = writer_loop(&mut out, rx);
+        assert_eq!(answered, 3);
+        assert_eq!(dropped, 0);
+        assert_eq!(String::from_utf8(out).unwrap(), "zero\none\ntwo\n");
+    }
+
+    /// A sink that fails after `live` writes — the gone-client stand-in.
+    struct DyingSink {
+        live: usize,
+    }
+
+    impl Write for DyingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.live == 0 {
+                return Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+            }
+            self.live -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_survives_a_broken_pipe_and_keeps_draining() {
+        let (tx, rx) = mpsc::channel();
+        for seq in 0..4u64 {
+            tx.send((seq, format!("r{seq}"))).unwrap();
+        }
+        drop(tx);
+        // 2 write calls per reply (payload + newline): one full reply
+        // lands, the second reply's payload write breaks the pipe.
+        let mut out = DyingSink { live: 3 };
+        let (answered, dropped) = writer_loop(&mut out, rx);
+        assert_eq!(answered, 1);
+        assert_eq!(dropped, 3, "remaining replies drain as drops, no panic");
+    }
+
+    #[test]
+    fn serve_session_answers_in_order_and_acks_shutdown_last() {
+        let input = concat!(
+            "{\"op\":\"classify\",\"id\":10,\"family\":\"star\",\"n\":6,\"span\":3}\n",
+            "garbage\n",
+            "{\"op\":\"elect\",\"id\":11,\"family\":\"path\",\"n\":6,\"span\":3}\n",
+            "{\"op\":\"shutdown\",\"id\":99}\n",
+            "{\"op\":\"elect\",\"id\":12,\"family\":\"path\"}\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_session(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                threads: 3,
+                queue: 2,
+                cache: CacheConfig::default(),
+            },
+        );
+        assert!(summary.shutdown);
+        assert_eq!(summary.jobs, 4, "the post-shutdown line is never read");
+        assert_eq!(summary.answered, 4);
+        assert_eq!(summary.dropped, 0);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"ok\":true,\"id\":10,\"op\":\"classify\""));
+        assert!(lines[1].contains("\"error\":\"bad-request\""));
+        assert!(lines[2].starts_with("{\"ok\":true,\"id\":11,\"op\":\"elect\""));
+        assert!(
+            lines[3].starts_with("{\"ok\":true,\"id\":99,\"op\":\"shutdown\""),
+            "ack must come last: {}",
+            lines[3]
+        );
+    }
+}

@@ -207,3 +207,96 @@ fn family_argument_validation() {
         assert_eq!(out.status.code(), Some(2), "{bad:?}");
     }
 }
+
+/// Exit-code matrix for `--resume-from`: a cursor at or past the shard
+/// count is a usage error (exit 2, no rows) — it used to exit 0 with a
+/// garbled note and all-null `runs:0` rows that poison merged
+/// checkpoints — while in-range cursors keep working.
+#[test]
+fn campaign_resume_from_exit_code_matrix() {
+    let campaign = |resume: &str| {
+        bin()
+            .args([
+                "campaign",
+                "--families",
+                "path",
+                "--sizes",
+                "5",
+                "--spans",
+                "2",
+                "--models",
+                "no-cd",
+                "--reps",
+                "1",
+                "--shards",
+                "4",
+                "--threads",
+                "1",
+                "--resume-from",
+                resume,
+            ])
+            .output()
+            .expect("campaign runs")
+    };
+    // == shard_count and far beyond: both rejected before any run.
+    for bad in ["4", "99"] {
+        let out = campaign(bad);
+        assert_eq!(out.status.code(), Some(2), "--resume-from {bad}");
+        assert!(out.stdout.is_empty(), "no rows on a rejected cursor");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("out of range"), "{stderr}");
+        assert!(stderr.contains("0..4"), "names the valid cursors: {stderr}");
+    }
+    // Last valid cursor still resumes (and emits the partial-rows note).
+    let out = campaign("3");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(!out.stdout.is_empty(), "resumed campaign emits rows");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("note: resumed at shard 3"));
+}
+
+/// Process-level smoke of `serve --stdin-stdout`: the library session
+/// tests live in `tests/serve.rs`; this pins the CLI wiring — transport
+/// flags, stderr summary, exit code.
+#[test]
+fn serve_stdin_stdout_answers_jobs_and_exits_zero() {
+    let input = concat!(
+        "{\"op\":\"elect\",\"id\":1,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n",
+        "not json\n",
+        "{\"op\":\"shutdown\",\"id\":2}\n",
+    );
+    let (stdout, stderr, code) = run_with_stdin(&["serve", "--stdin-stdout"], input);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(
+        lines[0].starts_with("{\"ok\":true,\"id\":1,\"op\":\"elect\""),
+        "{stdout}"
+    );
+    assert!(lines[1].contains("\"error\":\"bad-request\""), "{stdout}");
+    assert!(
+        lines[2].starts_with("{\"ok\":true,\"id\":2,\"op\":\"shutdown\""),
+        "{stdout}"
+    );
+    assert!(stderr.contains("shutdown job"), "{stderr}");
+}
+
+#[test]
+fn serve_transport_flags_are_validated() {
+    // no transport at all
+    let (_, stderr, code) = run_with_stdin(&["serve"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("exactly one transport"), "{stderr}");
+    // two transports
+    let (_, stderr, code) =
+        run_with_stdin(&["serve", "--stdin-stdout", "--tcp", "127.0.0.1:0"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("exactly one transport"), "{stderr}");
+    // unknown flag
+    let (_, stderr, code) = run_with_stdin(&["serve", "--bogus"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown serve argument"), "{stderr}");
+    // zero-sized pool
+    let (_, stderr, code) = run_with_stdin(&["serve", "--stdin-stdout", "--threads", "0"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("at least 1"), "{stderr}");
+}

@@ -12,8 +12,11 @@
 //!
 //! `--root DIR` rebases the scan (default: the current directory, which in
 //! CI and `cargo run` is the workspace root). Without `--deny-all` the
-//! linter is report-only; `schema` is always strict (a malformed corpus is
-//! never acceptable). Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! linter is report-only; `schema` is always strict on malformed rows (a
+//! broken corpus is never acceptable) while a row file with *no* rows —
+//! the truncated-output case — is reported as an `empty-rows` warning,
+//! promoted to an error by `schema --deny-all`. Exit codes: 0 clean, 1
+//! findings, 2 usage/IO error.
 
 #![forbid(unsafe_code)]
 
@@ -106,7 +109,8 @@ fn lint_command(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn schema_command(args: &[String]) -> Result<ExitCode, String> {
-    let (common, _) = parse_flags(args, &[])?;
+    let (common, flags) = parse_flags(args, &["--deny-all"])?;
+    let deny_all = flags.iter().any(|f| f == "--deny-all");
     let files: Vec<PathBuf> = if common.rest.is_empty() {
         vec![
             common.root.join("tests/golden/campaign_elect.jsonl"),
@@ -141,8 +145,15 @@ fn schema_command(args: &[String]) -> Result<ExitCode, String> {
     }
     report.findings.sort();
     print_report(&report, common.json);
-    // The row contract is a hard invariant of the corpus: always strict.
-    Ok(exit_for(&report, true))
+    // The row contract is a hard invariant of the corpus: malformed rows
+    // are always strict. An *empty* row file is a warning — the corpus is
+    // missing rather than wrong — unless `--deny-all` promotes it.
+    let hard_findings = report.findings.iter().any(|f| f.rule != schema::EMPTY_ROWS);
+    if hard_findings || (deny_all && !report.is_clean()) {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn display_path(root: &Path, file: &Path) -> String {

@@ -30,6 +30,13 @@ use crate::rules::Finding;
 /// Rule id used for schema findings (distinct from source-lint rules).
 pub const ROW_SCHEMA: &str = "row-schema";
 
+/// Rule id for a row file with no rows at all. A campaign output
+/// truncated to empty (dead disk, interrupted redirect, wrong glob) is
+/// not a *valid* corpus — it is a missing one, and "clean" would let it
+/// pass CI silently. Reported as a warning by default; `--deny-all`
+/// promotes it to an error.
+pub const EMPTY_ROWS: &str = "empty-rows";
+
 const ELECT_PREFIX: &[&str] = &[
     "phase",
     "family",
@@ -77,11 +84,24 @@ const CLASSIFY_FORBIDDEN: &[&str] = &[
 /// label findings; `line` in each finding is the 1-based row number.
 pub fn check_rows(file: &str, contents: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut rows = 0usize;
     for (idx, row) in contents.lines().enumerate() {
         if row.trim().is_empty() {
             continue;
         }
+        rows += 1;
         check_row(file, idx as u32 + 1, row, &mut findings);
+    }
+    if rows == 0 {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            rule: EMPTY_ROWS,
+            message: "row file holds no rows — an empty/truncated campaign output is a \
+                      missing corpus, not a clean one"
+                .to_string(),
+        });
     }
     findings
 }
@@ -355,5 +375,17 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 3);
         assert_eq!(findings[0].rule, ROW_SCHEMA);
+    }
+
+    #[test]
+    fn files_with_no_rows_are_a_distinct_finding() {
+        for contents in ["", "\n", "  \n\n"] {
+            let findings = check_rows("f.jsonl", contents);
+            assert_eq!(findings.len(), 1, "{contents:?}");
+            assert_eq!(findings[0].rule, EMPTY_ROWS);
+            assert_eq!((findings[0].line, findings[0].col), (1, 1));
+        }
+        // one valid row is enough for the file to count as populated
+        assert!(check_rows("f.jsonl", CLASSIFY_STRIPPED).is_empty());
     }
 }

@@ -126,6 +126,31 @@ fn schema_subcommand_rejects_contract_violations() {
 }
 
 #[test]
+fn schema_subcommand_warns_on_empty_row_files() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty_rows.jsonl");
+    std::fs::write(&path, "\n").unwrap();
+    let path = path.to_str().unwrap();
+
+    // Default: reported (never "clean") but a warning — exit 0.
+    let out = radio_lint(&["schema", path]);
+    assert!(
+        out.status.success(),
+        "empty rows are a warning by default; stderr: {:?}",
+        out.stderr
+    );
+    let text = stdout(&out);
+    assert!(text.contains("[empty-rows]"), "got: {text}");
+    assert!(!text.contains("radio-lint: clean"), "got: {text}");
+
+    // --deny-all promotes the warning to an error.
+    let out = radio_lint(&["schema", "--deny-all", path]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {:?}", out.stderr);
+    assert!(stdout(&out).contains("[empty-rows]"));
+}
+
+#[test]
 fn usage_errors_exit_two() {
     let out = radio_lint(&["--no-such-flag"]);
     assert_eq!(out.status.code(), Some(2));

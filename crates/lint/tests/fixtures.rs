@@ -150,6 +150,32 @@ fn fire_fixtures_match_expected_spans() {
     }
 }
 
+/// The row-schema checker has its own fixture corpus: `empty_rows.jsonl`
+/// is the truncated-output case (a file with no rows must be a distinct
+/// `empty-rows` finding, never "clean"), with golden spans in
+/// `expected/empty_rows.expected` like the source-rule fixtures.
+#[test]
+fn empty_row_file_fixture_matches_expected_spans() {
+    let findings =
+        radio_lint::schema::check_rows("empty_rows.jsonl", &read_fixture("empty_rows.jsonl"));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, radio_lint::schema::EMPTY_ROWS);
+
+    let expected_path = fixtures_dir().join("expected/empty_rows.expected");
+    let got = render_expected(&findings);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&expected_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            expected_path.display()
+        )
+    });
+    assert_eq!(got, want, "empty-rows finding diverges from golden spans");
+}
+
 #[test]
 fn clean_fixtures_produce_no_findings() {
     for &(name, logical) in CLEAN {

@@ -1,0 +1,293 @@
+//! End-to-end tests of the `anon-radio serve` session layer: the
+//! `--stdin-stdout` protocol driven over in-memory streams, pinning
+//! served results bit-identical to the one-shot CLI paths on the same
+//! specs, plus deadline expiry, malformed-JSON replies, cache-hit
+//! visibility, shutdown drain, and the TCP transport.
+
+use anon_radio::cache::CacheConfig;
+use anon_radio::campaign::{CampaignRunner, CampaignSpec, FamilySpec, Phase, TagStrategy};
+use anon_radio::serve::{serve_session, serve_tcp, ServeOptions};
+use radio_graph::Configuration;
+use radio_sim::{ModelKind, RunOpts};
+use radio_util::rng::{derive, rng_from};
+
+fn serve(input: &str, opts: &ServeOptions) -> (Vec<String>, anon_radio::serve::SessionSummary) {
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve_session(input.as_bytes(), &mut out, opts);
+    let text = String::from_utf8(out).expect("replies are UTF-8");
+    (text.lines().map(str::to_string).collect(), summary)
+}
+
+/// Extracts `"name":<uint>` from a reply line.
+fn field_u64(reply: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let start = reply
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} in {reply}"))
+        + key.len();
+    reply[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not a uint in {reply}"))
+}
+
+/// The exact configuration the serve layer draws for
+/// `family=path n=6 span=3 seed=42` — the `elect --family` derivation.
+fn drawn_path_config() -> Configuration {
+    let csr = FamilySpec::Path.build_csr(6, derive(42, "graph")).unwrap();
+    let tags = TagStrategy::Uniform.draw(6, 3, &mut rng_from(derive(42, "tags")));
+    Configuration::from_csr(csr, tags).unwrap()
+}
+
+#[test]
+fn elect_replies_are_bit_identical_to_the_one_shot_path() {
+    let (lines, summary) = serve(
+        "{\"op\":\"elect\",\"id\":1,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n",
+        &ServeOptions::default(),
+    );
+    assert_eq!(summary.answered, 1);
+    let reply = &lines[0];
+    assert!(reply.starts_with("{\"ok\":true,\"id\":1,\"op\":\"elect\",\"feasible\":true"));
+
+    // One-shot reference: same derivation, same resident run path.
+    let report = anon_radio::solve(&drawn_path_config())
+        .expect("feasible")
+        .run_in(
+            &mut radio_sim::SimWorkspace::new(),
+            ModelKind::default(),
+            RunOpts::default(),
+        )
+        .expect("elects");
+    assert_eq!(field_u64(reply, "leader"), u64::from(report.leader));
+    assert_eq!(field_u64(reply, "phases"), report.phases as u64);
+    assert_eq!(field_u64(reply, "rounds_local"), report.rounds_local);
+    assert_eq!(
+        field_u64(reply, "completion_round"),
+        report.completion_round
+    );
+    assert_eq!(field_u64(reply, "transmissions"), report.transmissions);
+    assert_eq!(field_u64(reply, "rounds_stepped"), report.rounds_stepped);
+    assert_eq!(field_u64(reply, "rounds_leapt"), report.rounds_leapt);
+}
+
+#[test]
+fn classify_replies_match_the_classifier_summary() {
+    let (lines, _) = serve(
+        "{\"op\":\"classify\",\"id\":5,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n",
+        &ServeOptions::default(),
+    );
+    let reply = &lines[0];
+    let summary = radio_classifier::summarize(&drawn_path_config());
+    assert!(reply.starts_with("{\"ok\":true,\"id\":5,\"op\":\"classify\""));
+    assert_eq!(
+        reply.contains("\"feasible\":true"),
+        summary.feasible,
+        "{reply}"
+    );
+    assert_eq!(field_u64(reply, "iterations"), summary.iterations as u64);
+    assert_eq!(field_u64(reply, "classes"), u64::from(summary.num_classes));
+    assert_eq!(field_u64(reply, "relabels"), summary.relabels);
+}
+
+#[test]
+fn campaign_cell_rows_are_bit_identical_to_a_fresh_campaign() {
+    let (lines, _) = serve(
+        "{\"op\":\"campaign-cell\",\"id\":3,\"phase\":\"elect\",\"family\":\"path\",\
+         \"n\":6,\"span\":3,\"model\":\"no-cd\",\"reps\":3,\"seed\":17}\n\
+         {\"op\":\"campaign-cell\",\"id\":4,\"phase\":\"classify\",\"family\":\"star\",\
+         \"n\":6,\"span\":3,\"reps\":3,\"seed\":17}\n",
+        &ServeOptions::default(),
+    );
+
+    for (reply, phase) in lines.iter().zip([Phase::Elect, Phase::Classify]) {
+        let spec = CampaignSpec {
+            phase,
+            families: vec![if phase == Phase::Elect {
+                FamilySpec::Path
+            } else {
+                FamilySpec::Star
+            }],
+            tags: vec![TagStrategy::Uniform],
+            sizes: vec![6],
+            spans: vec![3],
+            models: vec![ModelKind::NoCollisionDetection],
+            reps: 3,
+            seed: 17,
+            opts: RunOpts::default(),
+            cache: CacheConfig::default(),
+            batch: anon_radio::campaign::BatchConfig::disabled(),
+        };
+        let mut runner = CampaignRunner::new(spec, 1);
+        while runner.run_next_shard(1).is_some() {}
+        let fresh = runner.jsonl_rows().remove(0);
+
+        // Bit-identical up to the measured tail (wall clock, cache-counter
+        // split, and memory high-water depend on the serving process).
+        let served_row = reply
+            .split("\"row\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("row in {reply}"));
+        let strip = |row: &str| row.split(",\"wall_ns\"").next().unwrap().to_string();
+        assert_eq!(strip(served_row), strip(&fresh), "phase {phase:?}");
+    }
+}
+
+#[test]
+fn repeated_jobs_hit_the_shared_schedule_cache() {
+    let job = "{\"op\":\"elect\",\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n";
+    // One worker so the second job reuses the first worker's shared cache
+    // deterministically (the cache is process-wide either way).
+    let (lines, _) = serve(
+        &job.repeat(2),
+        &ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        },
+    );
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"cache\":\"exact-hit\""), "{}", lines[1]);
+    assert!(field_u64(&lines[1], "cache_hits") >= 1, "{}", lines[1]);
+    // The cache only changes the tail: the election numbers agree.
+    assert_eq!(
+        field_u64(&lines[0], "rounds_local"),
+        field_u64(&lines[1], "rounds_local")
+    );
+    assert_eq!(
+        field_u64(&lines[0], "leader"),
+        field_u64(&lines[1], "leader")
+    );
+}
+
+#[test]
+fn uncached_sessions_report_cache_off() {
+    let (lines, _) = serve(
+        "{\"op\":\"elect\",\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n",
+        &ServeOptions {
+            cache: CacheConfig::disabled(),
+            ..ServeOptions::default()
+        },
+    );
+    assert!(lines[0].contains("\"cache\":\"off\""), "{}", lines[0]);
+    assert!(!lines[0].contains("cache_hits"), "{}", lines[0]);
+}
+
+#[test]
+fn deadline_expiry_is_a_structured_per_job_error() {
+    let input = "{\"op\":\"elect\",\"id\":8,\"family\":\"path\",\"n\":6,\"span\":3,\
+                 \"seed\":42,\"max_rounds\":1}\n\
+                 {\"op\":\"elect\",\"id\":9,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}\n";
+    let (lines, summary) = serve(input, &ServeOptions::default());
+    assert_eq!(summary.answered, 2, "a deadline never kills the session");
+    assert!(
+        lines[0].starts_with("{\"ok\":false,\"id\":8,\"error\":\"deadline\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("round limit 1 reached"), "{}", lines[0]);
+    assert!(
+        lines[1].starts_with("{\"ok\":true,\"id\":9"),
+        "the next job still runs: {}",
+        lines[1]
+    );
+}
+
+#[test]
+fn malformed_jobs_get_structured_errors_and_the_session_continues() {
+    let input = "this is not json\n\
+                 {\"op\":\"frobnicate\",\"id\":70}\n\
+                 {\"op\":\"elect\",\"id\":71,\"family\":\"path\",\"bogus\":true}\n\
+                 {\"op\":\"elect\",\"id\":72,\"family\":\"no-such-family\"}\n\
+                 {\"op\":\"classify\",\"id\":73,\"family\":\"path\",\"n\":6,\"span\":3}\n";
+    let (lines, summary) = serve(input, &ServeOptions::default());
+    assert_eq!(summary.answered, 5, "every line is answered, none fatal");
+    for (line, needle) in lines.iter().zip([
+        "expected `{`",
+        "unknown op",
+        "bogus",
+        "no-such-family",
+        "\"ok\":true",
+    ]) {
+        assert!(line.contains(needle), "wanted {needle} in {line}");
+    }
+    // Parsed ids survive into the error replies.
+    assert!(lines[1].contains("\"id\":70"), "{}", lines[1]);
+    assert!(lines[2].contains("\"id\":71"), "{}", lines[2]);
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_and_acks_last() {
+    // More queued jobs than workers or queue slots: shutdown must still
+    // answer every accepted job before the ack, in submission order.
+    let mut input = String::new();
+    for id in 0..8 {
+        input.push_str(&format!(
+            "{{\"op\":\"elect\",\"id\":{id},\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":{id}}}\n"
+        ));
+    }
+    input.push_str("{\"op\":\"shutdown\",\"id\":999}\n");
+    input.push_str("{\"op\":\"elect\",\"id\":1000,\"family\":\"path\"}\n");
+    let (lines, summary) = serve(
+        &input,
+        &ServeOptions {
+            threads: 2,
+            queue: 2,
+            cache: CacheConfig::default(),
+        },
+    );
+    assert!(summary.shutdown);
+    assert_eq!(summary.jobs, 9, "intake stops at the shutdown job");
+    assert_eq!(lines.len(), 9);
+    for (i, line) in lines.iter().take(8).enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"ok\":true,\"id\":{i}")),
+            "drained reply {i} out of order: {line}"
+        );
+    }
+    assert!(
+        lines[8].starts_with("{\"ok\":true,\"id\":999,\"op\":\"shutdown\",\"jobs\":8"),
+        "ack must be last: {}",
+        lines[8]
+    );
+}
+
+#[test]
+fn tcp_transport_serves_multiple_connections_and_shuts_down() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve_tcp(listener, &ServeOptions::default()));
+
+    let ask = |line: &str| -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        writeln!(conn, "{line}").expect("send job");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        reply
+    };
+
+    let first =
+        ask("{\"op\":\"elect\",\"id\":1,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}");
+    assert!(
+        first.starts_with("{\"ok\":true,\"id\":1,\"op\":\"elect\""),
+        "{first}"
+    );
+    // A second connection hits the same persistent worker pool and cache.
+    let second =
+        ask("{\"op\":\"elect\",\"id\":2,\"family\":\"path\",\"n\":6,\"span\":3,\"seed\":42}");
+    assert!(second.contains("\"cache\":\"exact-hit\""), "{second}");
+
+    let ack = ask("{\"op\":\"shutdown\",\"id\":3}");
+    assert!(
+        ack.starts_with("{\"ok\":true,\"id\":3,\"op\":\"shutdown\""),
+        "{ack}"
+    );
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("serve_tcp exits cleanly");
+}
